@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Ablation: the timer-based DRAM monitor (Section 5.2).  With the
+ * monitor disabled, compute-bound code parks everything to no benefit,
+ * paying LTP push/pop energy; with it, LTP is power gated off ~93% of
+ * the time on insensitive code (Figure 7 bottom) at no performance
+ * cost.
+ */
+
+#include "bench_common.hh"
+
+using namespace ltp;
+using namespace ltp::bench;
+
+int
+main(int argc, char **argv)
+{
+    Cli cli(argc, argv, benchFlags());
+    RunLengths lengths = benchLengths(cli);
+    std::uint64_t seed = cli.integer("seed", 1);
+    Panels panels = makePanels(lengths, seed);
+
+    for (const std::string &panel : {std::string("mlp_sensitive"),
+                                     std::string("mlp_insensitive")}) {
+        Metrics base = runPanel(SimConfig::baseline().withSeed(seed),
+                                panels, panel, lengths);
+        Table t({"monitor", "perf vs base", "enabled frac",
+                 "parked frac", "IQ/RF+LTP ED2P vs base"});
+        for (bool on : {true, false}) {
+            SimConfig cfg =
+                SimConfig::ltpProposal().withMonitor(on).withSeed(seed);
+            cfg.name = on ? "DRAM timer (paper)" : "always on";
+            Metrics m = runPanel(cfg, panels, panel, lengths);
+            t.addRow({cfg.name, Table::pct(m.perfDeltaPct(base)),
+                      Table::num(m.ltpEnabledFrac, 2),
+                      Table::num(m.parkedFrac, 2),
+                      Table::pct(m.ed2pDeltaPct(base))});
+        }
+        t.print(strprintf("Ablation: DRAM-timer monitor (%s)",
+                          panel.c_str()));
+    }
+    return 0;
+}

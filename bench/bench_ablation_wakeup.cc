@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Ablation: the Non-Urgent wakeup policy (DESIGN.md design-choice
+ * knob).  Compares the paper's ROB-proximity rule against an eager
+ * policy (wake whenever ports allow — parking barely holds, wasting
+ * registers early, Section 3.2's complaint) and a lazy policy (only
+ * the deadlock machinery wakes instructions — commit-driven trickle).
+ */
+
+#include "bench_common.hh"
+
+using namespace ltp;
+using namespace ltp::bench;
+
+int
+main(int argc, char **argv)
+{
+    Cli cli(argc, argv, benchFlags());
+    RunLengths lengths = benchLengths(cli);
+    std::uint64_t seed = cli.integer("seed", 1);
+    Panels panels = makePanels(lengths, seed);
+
+    const std::vector<std::pair<std::string, WakeupPolicy>> policies = {
+        {"ROB proximity (paper)", WakeupPolicy::RobProximity},
+        {"eager", WakeupPolicy::Eager},
+        {"lazy (forced/pressure only)", WakeupPolicy::Lazy},
+    };
+
+    for (const std::string &panel : {std::string("mlp_sensitive"),
+                                     std::string("mlp_insensitive")}) {
+        Metrics base = runPanel(SimConfig::baseline().withSeed(seed),
+                                panels, panel, lengths);
+        Table t({"wakeup policy", "perf vs base", "insts in LTP",
+                 "RF in use", "forced unparks / kinst"});
+        for (const auto &[label, policy] : policies) {
+            SimConfig cfg = SimConfig::ltpProposal().withSeed(seed);
+            cfg.core.ltp.wakeup = policy;
+            Metrics m = runPanel(cfg, panels, panel, lengths);
+            t.addRow({label, Table::pct(m.perfDeltaPct(base)),
+                      Table::num(m.ltpOcc, 1), Table::num(m.rfOcc, 1),
+                      Table::num(safeDiv(1000.0 * m.forcedUnparks,
+                                         double(m.insts)),
+                                 2)});
+        }
+        t.print(strprintf("Ablation: NU wakeup policy (%s)",
+                          panel.c_str()));
+    }
+    return 0;
+}

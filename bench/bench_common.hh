@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table benches: standard run lengths,
+ * runtime suite grouping (Section 4.1), the paper's four panels
+ * (astar-like, milc-like, mlp-sensitive avg, mlp-insensitive avg), and
+ * CSV capture next to the binary for EXPERIMENTS.md.
+ */
+
+#ifndef LTP_BENCH_BENCH_COMMON_HH
+#define LTP_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/table.hh"
+#include "sim/experiment.hh"
+#include "sim/mlp_class.hh"
+#include "sim/simulator.hh"
+#include "trace/suite.hh"
+
+namespace ltp {
+namespace bench {
+
+/** Default staging for bench runs (scaled Section 4.1 staging). */
+inline RunLengths
+benchLengths(const Cli &cli)
+{
+    RunLengths lengths;
+    lengths.funcWarm = cli.integer("warm", 60000);
+    lengths.pipeWarm = cli.integer("pipewarm", 5000);
+    lengths.detail = cli.integer("detail", 30000);
+    return lengths;
+}
+
+/** Standard bench flags. */
+inline std::set<std::string>
+benchFlags()
+{
+    return {"warm", "pipewarm", "detail", "seed", "csv"};
+}
+
+/** The four panels of Figure 6/7: two marquee kernels + two groups. */
+struct Panels
+{
+    std::string astarLike = "graph_walk";
+    std::string milcLike = "indirect_stream_fp";
+    SuiteGroups groups;
+};
+
+/** Classify the suite with the runtime criteria and report the split. */
+inline Panels
+makePanels(const RunLengths &lengths, std::uint64_t seed)
+{
+    Panels p;
+    RunLengths quick = lengths;
+    quick.detail = std::min<std::uint64_t>(lengths.detail, 20000);
+    p.groups = classifySuite(quick, seed);
+
+    std::printf("Section 4.1 classification (IQ32 vs IQ256):\n");
+    for (const auto &d : p.groups.details)
+        std::printf("  %-20s %-12s speedup=%.2f outstanding=%.2f "
+                    "avgLoadLat=%.1f\n",
+                    d.kernel.c_str(),
+                    d.sensitive ? "SENSITIVE" : "insensitive", d.speedup,
+                    d.outstandingRatio, d.avgLoadLatency);
+    std::fflush(stdout);
+    return p;
+}
+
+/** Run a config over one panel (kernel name or group average). */
+inline Metrics
+runPanel(const SimConfig &cfg, const Panels &panels,
+         const std::string &panel, const RunLengths &lengths)
+{
+    if (panel == "mlp_sensitive")
+        return runGroupAverage(cfg, panels.groups.sensitive,
+                               "mlp_sensitive", lengths);
+    if (panel == "mlp_insensitive")
+        return runGroupAverage(cfg, panels.groups.insensitive,
+                               "mlp_insensitive", lengths);
+    return Simulator::runOnce(cfg, panel, lengths);
+}
+
+/** The four standard panel identifiers, in paper order. */
+inline std::vector<std::string>
+panelNames(const Panels &p)
+{
+    return {p.astarLike, p.milcLike, "mlp_sensitive", "mlp_insensitive"};
+}
+
+/** Optionally dump a table as CSV (flag --csv=<path>). */
+inline void
+maybeCsv(const Cli &cli, const Table &table, const std::string &dflt)
+{
+    std::string path = cli.str("csv", "");
+    if (path.empty())
+        return;
+    std::string target = path == "1" ? dflt : path;
+    std::ofstream out(target);
+    out << table.toCsv();
+    std::printf("csv written to %s\n", target.c_str());
+}
+
+} // namespace bench
+} // namespace ltp
+
+#endif // LTP_BENCH_BENCH_COMMON_HH

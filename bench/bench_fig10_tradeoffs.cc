@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Figure 10: performance and IQ/RF ED2P vs LTP size and port count for
+ * the practical LTP/IQ32/RF96 design (learned classification, UIT 256)
+ * relative to the IQ64/RF128 baseline.  The "no LTP" row is the
+ * paper's red line (IQ32/RF96 without LTP).
+ *
+ * Paper shape: 128 entries x 4 ports sits ~1% below baseline
+ * performance with ~40% lower IQ/RF ED2P on sensitive code; fewer
+ * ports or entries degrade performance toward the no-LTP line;
+ * insensitive code loses ~3% and saves slightly less energy than the
+ * plain shrink because of the LTP support-structure overhead.
+ */
+
+#include "bench_common.hh"
+
+using namespace ltp;
+using namespace ltp::bench;
+
+int
+main(int argc, char **argv)
+{
+    Cli cli(argc, argv, benchFlags());
+    RunLengths lengths = benchLengths(cli);
+    std::uint64_t seed = cli.integer("seed", 1);
+    Panels panels = makePanels(lengths, seed);
+
+    const std::vector<int> entry_sweep = {kInfiniteSize, 128, 64, 32, 16};
+    const std::vector<int> port_sweep = {1, 2, 4, 8};
+
+    for (const std::string &panel : panelNames(panels)) {
+        Metrics base = runPanel(SimConfig::baseline().withSeed(seed),
+                                panels, panel, lengths);
+        Metrics no_ltp = runPanel(SimConfig::baseline()
+                                      .withIq(32)
+                                      .withRegs(96)
+                                      .withSeed(seed)
+                                      .withName("no-LTP shrink"),
+                                  panels, panel, lengths);
+
+        Table perf({"LTP entries", "1p", "2p", "4p", "8p"});
+        Table ed2p({"LTP entries", "1p", "2p", "4p", "8p"});
+        for (int entries : entry_sweep) {
+            std::vector<std::string> prow{sizeLabel(entries)};
+            std::vector<std::string> erow{sizeLabel(entries)};
+            for (int ports : port_sweep) {
+                SimConfig cfg = SimConfig::ltpProposal()
+                                    .withLtp(LtpMode::NU, entries, ports)
+                                    .withSeed(seed);
+                Metrics m = runPanel(cfg, panels, panel, lengths);
+                prow.push_back(Table::pct(m.perfDeltaPct(base)));
+                erow.push_back(Table::pct(m.ed2pDeltaPct(base)));
+            }
+            perf.addRow(std::move(prow));
+            ed2p.addRow(std::move(erow));
+        }
+
+        perf.print(strprintf(
+            "Figure 10 (%s): performance vs base IQ:64/RF:128 "
+            "[red line, no LTP: %s]",
+            panel.c_str(),
+            Table::pct(no_ltp.perfDeltaPct(base)).c_str()));
+        ed2p.print(strprintf(
+            "Figure 10 (%s): IQ/RF ED2P vs base "
+            "[red line, no LTP: %s]",
+            panel.c_str(),
+            Table::pct(no_ltp.ed2pDeltaPct(base)).c_str()));
+        maybeCsv(cli, perf, strprintf("fig10_perf_%s.csv",
+                                      panel.c_str()));
+    }
+    return 0;
+}

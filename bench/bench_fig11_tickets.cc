@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 11: performance vs number of tickets for an LTP handling both
+ * Non-Urgent and Non-Ready instructions (learned classification with
+ * the two-level hit/miss predictor), against the no-LTP IQ32/RF96 red
+ * line and the NU-only 128-entry/4-port green line.
+ *
+ * Paper shape: NR+NU with plenty of tickets sits at/above the NU-only
+ * line; shrinking the pool below ~16 collapses toward (or below) the
+ * NU-only line since un-ticketed loads' descendants cannot be parked
+ * as Non-Ready.
+ */
+
+#include "bench_common.hh"
+
+using namespace ltp;
+using namespace ltp::bench;
+
+int
+main(int argc, char **argv)
+{
+    Cli cli(argc, argv, benchFlags());
+    RunLengths lengths = benchLengths(cli);
+    std::uint64_t seed = cli.integer("seed", 1);
+    Panels panels = makePanels(lengths, seed);
+
+    const std::vector<int> tickets = {128, 64, 32, 16, 8, 4};
+
+    for (const std::string &panel : {std::string("mlp_sensitive"),
+                                     std::string("mlp_insensitive")}) {
+        Metrics base = runPanel(SimConfig::baseline().withSeed(seed),
+                                panels, panel, lengths);
+        Metrics no_ltp = runPanel(
+            SimConfig::baseline().withIq(32).withRegs(96).withSeed(seed),
+            panels, panel, lengths);
+        Metrics nu_only = runPanel(SimConfig::ltpProposal().withSeed(seed),
+                                   panels, panel, lengths);
+
+        Table t({"# tickets", "LTP (NR+NU) perf vs base"});
+        for (int n : tickets) {
+            SimConfig cfg = SimConfig::ltpProposal(LtpMode::NRNU)
+                                .withTickets(n)
+                                .withSeed(seed);
+            Metrics m = runPanel(cfg, panels, panel, lengths);
+            t.addRow({std::to_string(n),
+                      Table::pct(m.perfDeltaPct(base))});
+        }
+        t.print(strprintf(
+            "Figure 11 (%s): tickets sweep [no LTP: %s | NU-only "
+            "128e/4p: %s]",
+            panel.c_str(), Table::pct(no_ltp.perfDeltaPct(base)).c_str(),
+            Table::pct(nu_only.perfDeltaPct(base)).c_str()));
+        maybeCsv(cli, t, strprintf("fig11_%s.csv", panel.c_str()));
+    }
+    return 0;
+}

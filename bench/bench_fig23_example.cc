@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Figures 2 and 3: the worked example.
+ *
+ * Part 1 prints the learned (UIT) classification of every static
+ * instruction of the example loop and checks it against Figure 2.
+ *
+ * Part 2 reproduces the Figure 3 experiment: with a tiny IQ, the
+ * traditional pipeline fills the queue with Non-Ready instructions and
+ * stalls; adding an LTP keeps the IQ clear so further iterations can
+ * issue their urgent loads — MLP roughly doubles (the paper's
+ * "MLP of 4 vs. 2" illustration).
+ */
+
+#include "bench_common.hh"
+#include "trace/kernels.hh"
+
+using namespace ltp;
+using namespace ltp::bench;
+
+int
+main(int argc, char **argv)
+{
+    Cli cli(argc, argv, benchFlags());
+    RunLengths lengths = benchLengths(cli);
+    std::uint64_t seed = cli.integer("seed", 1);
+
+    // ---- Part 1: Figure 2 classification, as learned by the UIT.
+    Simulator sim(SimConfig::ltpProposal().withSeed(seed), "paper_loop",
+                  lengths);
+    sim.run();
+
+    WorkloadPtr w = makePaperLoop();
+    w->reset(seed);
+    const char *slot_names[11] = {"A", "B", "C", "D", "E", "F",
+                                  "G", "H", "I", "J", "K"};
+    const char *paper_class[11] = {"U+R", "U+R (hit)", "U+R",
+                                   "U+R (miss)", "U+R", "NU+NR",
+                                   "NU+R", "NU+NR (hit)", "NU+R",
+                                   "NU+R", "NU+R"};
+    Table cls({"slot", "instruction", "paper class", "learned urgency"});
+    for (int s = 0; s < 11; ++s) {
+        MicroOp op = w->next();
+        bool urgent = sim.core().uit().lookup(op.pc);
+        cls.addRow({slot_names[s], op.toString(), paper_class[s],
+                    urgent ? "Urgent" : "Non-Urgent"});
+    }
+    cls.print("Figure 2: example-loop classification (UIT after run)");
+
+    // ---- Part 2: Figure 3's IQ-starvation illustration.
+    // A deliberately tiny IQ shows the effect starkly; everything else
+    // stays large so the IQ is the only constraint.
+    auto tiny = [&](SimConfig cfg) {
+        return cfg.withIq(8)
+            .withRegs(kInfiniteSize)
+            .withLq(kInfiniteSize)
+            .withSq(kInfiniteSize)
+            .withSeed(seed);
+    };
+    Metrics no_ltp = Simulator::runOnce(
+        tiny(SimConfig::baseline()).withName("traditional IQ:8"),
+        "paper_loop", lengths);
+    SimConfig with_ltp = tiny(SimConfig::ltpProposal())
+                             .withLtp(LtpMode::NU, 128, 4)
+                             .withName("IQ:8 + LTP");
+    with_ltp.core.intRegs = kInfiniteSize;
+    with_ltp.core.fpRegs = kInfiniteSize;
+    Metrics ltp = Simulator::runOnce(with_ltp, "paper_loop", lengths);
+
+    Table t({"config", "IPC", "avg outstanding (MLP)", "IQ in use",
+             "insts in LTP"});
+    auto row = [&](const Metrics &m) {
+        t.addRow({m.config, Table::num(m.ipc, 3),
+                  Table::num(m.avgOutstanding, 2),
+                  Table::num(m.iqOcc, 1), Table::num(m.ltpOcc, 1)});
+    };
+    row(no_ltp);
+    row(ltp);
+    t.print("Figure 3: tiny-IQ starvation with and without LTP");
+    std::printf("\nMLP ratio (LTP / traditional): %.2fx — the paper's "
+                "illustration has 2x (4 vs 2).\n",
+                safeDiv(ltp.avgOutstanding, no_ltp.avgOutstanding));
+    maybeCsv(cli, t, "fig23.csv");
+    return 0;
+}

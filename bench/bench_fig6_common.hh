@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Shared driver for the four Figure 6 limit-study sweeps.
+ *
+ * Per the paper: all but the swept resource effectively unlimited,
+ * infinite LTP with perfect (oracle) classification, LQ/SQ late
+ * allocation enabled, prefetcher on, unlimited MSHRs.  Four curves:
+ * No LTP, LTP (NR), LTP (NU), LTP (NR+NU); performance is reported
+ * relative to the no-LTP run at the resource's Table 1 baseline size
+ * (the circled point on the paper's axes).
+ */
+
+#ifndef LTP_BENCH_BENCH_FIG6_COMMON_HH
+#define LTP_BENCH_BENCH_FIG6_COMMON_HH
+
+#include "bench_common.hh"
+
+namespace ltp {
+namespace bench {
+
+/** Which resource a Figure 6 row sweeps. */
+enum class SweptResource { Iq, Rf, Lq, Sq };
+
+inline SimConfig
+applySize(SimConfig cfg, SweptResource res, int size)
+{
+    switch (res) {
+      case SweptResource::Iq: return cfg.withIq(size);
+      case SweptResource::Rf: return cfg.withRegs(size);
+      case SweptResource::Lq: return cfg.withLq(size);
+      case SweptResource::Sq: return cfg.withSq(size);
+    }
+    return cfg;
+}
+
+inline void
+runFig6Row(int argc, char **argv, SweptResource res,
+           const char *res_name, const std::vector<int> &sizes,
+           int baseline_size)
+{
+    Cli cli(argc, argv, benchFlags());
+    RunLengths lengths = benchLengths(cli);
+    std::uint64_t seed = cli.integer("seed", 1);
+    Panels panels = makePanels(lengths, seed);
+
+    const std::vector<std::pair<std::string, LtpMode>> series = {
+        {"No LTP", LtpMode::Off},
+        {"LTP (NR)", LtpMode::NR},
+        {"LTP (NU)", LtpMode::NU},
+        {"LTP (NR+NU)", LtpMode::NRNU},
+    };
+
+    for (const std::string &panel : panelNames(panels)) {
+        // Baseline: no LTP at the Table 1 size of the swept resource.
+        SimConfig base_cfg =
+            applySize(SimConfig::limitStudy(LtpMode::Off), res,
+                      baseline_size)
+                .withSeed(seed);
+        Metrics base = runPanel(base_cfg, panels, panel, lengths);
+
+        Table t({std::string(res_name) + " size", "No LTP", "LTP (NR)",
+                 "LTP (NU)", "LTP (NR+NU)"});
+        for (int size : sizes) {
+            std::vector<std::string> row{sizeLabel(size)};
+            for (const auto &[label, mode] : series) {
+                SimConfig cfg =
+                    applySize(SimConfig::limitStudy(mode), res, size)
+                        .withSeed(seed);
+                Metrics m = runPanel(cfg, panels, panel, lengths);
+                row.push_back(Table::pct(m.perfDeltaPct(base)));
+            }
+            t.addRow(std::move(row));
+        }
+        t.print(strprintf("Figure 6 (%s row) — %s: perf vs no-LTP "
+                          "%s:%d baseline",
+                          res_name, panel.c_str(), res_name,
+                          baseline_size));
+        maybeCsv(cli, t,
+                 strprintf("fig6_%s_%s.csv", res_name, panel.c_str()));
+    }
+}
+
+} // namespace bench
+} // namespace ltp
+
+#endif // LTP_BENCH_BENCH_FIG6_COMMON_HH

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Figure 6, row 1: IQ size sweep {inf, 128, 64, 32, 16} with all other
+ * resources unlimited.  Paper shape: no-LTP loses ~13% (sensitive) at
+ * IQ 32 vs IQ 64; with LTP the loss nearly vanishes; NU alone captures
+ * most of NR+NU's benefit except on astar-like (NR-heavy) code.
+ */
+
+#include "bench_fig6_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    ltp::bench::runFig6Row(argc, argv, ltp::bench::SweptResource::Iq,
+                           "IQ", {ltp::kInfiniteSize, 128, 64, 32, 16},
+                           64);
+    return 0;
+}

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Figure 6, row 3: LQ size sweep {inf, 64, 32, 16, 8}.  Paper shape:
+ * both groups need ~64 entries; LTP helps little because most loads
+ * are Urgent (they must execute early to expose MLP) — milc-like code
+ * with parkable loads is the exception.
+ */
+
+#include "bench_fig6_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    ltp::bench::runFig6Row(argc, argv, ltp::bench::SweptResource::Lq,
+                           "LQ", {ltp::kInfiniteSize, 64, 32, 16, 8},
+                           64);
+    return 0;
+}

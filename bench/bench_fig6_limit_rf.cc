@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Figure 6, row 2: register count sweep {inf, 128, 96, 64, 32} (INT
+ * and FP scaled together, per the paper).  Paper shape: halving 128 to
+ * 64 costs ~14% (sensitive) without LTP; LTP roughly halves the loss
+ * at 64 and nearly closes it at 96.
+ */
+
+#include "bench_fig6_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    ltp::bench::runFig6Row(argc, argv, ltp::bench::SweptResource::Rf,
+                           "RF", {ltp::kInfiniteSize, 128, 96, 64, 32},
+                           128);
+    return 0;
+}

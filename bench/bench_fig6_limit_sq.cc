@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Figure 6, row 4: SQ size sweep {inf, 64, 32, 16, 8}.  Paper shape:
+ * ~32 entries suffice; on average too few stores sit in LTP to matter,
+ * with milc-like code again the exception at very small SQs.
+ */
+
+#include "bench_fig6_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    ltp::bench::runFig6Row(argc, argv, ltp::bench::SweptResource::Sq,
+                           "SQ", {ltp::kInfiniteSize, 64, 32, 16, 8},
+                           32);
+    return 0;
+}

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the core data structures,
+ * backing the paper's Section 5.5 cost argument: the queue-based LTP
+ * is structurally far simpler than the IQ's wakeup/select machinery.
+ * Also measures end-to-end simulator throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.hh"
+#include "cpu/dyn_inst.hh"
+#include "cpu/iq.hh"
+#include "ltp/ltp_queue.hh"
+#include "ltp/tickets.hh"
+#include "ltp/uit.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "ltp/oracle.hh"
+#include "sim/simulator.hh"
+#include "trace/suite.hh"
+
+namespace {
+
+using namespace ltp;
+
+std::vector<DynInst>
+makeInsts(int n)
+{
+    std::vector<DynInst> insts(n);
+    for (int i = 0; i < n; ++i) {
+        MicroOp op = OpBuilder(OpClass::IntAlu)
+                         .pc(0x1000 + i * 4)
+                         .dst(intReg(i % 16))
+                         .build();
+        insts[i].init(op, SeqNum(i), 0);
+    }
+    return insts;
+}
+
+void
+BM_IqInsertScanRemove(benchmark::State &state)
+{
+    int capacity = int(state.range(0));
+    IssueQueue iq(capacity);
+    auto insts = makeInsts(capacity);
+    for (auto _ : state) {
+        Cycle now = 0;
+        for (auto &inst : insts) {
+            inst.inIq = false;
+            iq.insert(&inst, now);
+        }
+        int scanned = 0;
+        iq.forEachInOrder([&](DynInst *) { scanned++; });
+        benchmark::DoNotOptimize(scanned);
+        for (auto &inst : insts)
+            iq.remove(&inst, now);
+    }
+    state.SetItemsProcessed(state.iterations() * capacity);
+}
+BENCHMARK(BM_IqInsertScanRemove)->Arg(32)->Arg(64)->Arg(256);
+
+void
+BM_LtpQueuePushPop(benchmark::State &state)
+{
+    int capacity = int(state.range(0));
+    LtpQueue q(capacity, capacity, capacity);
+    auto insts = makeInsts(capacity);
+    for (auto _ : state) {
+        q.beginCycle(0);
+        for (auto &inst : insts) {
+            inst.inLtp = false;
+            q.push(&inst, 0);
+        }
+        while (!q.empty())
+            q.popFront(0);
+    }
+    state.SetItemsProcessed(state.iterations() * capacity);
+}
+BENCHMARK(BM_LtpQueuePushPop)->Arg(128)->Arg(512);
+
+void
+BM_UitLookup(benchmark::State &state)
+{
+    Uit uit(256, 4);
+    for (Addr pc = 0; pc < 128 * 4; pc += 4)
+        uit.insert(0x1000 + pc);
+    Addr pc = 0x1000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(uit.lookup(pc));
+        pc = 0x1000 + ((pc + 4) & 0x3ff);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UitLookup);
+
+void
+BM_TicketPropagation(benchmark::State &state)
+{
+    TicketPool pool(kMaxTickets);
+    std::vector<int> tickets;
+    for (int i = 0; i < 64; ++i)
+        tickets.push_back(pool.allocate());
+    TicketMask a, b;
+    for (int i = 0; i < 64; i += 2)
+        a.set(tickets[i]);
+    for (int i = 1; i < 64; i += 2)
+        b.set(tickets[i]);
+    for (auto _ : state) {
+        TicketMask m = a;
+        m.orWith(b);
+        m = pool.liveSubset(m);
+        benchmark::DoNotOptimize(m.any());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TicketPropagation);
+
+void
+BM_CacheLookup(benchmark::State &state)
+{
+    Cache cache("bm", CacheConfig{32, 8, 4});
+    for (Addr a = 0; a < 32 * 1024; a += kBlockBytes)
+        cache.fill(0x100000 + a, 0, 0, false);
+    Addr addr = 0x100000;
+    Cycle ready;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.lookup(addr, 1, &ready));
+        addr = 0x100000 + ((addr + kBlockBytes) & 0x7fff);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheLookup);
+
+void
+BM_DramAccess(benchmark::State &state)
+{
+    Dram dram(DramConfig{});
+    Rng rng(1);
+    Cycle now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            dram.access(rng.next() % (1 << 28), now, false));
+        now += 20;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DramAccess);
+
+void
+BM_OraclePrepass(benchmark::State &state)
+{
+    WorkloadPtr w = makeKernel("indirect_stream_fp");
+    for (auto _ : state) {
+        OracleClassification oc =
+            oracleClassify(*w, 1, 20000, MemConfig{});
+        benchmark::DoNotOptimize(oc.size());
+    }
+    state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_OraclePrepass);
+
+void
+BM_SimulatorThroughput(benchmark::State &state)
+{
+    bool ltp = state.range(0) != 0;
+    for (auto _ : state) {
+        RunLengths lengths;
+        lengths.funcWarm = 5000;
+        lengths.pipeWarm = 1000;
+        lengths.detail = 10000;
+        Metrics m = Simulator::runOnce(
+            ltp ? SimConfig::ltpProposal() : SimConfig::baseline(),
+            "indirect_stream_fp", lengths);
+        benchmark::DoNotOptimize(m.ipc);
+    }
+    state.SetItemsProcessed(state.iterations() * 10000);
+    state.SetLabel(ltp ? "ltp-proposal" : "baseline");
+}
+BENCHMARK(BM_SimulatorThroughput)->Arg(0)->Arg(1);
+
+} // namespace
+
+BENCHMARK_MAIN();

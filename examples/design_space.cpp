@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Design-space exploration: sweep IQ size x LTP configuration for one
+ * kernel and print an IPC / ED2P matrix — the kind of study Figure 10
+ * distils.  Useful as a template for driving the library from your own
+ * harness.
+ *
+ *   ./examples/design_space [--kernel=bucket_shuffle] [--detail=30000]
+ *                           [--mode=NU|NR|NRNU]
+ */
+
+#include <cstdio>
+
+#include "common/cli.hh"
+#include "common/table.hh"
+#include "sim/simulator.hh"
+
+using namespace ltp;
+
+int
+main(int argc, char **argv)
+{
+    Cli cli(argc, argv, {"kernel", "detail", "seed", "mode"});
+    std::string kernel = cli.str("kernel", "bucket_shuffle");
+    std::string mode_str = cli.str("mode", "NU");
+    LtpMode mode = mode_str == "NRNU"
+                       ? LtpMode::NRNU
+                       : (mode_str == "NR" ? LtpMode::NR : LtpMode::NU);
+
+    RunLengths lengths = RunLengths::quick();
+    lengths.detail = cli.integer("detail", 30000);
+    std::uint64_t seed = cli.integer("seed", 1);
+
+    Metrics base =
+        Simulator::runOnce(SimConfig::baseline().withSeed(seed), kernel,
+                           lengths);
+    std::printf("kernel %s: Table-1 baseline IPC %.3f\n", kernel.c_str(),
+                base.ipc);
+
+    Table t({"IQ", "regs", "no-LTP IPC", "LTP IPC", "LTP perf vs base",
+             "LTP ED2P vs base", "parked", "in LTP"});
+    for (int iq : {64, 48, 32, 24, 16}) {
+        for (int regs : {128, 96}) {
+            Metrics off = Simulator::runOnce(SimConfig::baseline()
+                                                 .withIq(iq)
+                                                 .withRegs(regs)
+                                                 .withSeed(seed),
+                                             kernel, lengths);
+            SimConfig on_cfg = SimConfig::ltpProposal(mode)
+                                   .withIq(iq)
+                                   .withRegs(regs)
+                                   .withSeed(seed);
+            Metrics on = Simulator::runOnce(on_cfg, kernel, lengths);
+            t.addRow({std::to_string(iq), std::to_string(regs),
+                      Table::num(off.ipc, 3), Table::num(on.ipc, 3),
+                      Table::pct(on.perfDeltaPct(base)),
+                      Table::pct(on.ed2pDeltaPct(base)),
+                      Table::num(on.parkedFrac, 2),
+                      Table::num(on.ltpOcc, 1)});
+        }
+    }
+    t.print(strprintf("design space for %s (LTP mode %s)",
+                      kernel.c_str(), ltpModeName(mode)));
+    return 0;
+}

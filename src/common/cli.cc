@@ -1,0 +1,75 @@
+#include "common/cli.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace ltp {
+
+Cli::Cli(int argc, char **argv, const std::set<std::string> &known)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0)
+            fatal("unexpected positional argument '%s'", arg.c_str());
+        arg = arg.substr(2);
+
+        std::string key, value;
+        auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            key = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+        } else {
+            key = arg;
+            // `--key value` form only if the next token isn't a flag.
+            if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0)) {
+                value = argv[++i];
+            } else {
+                value = "1"; // boolean switch
+            }
+        }
+        if (!known.count(key))
+            fatal("unknown flag --%s", key.c_str());
+        values_[key] = value;
+    }
+}
+
+bool
+Cli::has(const std::string &key) const
+{
+    return values_.count(key) != 0;
+}
+
+std::string
+Cli::str(const std::string &key, const std::string &dflt) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? dflt : it->second;
+}
+
+std::int64_t
+Cli::integer(const std::string &key, std::int64_t dflt) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? dflt : std::strtoll(it->second.c_str(),
+                                                     nullptr, 0);
+}
+
+double
+Cli::real(const std::string &key, double dflt) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? dflt : std::strtod(it->second.c_str(),
+                                                    nullptr);
+}
+
+bool
+Cli::flag(const std::string &key) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return false;
+    return it->second != "0" && it->second != "false";
+}
+
+} // namespace ltp

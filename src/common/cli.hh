@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Minimal command-line flag parser for the bench and example binaries.
+ *
+ * Supports `--key=value` and `--key value` forms plus boolean switches
+ * (`--fast`).  Unknown flags are fatal so typos in experiment scripts
+ * cannot silently fall back to defaults.
+ */
+
+#ifndef LTP_COMMON_CLI_HH
+#define LTP_COMMON_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+namespace ltp {
+
+/** Parsed command line with typed accessors and defaults. */
+class Cli
+{
+  public:
+    /**
+     * Parse argv.  @p known lists every accepted flag name; passing a
+     * flag outside this set terminates with fatal().
+     */
+    Cli(int argc, char **argv, const std::set<std::string> &known);
+
+    bool has(const std::string &key) const;
+    std::string str(const std::string &key, const std::string &dflt) const;
+    std::int64_t integer(const std::string &key, std::int64_t dflt) const;
+    double real(const std::string &key, double dflt) const;
+    bool flag(const std::string &key) const;
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace ltp
+
+#endif // LTP_COMMON_CLI_HH

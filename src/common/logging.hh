@@ -1,0 +1,51 @@
+/**
+ * @file
+ * gem5-style status and error reporting: panic/fatal/warn/inform.
+ *
+ *  - panic():  an internal invariant was violated (a simulator bug).
+ *              Aborts so that a debugger/core dump is available.
+ *  - fatal():  the simulation cannot continue because of a user error
+ *              (bad configuration, impossible parameter combination).
+ *              Exits with status 1.
+ *  - warn():   something is modelled approximately; simulation continues.
+ *  - inform(): plain status output.
+ */
+
+#ifndef LTP_COMMON_LOGGING_HH
+#define LTP_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace ltp {
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+void warnImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace ltp
+
+#define panic(...) ::ltp::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define fatal(...) ::ltp::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define warn(...) ::ltp::warnImpl(__VA_ARGS__)
+#define inform(...) ::ltp::informImpl(__VA_ARGS__)
+
+/**
+ * Simulator-internal invariant check.  Unlike assert() this is always
+ * compiled in: experiments are run in release builds and silent state
+ * corruption in a performance model produces wrong *numbers*, not crashes.
+ */
+#define sim_assert(cond)                                                    \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            panic("assertion failed: %s", #cond);                           \
+    } while (0)
+
+#endif // LTP_COMMON_LOGGING_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic choice in the workload generators and tests goes
+ * through @ref ltp::Rng so that a (kernel, seed) pair always produces the
+ * identical instruction stream — a hard requirement for the oracle
+ * classification pre-pass, which replays the trace from the beginning.
+ *
+ * The generator is xorshift64*, which is small, fast, and has easily
+ * reproducible cross-platform behaviour (unlike std::mt19937 plus
+ * std::uniform_int_distribution, whose output is implementation defined).
+ */
+
+#ifndef LTP_COMMON_RANDOM_HH
+#define LTP_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace ltp {
+
+/** xorshift64* PRNG with convenience range helpers. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state_(seed ? seed : 0x9e3779b97f4a7c15ull)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        sim_assert(bound > 0);
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        sim_assert(lo <= hi);
+        return lo + static_cast<std::int64_t>(
+            below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Bernoulli draw: true with probability p (0..1). */
+    bool
+    chance(double p)
+    {
+        return static_cast<double>(next() >> 11) *
+            (1.0 / 9007199254740992.0) < p;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace ltp
+
+#endif // LTP_COMMON_RANDOM_HH

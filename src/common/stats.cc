@@ -1,0 +1,21 @@
+#include "common/stats.hh"
+
+#include <sstream>
+
+namespace ltp {
+
+std::string
+Histogram::toString(const std::string &name) const
+{
+    std::ostringstream os;
+    os << name << ": total=" << total_ << " mean=" << mean() << " [";
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (i)
+            os << ' ';
+        os << counts_[i];
+    }
+    os << "]";
+    return os.str();
+}
+
+} // namespace ltp

@@ -1,0 +1,88 @@
+#include "common/table.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace ltp {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    sim_assert(!headers_.empty());
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    sim_assert(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    return strprintf("%.*f", precision, v);
+}
+
+std::string
+Table::pct(double v, int precision)
+{
+    return strprintf("%+.*f%%", precision, v);
+}
+
+std::string
+Table::toString() const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit_row = [&](std::ostringstream &os,
+                        const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << (c ? " | " : "| ");
+            os << row[c];
+            os << std::string(width[c] - row[c].size(), ' ');
+        }
+        os << " |\n";
+    };
+
+    std::ostringstream os;
+    emit_row(os, headers_);
+    os << '|';
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        os << std::string(width[c] + 2, '-') << '|';
+    os << '\n';
+    for (const auto &row : rows_)
+        emit_row(os, row);
+    return os.str();
+}
+
+std::string
+Table::toCsv() const
+{
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << (c ? "," : "") << row[c];
+        os << '\n';
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+void
+Table::print(const std::string &title) const
+{
+    std::printf("\n== %s ==\n%s", title.c_str(), toString().c_str());
+    std::fflush(stdout);
+}
+
+} // namespace ltp

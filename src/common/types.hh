@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every subsystem.
+ *
+ * The simulator is cycle driven: all points in time are expressed as a
+ * @ref ltp::Cycle counted from the beginning of the simulation.  Dynamic
+ * instructions are identified by a monotonically increasing @ref
+ * ltp::SeqNum (the "global sequence number" in gem5 terminology) which is
+ * also the index of the instruction in the input trace.
+ */
+
+#ifndef LTP_COMMON_TYPES_HH
+#define LTP_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace ltp {
+
+/** Byte address in the simulated (virtual == physical) address space. */
+using Addr = std::uint64_t;
+
+/** Absolute time in CPU clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Dynamic instruction sequence number == position in the input trace. */
+using SeqNum = std::uint64_t;
+
+/** Sentinel for "no cycle scheduled / never". */
+inline constexpr Cycle kCycleNever = std::numeric_limits<Cycle>::max();
+
+/** Sentinel for an invalid sequence number. */
+inline constexpr SeqNum kSeqNone = std::numeric_limits<SeqNum>::max();
+
+/**
+ * Capacity value used to model the limit study's "effectively unlimited"
+ * structures.  Large enough that no experiment ever fills it, small enough
+ * that naive `std::vector(capacity)` allocations stay cheap.
+ */
+inline constexpr int kInfiniteSize = 1 << 20;
+
+/** True if a configured structure size means "unlimited". */
+inline constexpr bool
+isInfinite(int size)
+{
+    return size >= kInfiniteSize;
+}
+
+/** Cache block size used throughout the hierarchy (Table 1: 64B). */
+inline constexpr int kBlockBytes = 64;
+
+/** Block address (cache line granularity) of a byte address. */
+inline constexpr Addr
+blockAlign(Addr a)
+{
+    return a & ~static_cast<Addr>(kBlockBytes - 1);
+}
+
+} // namespace ltp
+
+#endif // LTP_COMMON_TYPES_HH

@@ -1,0 +1,84 @@
+#include "cpu/branch_pred.hh"
+
+#include "common/logging.hh"
+
+namespace ltp {
+
+BranchPredictor::BranchPredictor(int table_bits, int btb_entries)
+    : counters_(std::size_t(1) << table_bits, 1),
+      btb_(btb_entries),
+      table_bits_(table_bits)
+{
+    sim_assert(table_bits > 0 && table_bits < 28 && btb_entries > 0);
+}
+
+std::size_t
+BranchPredictor::index(Addr pc) const
+{
+    std::uint64_t mask = (std::uint64_t(1) << table_bits_) - 1;
+    return ((pc >> 2) ^ history_) & mask;
+}
+
+bool
+BranchPredictor::predict(Addr pc, bool actual_taken, Addr actual_target)
+{
+    lookups++;
+    std::size_t idx = index(pc);
+    bool pred_taken = counters_[idx] >= 2;
+
+    bool correct = pred_taken == actual_taken;
+    if (correct && actual_taken) {
+        // Direction right, but the front end also needs the target.
+        const BtbEntry &e = btb_[(pc >> 2) % btb_.size()];
+        if (!e.valid || e.pc != pc || e.target != actual_target)
+            correct = false;
+    }
+    if (!correct)
+        mispredicts++;
+
+    // Train the entry that produced the prediction.  Training at
+    // prediction time (rather than at resolve) is exact here because
+    // the trace carries the correct-path outcome; the timing of the
+    // *penalty* is what the core models.
+    trainEntry(idx, pc, actual_taken, actual_target);
+
+    // Trace-driven: history tracks the actual (correct-path) outcome.
+    history_ = (history_ << 1) | (actual_taken ? 1 : 0);
+    return correct;
+}
+
+void
+BranchPredictor::trainEntry(std::size_t idx, Addr pc, bool taken,
+                            Addr target)
+{
+    std::uint8_t &ctr = counters_[idx];
+    if (taken) {
+        if (ctr < 3)
+            ctr++;
+    } else {
+        if (ctr > 0)
+            ctr--;
+    }
+    if (taken) {
+        BtbEntry &e = btb_[(pc >> 2) % btb_.size()];
+        e.pc = pc;
+        e.target = target;
+        e.valid = true;
+    }
+}
+
+void
+BranchPredictor::update(Addr pc, bool taken, Addr target)
+{
+    trainEntry(index(pc), pc, taken, target);
+}
+
+double
+BranchPredictor::accuracy() const
+{
+    return lookups.value()
+               ? 1.0 - double(mispredicts.value()) / lookups.value()
+               : 1.0;
+}
+
+} // namespace ltp

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Front-end branch prediction: gshare direction predictor + BTB.
+ *
+ * Trace-driven convention: the trace contains only the correct path, so
+ * a misprediction is modelled as a fetch break — fetch stalls after the
+ * mispredicted branch until it resolves plus a redirect penalty.  The
+ * global history is updated with the actual outcome at predict time
+ * (the fetched stream *is* the correct path), while the pattern tables
+ * train normally; DESIGN.md documents this standard approximation.
+ */
+
+#ifndef LTP_CPU_BRANCH_PRED_HH
+#define LTP_CPU_BRANCH_PRED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace ltp {
+
+/** gshare + BTB front-end predictor. */
+class BranchPredictor
+{
+  public:
+    /**
+     * @param table_bits log2 of the gshare pattern table size
+     * @param btb_entries direct-mapped BTB capacity
+     */
+    BranchPredictor(int table_bits = 14, int btb_entries = 4096);
+
+    /**
+     * Predict the branch at @p pc; compares against the trace-resolved
+     * outcome and returns true if the prediction (direction and, for
+     * taken branches, BTB target) is correct.
+     */
+    bool predict(Addr pc, bool actual_taken, Addr actual_target);
+
+    /** Explicitly train the tables (predict() already self-trains). */
+    void update(Addr pc, bool taken, Addr target);
+
+    double accuracy() const;
+
+    Counter lookups;
+    Counter mispredicts;
+
+  private:
+    std::size_t index(Addr pc) const;
+    void trainEntry(std::size_t idx, Addr pc, bool taken, Addr target);
+
+    std::vector<std::uint8_t> counters_; ///< 2-bit saturating
+    struct BtbEntry
+    {
+        Addr pc = 0;
+        Addr target = 0;
+        bool valid = false;
+    };
+    std::vector<BtbEntry> btb_;
+    std::uint64_t history_ = 0;
+    int table_bits_;
+};
+
+} // namespace ltp
+
+#endif // LTP_CPU_BRANCH_PRED_HH

@@ -1,0 +1,998 @@
+#include "cpu/core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ltp {
+
+namespace {
+
+/** In-flight instruction pool size: must exceed ROB + front end + SQ
+ *  drain backlog by a wide margin so slots are never live on reuse. */
+constexpr std::size_t kPoolSize = 8192;
+
+} // namespace
+
+const char *
+ltpModeName(LtpMode mode)
+{
+    switch (mode) {
+      case LtpMode::Off: return "off";
+      case LtpMode::NU: return "NU";
+      case LtpMode::NR: return "NR";
+      case LtpMode::NRNU: return "NR+NU";
+    }
+    return "?";
+}
+
+void
+CoreStats::reset()
+{
+    *this = CoreStats{};
+}
+
+Core::Core(const CoreConfig &cfg, MemSystem &mem, InstSource &source,
+           const OracleClassification *oracle)
+    : cfg_(cfg),
+      mem_(mem),
+      source_(source),
+      oracle_(oracle),
+      bpred_(cfg.bpTableBits, cfg.btbEntries),
+      ltp_rat_(4 * (std::min(cfg.ltp.entries, cfg.robSize) + cfg.robSize)),
+      int_regs_(cfg.intRegs,
+                cfg.ltp.mode != LtpMode::Off ? cfg.ltp.reservedRegs : 0),
+      fp_regs_(cfg.fpRegs,
+               cfg.ltp.mode != LtpMode::Off ? cfg.ltp.reservedRegs : 0),
+      rob_(cfg.robSize),
+      iq_(cfg.iqSize),
+      lsq_(cfg.lqSize, cfg.sqSize,
+           cfg.ltp.mode != LtpMode::Off && cfg.ltp.delayLqSq
+               ? cfg.ltp.reservedLqSq : 0,
+           cfg.ltp.mode != LtpMode::Off && cfg.ltp.delayLqSq
+               ? cfg.ltp.reservedLqSq : 0),
+      fu_(cfg.fu),
+      ltp_(cfg.ltp.entries, cfg.ltp.insertPorts, cfg.ltp.extractPorts),
+      uit_(cfg.ltp.uitEntries, cfg.ltp.uitAssoc),
+      llpred_(),
+      tickets_(cfg.ltp.numTickets),
+      monitor_(cfg.ltp.useMonitor, mem.dramLatency()),
+      pool_(kPoolSize),
+      pool_gen_(kPoolSize, 0)
+{
+    if (cfg.ltp.classifier == ClassifierKind::Oracle && !oracle_)
+        fatal("oracle classifier selected but no oracle provided");
+    ticket_epoch_.assign(tickets_.capacity(), 0);
+}
+
+bool
+Core::ltpOn() const
+{
+    return cfg_.ltp.mode != LtpMode::Off && monitor_.enabled(now_);
+}
+
+// ---------------------------------------------------------------------
+// Instruction pool
+
+DynInst *
+Core::slotFor(SeqNum seq)
+{
+    return &pool_[seq % kPoolSize];
+}
+
+DynInst *
+Core::allocInst(const MicroOp &op, SeqNum seq)
+{
+    DynInst *inst = slotFor(seq);
+    sim_assert(inst->seq == kSeqNone || inst->committed ||
+               inst->squashed);
+    sim_assert(!inst->inIq && !inst->inLtp && !inst->inLq && !inst->inSq);
+    pool_gen_[seq % kPoolSize] += 1;
+    inst->init(op, seq, now_);
+    return inst;
+}
+
+bool
+Core::eventInstValid(SeqNum seq, std::uint64_t gen) const
+{
+    const DynInst &inst = pool_[seq % kPoolSize];
+    return inst.seq == seq && pool_gen_[seq % kPoolSize] == gen &&
+           !inst.squashed;
+}
+
+// ---------------------------------------------------------------------
+// Event scheduling
+
+void
+Core::scheduleCompletion(DynInst *inst, Cycle when)
+{
+    sim_assert(when >= now_);
+    completions_.push(
+        CompletionEv{when, inst->seq, pool_gen_[inst->seq % kPoolSize]});
+}
+
+void
+Core::scheduleTicketClear(int ticket, Cycle when)
+{
+    ticket_events_.push(TicketEv{when, ticket, ticket_epoch_[ticket]});
+}
+
+void
+Core::processTicketEvents()
+{
+    while (!ticket_events_.empty() && ticket_events_.top().when <= now_) {
+        TicketEv ev = ticket_events_.top();
+        ticket_events_.pop();
+        if (ticket_epoch_[ev.ticket] == ev.epoch)
+            tickets_.clearPending(ev.ticket);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Writeback
+
+void
+Core::completeInst(DynInst *inst)
+{
+    sim_assert(!inst->completed);
+    inst->completed = true;
+    inst->executed = true;
+    inst->completeCycle = now_;
+    stats_.wbWrites++;
+
+    if (inst->dstPhys >= 0) {
+        regs(inst->dstClass()).setReady(inst->dstPhys);
+        stats_.rfWrites++;
+    }
+
+    // A store's data is now staged: re-disambiguate loads that waited.
+    if (inst->op.isStore()) {
+        scratch_loads_.clear();
+        lsq_.collectLoadsWaitingOn(inst->seq, scratch_loads_);
+        for (DynInst *ld : scratch_loads_) {
+            ld->waitingOnStore = false;
+            ld->waitStoreSeq = kSeqNone;
+            executeLoad(ld, now_);
+        }
+    }
+
+    // Resolved the branch the front end was blocked on?
+    if (fetch_blocked_on_ == inst->seq) {
+        fetch_blocked_on_ = kSeqNone;
+        fetch_resume_at_ = now_ + cfg_.redirectPenalty;
+    }
+
+    ll_inflight_.erase(inst->seq);
+}
+
+void
+Core::writeback()
+{
+    int budget = cfg_.wbWidth;
+    while (budget > 0 && !completions_.empty() &&
+           completions_.top().when <= now_) {
+        CompletionEv ev = completions_.top();
+        completions_.pop();
+        if (!eventInstValid(ev.seq, ev.gen))
+            continue;
+        completeInst(slotFor(ev.seq));
+        budget -= 1;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Commit
+
+void
+Core::commit()
+{
+    bool learned = cfg_.ltp.classifier == ClassifierKind::Learned;
+
+    for (int i = 0; i < cfg_.commitWidth; ++i) {
+        DynInst *head = rob_.head();
+        if (!head)
+            break;
+        if (head->inLtp) {
+            // Forced unpark will handle it this cycle (Section 5.4).
+            stats_.commitStallOther++;
+            break;
+        }
+        if (!head->completed) {
+            if (head->op.isLoad())
+                stats_.commitStallLoad++;
+            else
+                stats_.commitStallOther++;
+            break;
+        }
+
+        // Free the previous mapping of the destination register.
+        switch (head->prevMap.kind) {
+          case PrevMapping::Kind::Phys:
+            regs(head->dstClass()).release(head->prevMap.idx, now_);
+            break;
+          case PrevMapping::Kind::Ltp: {
+            std::int32_t phys = ltp_rat_.lookup(head->prevMap.idx);
+            sim_assert(phys >= 0);
+            regs(head->dstClass()).release(phys, now_);
+            ltp_rat_.release(head->prevMap.idx);
+            break;
+          }
+          case PrevMapping::Kind::None:
+            break;
+        }
+
+        // LTP learning (Section 5.2): long-latency loads seed the UIT;
+        // the hit/miss predictor trains on every load outcome.
+        if (head->op.isLoad() && cfg_.ltp.mode != LtpMode::Off &&
+            learned) {
+            llpred_.update(head->op.pc, head->actualLL);
+            if (head->actualLL)
+                uit_.insert(head->op.pc);
+        }
+
+        if (head->ownTicket >= 0) {
+            ticket_epoch_[head->ownTicket] += 1;
+            tickets_.release(head->ownTicket);
+        }
+
+        if (head->op.isLoad() && head->inLq)
+            lsq_.removeLoad(head, now_);
+
+        head->committed = true;
+        rob_.popHead(now_);
+        stats_.committed++;
+        source_.retire(head->seq);
+    }
+}
+
+// ---------------------------------------------------------------------
+// LTP wakeup (Sections 3.2, 5.2, 5.4, Appendix A)
+
+SeqNum
+Core::nuWakeupBoundary() const
+{
+    switch (cfg_.ltp.wakeup) {
+      case WakeupPolicy::Eager:
+        return kSeqNone; // everything is always "in the window"
+      case WakeupPolicy::Lazy:
+        return 0; // nothing qualifies; forced/pressure paths only
+      case WakeupPolicy::RobProximity:
+        break;
+    }
+    // Wake everything older than the *second* long-latency instruction
+    // in the ROB: when the blocking (first) one finishes, all of it can
+    // retire in a burst.
+    if (ll_inflight_.size() < 2)
+        return kSeqNone; // unbounded
+    auto it = ll_inflight_.begin();
+    ++it;
+    return *it;
+}
+
+bool
+Core::tryUnpark(DynInst *inst, bool forced)
+{
+    // Sources produced by still-parked instructions cannot be resolved.
+    std::int32_t resolved[kMaxSrcs];
+    for (int i = 0; i < kMaxSrcs; ++i) {
+        resolved[i] = -1;
+        if (inst->srcs[i].isLtp()) {
+            resolved[i] = ltp_rat_.lookup(inst->srcs[i].ltpId);
+            if (resolved[i] < 0)
+                return false;
+        }
+    }
+
+    if (forced ? !iq_.hasEmergencySpace() : !iq_.hasSpace())
+        return false;
+
+    std::int32_t dst = -1;
+    if (inst->hasDst()) {
+        dst = regs(inst->dstClass())
+                  .allocate(forced ? AllocPriority::Forced
+                                   : AllocPriority::Unpark,
+                            now_);
+        if (dst < 0)
+            return false;
+    }
+
+    // Late LQ/SQ allocation (limit study).
+    bool need_lq = cfg_.ltp.delayLqSq && inst->op.isLoad();
+    bool need_sq = cfg_.ltp.delayLqSq && inst->op.isStore();
+    if ((need_lq && !lsq_.lqHasSpace(true)) ||
+        (need_sq && !lsq_.sqHasSpace(true))) {
+        if (dst >= 0)
+            regs(inst->dstClass()).release(dst, now_);
+        return false;
+    }
+
+    // ---- commit the unpark ----
+    for (int i = 0; i < kMaxSrcs; ++i) {
+        if (inst->srcs[i].isLtp()) {
+            inst->srcs[i].phys = resolved[i];
+            inst->srcs[i].ltpId = -1;
+        }
+    }
+    if (dst >= 0) {
+        inst->dstPhys = dst;
+        ltp_rat_.resolve(inst->ltpId, dst);
+        // If no younger writer renamed the register since, clear the
+        // Parked bit so future consumers need not park.  The mapping
+        // itself stays Ltp(id): readSrc() resolves it through RAT_LTP,
+        // and the id is released when the next writer commits — the
+        // same lifetime as the physical register it now names.
+        RatEntry &e = rat_[inst->op.dst];
+        if (e.map.kind == PrevMapping::Kind::Ltp &&
+            e.map.idx == inst->ltpId)
+            e.parked = false;
+    }
+    if (need_lq)
+        lsq_.insertLoad(inst, now_);
+    if (need_sq) {
+        lsq_.removeShadowStore(inst);
+        lsq_.insertStore(inst, now_);
+    }
+
+    iq_.insert(inst, now_, forced && !iq_.hasSpace());
+    inst->earliestIssue = now_ + 1;
+    inst->unparkCycle = now_;
+    stats_.unparked++;
+    return true;
+}
+
+void
+Core::ltpWakeup()
+{
+    if (cfg_.ltp.mode == LtpMode::Off || ltp_.empty())
+        return;
+
+    // 1) Forced: a parked ROB head must leave immediately or nothing
+    //    can ever commit again (Section 5.4).
+    DynInst *head = rob_.head();
+    if (head && head->inLtp) {
+        sim_assert(ltp_.front() == head);
+        if (ltp_.canExtract() && tryUnpark(head, /*forced=*/true)) {
+            ltp_.popFront(now_);
+            stats_.forcedUnparks++;
+        }
+    }
+
+    // 2) Pressure: rename starved for a committed-freed resource last
+    //    cycle; draining the oldest parked instruction frees resources
+    //    at its commit.
+    if (rename_pressure_ && !ltp_.empty() && ltp_.canExtract()) {
+        DynInst *front = ltp_.front();
+        if (tryUnpark(front, /*forced=*/false)) {
+            ltp_.popFront(now_);
+            stats_.pressureUnparks++;
+        }
+    }
+    rename_pressure_ = false;
+
+    // 3) Policy wakeup.
+    SeqNum boundary = nuWakeupBoundary();
+    LtpMode mode = cfg_.ltp.mode;
+
+    if (mode == LtpMode::NU) {
+        // Strict FIFO: eligibility is monotone in seq, so head-only
+        // extraction loses nothing.
+        while (ltp_.canExtract() && !ltp_.empty()) {
+            DynInst *front = ltp_.front();
+            if (boundary != kSeqNone && front->seq >= boundary)
+                break;
+            if (!tryUnpark(front, false))
+                break;
+            ltp_.popFront(now_);
+            stats_.boundaryUnparks++;
+        }
+        return;
+    }
+
+    // NR and NR+NU: CAM-style extraction, oldest first.
+    scratch_select_.clear();
+    auto &selected = scratch_select_;
+    ltp_.forEach([&](DynInst *inst) {
+        if (!ltp_.canExtract() ||
+            static_cast<int>(selected.size()) >= cfg_.ltp.extractPorts)
+            return;
+        bool tickets_clear = !tickets_.liveSubset(inst->tickets).any();
+        bool in_window = boundary == kSeqNone || inst->seq < boundary;
+        bool eligible;
+        if (mode == LtpMode::NR) {
+            eligible = tickets_clear;
+        } else { // NRNU
+            if (inst->urgent) {
+                eligible = tickets_clear; // U+NR: leave the moment ready
+            } else if (inst->nonReady) {
+                eligible = tickets_clear && in_window; // NU+NR
+            } else {
+                eligible = in_window; // NU+R
+            }
+        }
+        if (eligible && static_cast<int>(selected.size()) <
+                            cfg_.ltp.extractPorts)
+            selected.push_back(inst);
+    });
+    for (DynInst *inst : selected) {
+        if (!ltp_.canExtract())
+            break;
+        if (tryUnpark(inst, false)) {
+            ltp_.remove(inst, now_);
+            if (!tickets_.liveSubset(inst->tickets).any() &&
+                inst->nonReady)
+                stats_.ticketUnparks++;
+            else
+                stats_.boundaryUnparks++;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rename / dispatch
+
+SrcRef
+Core::readSrc(RegId reg) const
+{
+    const RatEntry &e = rat_[reg];
+    SrcRef ref;
+    ref.cls = reg.regClass();
+    switch (e.map.kind) {
+      case PrevMapping::Kind::None:
+        break; // architectural base copy: always ready
+      case PrevMapping::Kind::Phys:
+        ref.phys = e.map.idx;
+        break;
+      case PrevMapping::Kind::Ltp: {
+        // The producer may have unparked without repointing the RAT
+        // (a younger writer took over the mapping cannot happen here —
+        // this *is* the current mapping), resolve eagerly if possible.
+        std::int32_t phys = ltp_rat_.lookup(e.map.idx);
+        if (phys >= 0)
+            ref.phys = phys;
+        else
+            ref.ltpId = e.map.idx;
+        break;
+      }
+    }
+    return ref;
+}
+
+Core::Classification
+Core::classify(DynInst *inst)
+{
+    Classification c;
+    const MicroOp &op = inst->op;
+    bool on = ltpOn();
+
+    // Table lookups happen once per instruction (when its group first
+    // reaches rename); stall retries reuse the memoized answer.
+    if (!inst->classified) {
+        if (cfg_.ltp.classifier == ClassifierKind::Oracle) {
+            inst->urgent = oracle_->urgent(inst->seq);
+            inst->predictedLL = oracle_->longLatency(inst->seq);
+            inst->classified = true;
+        } else if (on) {
+            inst->urgent = uit_.lookup(op.pc);
+            // The hit/miss prediction also feeds the ROB long-latency
+            // tracking the Non-Urgent wakeup boundary needs, so it runs
+            // in every LTP mode.
+            if (op.isLoad())
+                inst->predictedLL = llpred_.predictLong(op.pc);
+            inst->classified = true;
+        } else {
+            // LTP powered off: nothing parks, so skip the lookups and
+            // treat the instruction as urgent *without* memoizing —
+            // a placeholder must never feed backward propagation.
+            inst->urgent = true;
+        }
+        if (isFixedLongLat(op.opc))
+            inst->predictedLL = true;
+        if (inst->classified && inst->urgent)
+            stats_.classUrgent++;
+    }
+    c.urgent = inst->urgent;
+    c.predictedLL = inst->predictedLL;
+
+    // Ticket inheritance: union of live source tickets (Appendix A).
+    // Recomputed on retries — tickets may have cleared while stalled.
+    for (const auto &src : op.srcs)
+        if (src.valid())
+            c.tickets.orWith(rat_[src].tickets);
+    c.tickets = tickets_.liveSubset(c.tickets);
+    c.nonReady = c.tickets.any();
+
+    switch (cfg_.ltp.mode) {
+      case LtpMode::Off:
+        c.parkEligible = false;
+        break;
+      case LtpMode::NU:
+        c.parkEligible = !c.urgent;
+        break;
+      case LtpMode::NR:
+        c.parkEligible = c.nonReady;
+        break;
+      case LtpMode::NRNU:
+        c.parkEligible = !c.urgent || c.nonReady;
+        break;
+    }
+    return c;
+}
+
+bool
+Core::renameOne(DynInst *inst)
+{
+    const MicroOp &op = inst->op;
+    rename_stall_commit_freed_ = false;
+
+    // A ROB-full stall is *not* a pressure trigger: parked instructions
+    // keep their ROB entries (Section 3), so draining the LTP cannot
+    // free ROB space — the forced unpark of a parked ROB head is the
+    // rule that guarantees progress there.
+    if (rob_.full()) {
+        stats_.renameStallRob++;
+        return false;
+    }
+
+    Classification cls = classify(inst);
+
+    bool src_parked = false;
+    for (const auto &src : op.srcs)
+        if (src.valid() && rat_[src].parked)
+            src_parked = true;
+
+    bool on = ltpOn();
+    bool must_park = src_parked; // no physical source to wait on
+    bool park = must_park || (on && cls.parkEligible);
+    if (!on && cls.parkEligible)
+        stats_.parkSkippedOff++;
+
+    if (park) {
+        bool ltp_ok = ltp_.canInsert() &&
+                      (!inst->hasDst() || ltp_rat_.availableCount() > 0);
+        if (!ltp_ok) {
+            if (must_park) {
+                stats_.renameStallLtp++;
+                ltp_.fullStalls++;
+                rename_stall_commit_freed_ = true;
+                return false;
+            }
+            park = false;
+        }
+    }
+
+    if (!park) {
+        if (!iq_.hasSpace()) {
+            stats_.renameStallIq++;
+            return false;
+        }
+        if (inst->hasDst() &&
+            regs(inst->dstClass()).freeFor(AllocPriority::Rename) <= 0) {
+            stats_.renameStallRegs++;
+            return false;
+        }
+    }
+
+    bool delay = cfg_.ltp.delayLqSq;
+    bool need_lq = op.isLoad() && !(park && delay);
+    bool need_sq = op.isStore() && !(park && delay);
+    if (need_lq && !lsq_.lqHasSpace(false)) {
+        stats_.renameStallLq++;
+        return false;
+    }
+    if (need_sq && !lsq_.sqHasSpace(false)) {
+        stats_.renameStallSq++;
+        return false;
+    }
+
+    // ---- all checks passed: perform the rename ----
+    inst->nonReady = cls.nonReady;
+    inst->tickets = cls.tickets;
+    if (cls.nonReady)
+        stats_.classNonReady++;
+
+    // Read sources (and their producer PCs) before touching the RAT:
+    // an instruction may read and write the same architectural register.
+    Addr producer_pcs[kMaxSrcs] = {0, 0, 0};
+    for (int i = 0; i < kMaxSrcs; ++i) {
+        if (op.srcs[i].valid()) {
+            inst->srcs[i] = readSrc(op.srcs[i]);
+            producer_pcs[i] = rat_[op.srcs[i]].producerPc;
+        }
+    }
+
+    // Backward urgency propagation (Section 5.2, step 2).
+    if (cfg_.ltp.classifier == ClassifierKind::Learned && cls.urgent &&
+        on) {
+        for (Addr ppc : producer_pcs)
+            if (ppc != 0)
+                uit_.insert(ppc);
+    }
+
+    // Own ticket for predicted long-latency instructions.
+    bool tickets_enabled = cfg_.ltp.mode == LtpMode::NR ||
+                           cfg_.ltp.mode == LtpMode::NRNU;
+    TicketMask dst_tickets = cls.tickets;
+    if (tickets_enabled && cls.predictedLL) {
+        int t = tickets_.allocate();
+        if (t >= 0) {
+            ticket_epoch_[t] += 1;
+            inst->ownTicket = t;
+            dst_tickets.reset();
+            dst_tickets.set(t);
+        }
+    }
+
+    // Destination rename.
+    if (inst->hasDst()) {
+        RatEntry &e = rat_[op.dst];
+        inst->prevMap = e.map;
+        inst->prevProducerPc = e.producerPc;
+        inst->prevParkedBit = e.parked;
+        inst->prevTickets = e.tickets;
+
+        if (park) {
+            inst->ltpId = ltp_rat_.allocate();
+            sim_assert(inst->ltpId >= 0);
+            e.map = PrevMapping{PrevMapping::Kind::Ltp, inst->ltpId};
+            e.parked = true;
+        } else {
+            inst->dstPhys =
+                regs(inst->dstClass()).allocate(AllocPriority::Rename,
+                                                now_);
+            sim_assert(inst->dstPhys >= 0);
+            e.map = PrevMapping{PrevMapping::Kind::Phys, inst->dstPhys};
+            e.parked = false;
+        }
+        e.producerPc = op.pc;
+        e.tickets = dst_tickets;
+    }
+
+    rob_.push(inst, now_);
+    if (need_lq)
+        lsq_.insertLoad(inst, now_);
+    if (need_sq)
+        lsq_.insertStore(inst, now_);
+    if (park && delay && op.isStore())
+        lsq_.addShadowStore(inst);
+
+    if (park) {
+        ltp_.push(inst, now_);
+        inst->parked = true;
+        stats_.parked++;
+    } else {
+        iq_.insert(inst, now_);
+    }
+
+    if (inst->predictedLL)
+        ll_inflight_.insert(inst->seq);
+
+    inst->dispatched = true;
+    inst->renameCycle = now_;
+    inst->earliestIssue = now_ + 1;
+    return true;
+}
+
+void
+Core::rename()
+{
+    int budget = cfg_.renameWidth;
+    while (budget > 0 && !front_queue_.empty()) {
+        FrontEntry &fe = front_queue_.front();
+        if (fe.readyAt > now_)
+            break;
+        if (!renameOne(fe.inst)) {
+            // Commit-freed resource stall: nudge the LTP to drain so
+            // the oldest parked instruction can commit (Section 5.4).
+            if (rename_stall_commit_freed_ && !ltp_.empty())
+                rename_pressure_ = true;
+            break;
+        }
+        front_queue_.pop_front();
+        budget -= 1;
+        stats_.renamed++;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Execute
+
+bool
+Core::srcsReady(const DynInst *inst) const
+{
+    for (const auto &src : inst->srcs) {
+        if (src.isLtp())
+            panic("unresolved LTP source in the IQ (seq %llu)",
+                  static_cast<unsigned long long>(inst->seq));
+        if (src.isPhys() &&
+            !const_cast<Core *>(this)->regs(src.cls).ready(src.phys))
+            return false;
+    }
+    return true;
+}
+
+void
+Core::executeLoad(DynInst *inst, Cycle now)
+{
+    DynInst *conflict = lsq_.olderStoreConflict(inst);
+    if (conflict && !conflict->executed) {
+        // Exact-address (oracle) disambiguation: wait for the store's
+        // data instead of speculating and squashing.
+        inst->waitingOnStore = true;
+        inst->waitStoreSeq = conflict->seq;
+        return;
+    }
+    if (conflict) {
+        // Store-to-load forwarding out of the SQ.
+        lsq_.forwards++;
+        inst->memLevel = HitLevel::L1;
+        Cycle ready = now + mem_.l1d().hitLatency();
+        scheduleCompletion(inst, ready);
+        if (inst->ownTicket >= 0)
+            scheduleTicketClear(inst->ownTicket, ready);
+        return;
+    }
+
+    auto res = mem_.access(inst->op.pc, inst->op.effAddr, false, now);
+    if (!res) {
+        retry_events_.push(RetryEv{now + 1, inst->seq,
+                                   pool_gen_[inst->seq % kPoolSize]});
+        return;
+    }
+    inst->memLevel = res->level;
+    inst->actualLL = mem_.isLongLatency(*res, now);
+    if (inst->actualLL)
+        ll_inflight_.insert(inst->seq);
+    if (res->level == HitLevel::Dram)
+        monitor_.onDramDemandMiss(now);
+    scheduleCompletion(inst, res->dataReady);
+    if (inst->ownTicket >= 0)
+        scheduleTicketClear(inst->ownTicket, res->earlyWakeup);
+}
+
+void
+Core::execute()
+{
+    // Load retries first (they were selected in an earlier cycle).
+    while (!retry_events_.empty() && retry_events_.top().when <= now_) {
+        RetryEv ev = retry_events_.top();
+        retry_events_.pop();
+        if (!eventInstValid(ev.seq, ev.gen))
+            continue;
+        DynInst *inst = slotFor(ev.seq);
+        if (!inst->completed && !inst->waitingOnStore)
+            executeLoad(inst, now_);
+    }
+
+    int budget = cfg_.issueWidth;
+    scratch_select_.clear();
+    auto &selected = scratch_select_;
+    iq_.forEachInOrder([&](DynInst *inst) {
+        if (budget <= 0)
+            return;
+        if (inst->earliestIssue > now_)
+            return;
+        if (!srcsReady(inst))
+            return;
+        if (!fu_.canIssue(inst->op.opc, now_))
+            return;
+        fu_.issue(inst->op.opc, now_);
+        selected.push_back(inst);
+        budget -= 1;
+    });
+
+    for (DynInst *inst : selected) {
+        iq_.remove(inst, now_);
+        inst->issued = true;
+        inst->issueCycle = now_;
+        stats_.iqIssued++;
+        for (const auto &src : inst->srcs)
+            if (src.isPhys())
+                stats_.rfReads++;
+
+        const MicroOp &op = inst->op;
+        if (op.isLoad()) {
+            stats_.loadsExecuted++;
+            executeLoad(inst, now_);
+        } else if (op.isStore()) {
+            stats_.storesExecuted++;
+            scheduleCompletion(inst, now_ + 1);
+        } else {
+            int lat = opInfo(op.opc).latency;
+            Cycle done = now_ + lat;
+            scheduleCompletion(inst, done);
+            if (inst->ownTicket >= 0) {
+                Cycle lead = std::min<Cycle>(done - now_, 8);
+                scheduleTicketClear(inst->ownTicket, done - lead);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Store drain (post-commit)
+
+void
+Core::drainStores()
+{
+    for (int i = 0; i < cfg_.sqDrainWidth; ++i) {
+        DynInst *st = lsq_.oldestDrainableStore();
+        if (!st)
+            break;
+        auto res = mem_.access(st->op.pc, st->op.effAddr, true, now_);
+        if (!res)
+            break; // MSHRs full: retry next cycle
+        lsq_.removeStore(st, now_);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fetch
+
+void
+Core::fetch()
+{
+    if (!fetch_enabled_ || fetch_blocked_on_ != kSeqNone ||
+        now_ < fetch_resume_at_)
+        return;
+
+    int budget = cfg_.fetchWidth;
+    while (budget > 0 &&
+           static_cast<int>(front_queue_.size()) < cfg_.fetchQueueCap) {
+        MicroOp op = source_.fetch(next_fetch_seq_);
+
+        MemAccessResult fr = mem_.fetchAccess(op.pc, now_);
+        if (fr.dataReady > now_ + mem_.l1i().hitLatency()) {
+            fetch_resume_at_ = fr.dataReady; // I-cache miss
+            break;
+        }
+
+        DynInst *inst = allocInst(op, next_fetch_seq_);
+        next_fetch_seq_ += 1;
+        stats_.fetched++;
+
+        bool fetch_break = false;
+        if (op.isBranch()) {
+            bool correct = bpred_.predict(op.pc, op.taken, op.target);
+            if (!correct) {
+                inst->mispredicted = true;
+                fetch_blocked_on_ = inst->seq;
+                fetch_break = true;
+            } else if (op.taken) {
+                fetch_break = true; // taken branch ends the fetch group
+            }
+        }
+
+        front_queue_.push_back(
+            FrontEntry{inst, now_ + cfg_.frontendDepth});
+        budget -= 1;
+        if (fetch_break)
+            break;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Squash (memory-order violations; exercised by the store-set mode and
+// by tests — the default oracle disambiguation never violates)
+
+void
+Core::squashAfter(SeqNum keep)
+{
+    stats_.squashes++;
+
+    rob_.squashYoungerThan(keep, now_, [&](DynInst *inst) {
+        if (inst->hasDst()) {
+            RatEntry &e = rat_[inst->op.dst];
+            e.map = inst->prevMap;
+            e.producerPc = inst->prevProducerPc;
+            e.parked = inst->prevParkedBit;
+            e.tickets = inst->prevTickets;
+            if (inst->dstPhys >= 0)
+                regs(inst->dstClass()).release(inst->dstPhys, now_);
+            if (inst->ltpId >= 0)
+                ltp_rat_.release(inst->ltpId);
+        }
+        if (inst->ownTicket >= 0) {
+            ticket_epoch_[inst->ownTicket] += 1;
+            tickets_.release(inst->ownTicket);
+        }
+        ll_inflight_.erase(inst->seq);
+        inst->squashed = true;
+    });
+
+    iq_.squashYoungerThan(keep, now_);
+    lsq_.squashYoungerThan(keep, now_);
+    ltp_.squashYoungerThan(keep, now_);
+
+    while (!front_queue_.empty() &&
+           front_queue_.back().inst->seq > keep) {
+        front_queue_.back().inst->squashed = true;
+        front_queue_.pop_back();
+    }
+
+    if (next_fetch_seq_ > keep + 1)
+        next_fetch_seq_ = keep + 1;
+
+    if (fetch_blocked_on_ != kSeqNone && fetch_blocked_on_ > keep) {
+        fetch_blocked_on_ = kSeqNone;
+        fetch_resume_at_ = now_ + cfg_.redirectPenalty;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Top level
+
+void
+Core::tick()
+{
+    now_ += 1;
+    fu_.beginCycle();
+    ltp_.beginCycle(now_);
+
+    processTicketEvents();
+    writeback();
+    commit();
+    ltpWakeup();
+    rename();
+    execute();
+    drainStores();
+    fetch();
+
+    monitor_.tick(now_);
+}
+
+void
+Core::runUntilCommitted(std::uint64_t n, Cycle max_cycles)
+{
+    std::uint64_t last_committed = committedInsts();
+    Cycle last_progress = now_;
+    while (committedInsts() < n) {
+        tick();
+        if (committedInsts() != last_committed) {
+            last_committed = committedInsts();
+            last_progress = now_;
+        }
+        if (now_ - last_progress > 200000)
+            panic("no commit progress for 200k cycles at cycle %llu "
+                  "(likely deadlock; %llu committed)",
+                  static_cast<unsigned long long>(now_),
+                  static_cast<unsigned long long>(committedInsts()));
+        if (now_ >= max_cycles)
+            break;
+    }
+}
+
+void
+Core::drain()
+{
+    fetch_enabled_ = false;
+    Cycle start = now_;
+    while (!rob_.empty() || !front_queue_.empty()) {
+        tick();
+        if (now_ - start > 500000)
+            panic("drain did not converge");
+    }
+    fetch_enabled_ = true;
+}
+
+void
+Core::resetStats()
+{
+    stats_.reset();
+    iq_.inserts.reset();
+    iq_.occupancy.reset(now_);
+    rob_.occupancy.reset(now_);
+    lsq_.lqOccupancy.reset(now_);
+    lsq_.sqOccupancy.reset(now_);
+    lsq_.forwards.reset();
+    ltp_.resetStats(now_);
+    int_regs_.resetStats(now_);
+    fp_regs_.resetStats(now_);
+    uit_.resetStats();
+    llpred_.resetStats();
+    tickets_.resetStats();
+    monitor_.resetStats(now_);
+    bpred_.lookups.reset();
+    bpred_.mispredicts.reset();
+}
+
+} // namespace ltp

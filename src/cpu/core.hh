@@ -1,0 +1,350 @@
+/**
+ * @file
+ * The out-of-order core with integrated Long Term Parking.
+ *
+ * A cycle-driven model of the Table 1 machine: 8-wide fetch/decode/
+ * rename, 6-wide issue, 8-wide writeback/commit, ROB 256, IQ 64, LQ 64,
+ * SQ 32, 128 INT + 128 FP rename registers, gshare+BTB front end,
+ * backed by the src/mem hierarchy.
+ *
+ * LTP integration points (Figure 8):
+ *  - rename: UIT/oracle classification, parked-bit and ticket
+ *    propagation, park decision, LTP-id allocation;
+ *  - a wakeup stage ahead of rename (LTP-first register priority):
+ *    forced unpark of a parked ROB head, ROB-proximity Non-Urgent
+ *    wakeup, ticket-cleared Non-Ready wakeup;
+ *  - execute: long-latency detection, early-wakeup ticket clears,
+ *    DRAM-monitor arming;
+ *  - commit: UIT seeding from committed long-latency loads, hit/miss
+ *    predictor training, register/LTP-id freeing.
+ */
+
+#ifndef LTP_CPU_CORE_HH
+#define LTP_CPU_CORE_HH
+
+#include <memory>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "common/stats.hh"
+#include "cpu/branch_pred.hh"
+#include "cpu/dyn_inst.hh"
+#include "cpu/exec.hh"
+#include "cpu/iq.hh"
+#include "cpu/lsq.hh"
+#include "cpu/regfile.hh"
+#include "cpu/rename.hh"
+#include "cpu/rob.hh"
+#include "ltp/llpred.hh"
+#include "ltp/ltp_queue.hh"
+#include "ltp/monitor.hh"
+#include "ltp/oracle.hh"
+#include "ltp/tickets.hh"
+#include "ltp/uit.hh"
+#include "mem/mem_system.hh"
+
+namespace ltp {
+
+/** Which instruction classes LTP parks (Figure 6 curves). */
+enum class LtpMode { Off, NU, NR, NRNU };
+
+const char *ltpModeName(LtpMode mode);
+
+/** Classification source: learned hardware tables vs. the oracle. */
+enum class ClassifierKind { Learned, Oracle };
+
+/**
+ * Non-Urgent wakeup policy (ablation of the Section 3.2 design choice):
+ *  - RobProximity: the paper's policy — wake between the ROB head and
+ *    the second long-latency instruction.
+ *  - Eager: wake as soon as ports allow (parking barely holds).
+ *  - Lazy: only the deadlock machinery wakes instructions (forced head
+ *    unpark + resource pressure).
+ */
+enum class WakeupPolicy { RobProximity, Eager, Lazy };
+
+/** LTP-specific configuration. */
+struct LtpConfig
+{
+    LtpMode mode = LtpMode::Off;
+    ClassifierKind classifier = ClassifierKind::Learned;
+    int entries = 128;      ///< LTP queue capacity (Fig 10 sweep)
+    int insertPorts = 4;    ///< parks per cycle (Fig 10 sweep)
+    int extractPorts = 4;   ///< wakeups per cycle (Fig 10 sweep)
+    int uitEntries = 256;   ///< Section 5.6
+    int uitAssoc = 4;
+    int numTickets = 64;    ///< Appendix A / Fig 11 sweep
+    bool useMonitor = true; ///< DRAM-timer power gating (Section 5.2)
+    WakeupPolicy wakeup = WakeupPolicy::RobProximity;
+    bool delayLqSq = false; ///< limit-study late LQ/SQ allocation
+    int reservedRegs = 8;   ///< Section 5.4 deadlock reserve
+    int reservedLqSq = 4;   ///< only meaningful with delayLqSq
+};
+
+/** Full core configuration (defaults = Table 1 baseline). */
+struct CoreConfig
+{
+    int fetchWidth = 8;
+    int decodeWidth = 8;
+    int renameWidth = 8;
+    int issueWidth = 6;
+    int wbWidth = 8;
+    int commitWidth = 8;
+
+    int robSize = 256;
+    int iqSize = 64;
+    int lqSize = 64;
+    int sqSize = 32;
+    int intRegs = 128; ///< available (renameable) registers
+    int fpRegs = 128;
+
+    int frontendDepth = 3;   ///< fetch-to-rename latency
+    int fetchQueueCap = 64;
+    int redirectPenalty = 8; ///< extra cycles after branch resolve
+    int bpTableBits = 14;
+    int btbEntries = 4096;
+    int sqDrainWidth = 2;
+
+    FuConfig fu;
+    LtpConfig ltp;
+};
+
+/** Random-access trace source (supports squash rewind by seq). */
+class InstSource
+{
+  public:
+    virtual ~InstSource() = default;
+    /** The micro-op at trace position @p seq. */
+    virtual MicroOp fetch(SeqNum seq) = 0;
+    /** All seq <= @p upto are committed; storage may be trimmed. */
+    virtual void retire(SeqNum upto) { (void)upto; }
+};
+
+/** Behavioural counters exported by the core. */
+struct CoreStats
+{
+    Counter committed;
+    Counter fetched;
+    Counter renamed;
+    Counter parked;
+    Counter unparked;
+    Counter forcedUnparks;
+    Counter pressureUnparks;
+    Counter boundaryUnparks;
+    Counter ticketUnparks;
+
+    Counter iqIssued;
+    Counter wbWrites;   ///< completions (wakeup broadcasts)
+    Counter rfReads;    ///< operand reads at issue
+    Counter rfWrites;   ///< result writes
+
+    Counter loadsExecuted;
+    Counter storesExecuted;
+    Counter squashes;
+    Counter memViolations;
+
+    Counter classUrgent;
+    Counter classNonReady;
+    Counter parkSkippedOff; ///< monitor had LTP powered off
+
+    Counter renameStallRob;
+    Counter renameStallRegs;
+    Counter renameStallIq;
+    Counter renameStallLq;
+    Counter renameStallSq;
+    Counter renameStallLtp;
+    Counter commitStallLoad;
+    Counter commitStallOther;
+
+    void reset();
+};
+
+/** The OOO core. */
+class Core
+{
+  public:
+    /**
+     * @param oracle optional per-dynamic-instruction classification for
+     *               limit-study runs (ClassifierKind::Oracle).
+     */
+    Core(const CoreConfig &cfg, MemSystem &mem, InstSource &source,
+         const OracleClassification *oracle = nullptr);
+
+    /** Advance one cycle. */
+    void tick();
+
+    /** Run until @p n instructions have committed (or @p max_cycles). */
+    void runUntilCommitted(std::uint64_t n,
+                           Cycle max_cycles = kCycleNever);
+
+    /** Stop fetching and run until the window is empty (tests). */
+    void drain();
+
+    /**
+     * Squash every instruction younger than @p keep and rewind fetch.
+     * Exercised by memory-order-violation recovery and by tests.
+     */
+    void squashAfter(SeqNum keep);
+
+    /** Inspect the rename table (tests, classification inspector). */
+    const RatEntry &ratEntry(RegId r) const { return rat_[r]; }
+
+    Cycle cycle() const { return now_; }
+    std::uint64_t committedInsts() const { return stats_.committed.value(); }
+
+    /** Reset measurement state at the start of the detailed region. */
+    void resetStats();
+
+    /// @name Component access (tests, metrics extraction)
+    /// @{
+    CoreStats &stats() { return stats_; }
+    IssueQueue &iq() { return iq_; }
+    Rob &rob() { return rob_; }
+    Lsq &lsq() { return lsq_; }
+    LtpQueue &ltpQueue() { return ltp_; }
+    Uit &uit() { return uit_; }
+    TicketPool &tickets() { return tickets_; }
+    LoadLatencyPredictor &llpred() { return llpred_; }
+    LtpMonitor &monitor() { return monitor_; }
+    BranchPredictor &branchPred() { return bpred_; }
+    PhysRegFile &regs(RegClass cls)
+    {
+        return cls == RegClass::Int ? int_regs_ : fp_regs_;
+    }
+    const CoreConfig &config() const { return cfg_; }
+    /// @}
+
+  private:
+    // ---- pipeline stages (tick order) ----
+    void processTicketEvents();
+    void writeback();
+    void commit();
+    void ltpWakeup();
+    void rename();
+    void execute();
+    void drainStores();
+    void fetch();
+
+    // ---- helpers ----
+    DynInst *slotFor(SeqNum seq);
+    DynInst *allocInst(const MicroOp &op, SeqNum seq);
+    bool eventInstValid(SeqNum seq, std::uint64_t gen) const;
+
+    struct Classification
+    {
+        bool urgent = false;
+        bool nonReady = false;
+        bool predictedLL = false;
+        TicketMask tickets;
+        bool parkEligible = false; ///< class-based park wanted
+    };
+    Classification classify(DynInst *inst);
+
+    bool renameOne(DynInst *inst);
+    SrcRef readSrc(RegId reg) const;
+    bool srcsReady(const DynInst *inst) const;
+    bool tryUnpark(DynInst *inst, bool forced);
+    SeqNum nuWakeupBoundary() const;
+    void executeLoad(DynInst *inst, Cycle now);
+    void scheduleCompletion(DynInst *inst, Cycle when);
+    void scheduleTicketClear(int ticket, Cycle when);
+    void completeInst(DynInst *inst);
+    bool ltpOn() const;
+
+    // ---- configuration & wiring ----
+    CoreConfig cfg_;
+    MemSystem &mem_;
+    InstSource &source_;
+    const OracleClassification *oracle_;
+
+    // ---- time ----
+    Cycle now_ = 0;
+
+    // ---- front end ----
+    BranchPredictor bpred_;
+    struct FrontEntry
+    {
+        DynInst *inst;
+        Cycle readyAt;
+    };
+    std::deque<FrontEntry> front_queue_;
+    SeqNum next_fetch_seq_ = 0;
+    SeqNum fetch_blocked_on_ = kSeqNone; ///< unresolved mispredict
+    Cycle fetch_resume_at_ = 0;
+    bool fetch_enabled_ = true;
+
+    // ---- rename ----
+    RenameTable rat_;
+    LtpRat ltp_rat_;
+    PhysRegFile int_regs_;
+    PhysRegFile fp_regs_;
+
+    // ---- window ----
+    Rob rob_;
+    IssueQueue iq_;
+    Lsq lsq_;
+    FuPool fu_;
+
+    // ---- LTP ----
+    LtpQueue ltp_;
+    Uit uit_;
+    LoadLatencyPredictor llpred_;
+    TicketPool tickets_;
+    LtpMonitor monitor_;
+    std::set<SeqNum> ll_inflight_; ///< incomplete long-latency insts
+    bool rename_pressure_ = false; ///< resource-stall unpark trigger
+    /** Whether the last rename stall was on a *full LTP* with a
+     *  must-park instruction — the one stall that draining the LTP
+     *  relieves directly, and hence the only pressure trigger.
+     *  Register/LQ/SQ recovery is what the ROB-proximity wakeup
+     *  already provides (waking more than the about-to-commit region
+     *  early measurably wastes the registers parking saved), and a
+     *  parked ROB head is handled by the forced unpark. */
+    bool rename_stall_commit_freed_ = false;
+    std::vector<std::uint64_t> ticket_epoch_; ///< stale-event guard
+
+    // ---- events ----
+    /** Result-ready event (drained by writeback, width-limited). */
+    struct CompletionEv
+    {
+        Cycle when;
+        SeqNum seq;
+        std::uint64_t gen;
+        bool operator>(const CompletionEv &o) const { return when > o.when; }
+    };
+    /** Early-wakeup broadcast clearing a ticket (Appendix A). */
+    struct TicketEv
+    {
+        Cycle when;
+        int ticket;
+        std::uint64_t epoch; ///< guards against cleared-then-reused ids
+        bool operator>(const TicketEv &o) const { return when > o.when; }
+    };
+    /** Retry of a load whose L1D MSHR allocation failed. */
+    struct RetryEv
+    {
+        Cycle when;
+        SeqNum seq;
+        std::uint64_t gen;
+        bool operator>(const RetryEv &o) const { return when > o.when; }
+    };
+    template <typename T>
+    using MinHeap = std::priority_queue<T, std::vector<T>, std::greater<T>>;
+    MinHeap<CompletionEv> completions_;
+    MinHeap<TicketEv> ticket_events_;
+    MinHeap<RetryEv> retry_events_;
+
+    // ---- instruction pool ----
+    std::vector<DynInst> pool_;
+    std::vector<std::uint64_t> pool_gen_;
+
+    // ---- stats ----
+    CoreStats stats_;
+    std::vector<DynInst *> scratch_loads_;  ///< store-wake collection
+    std::vector<DynInst *> scratch_select_; ///< per-cycle select list
+};
+
+} // namespace ltp
+
+#endif // LTP_CPU_CORE_HH

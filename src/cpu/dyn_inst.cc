@@ -1,0 +1,21 @@
+#include "cpu/dyn_inst.hh"
+
+#include <sstream>
+
+namespace ltp {
+
+std::string
+DynInst::toString() const
+{
+    std::ostringstream os;
+    os << "#" << seq << " " << op.toString();
+    os << " [" << (urgent ? "U" : "NU") << "+" << (nonReady ? "NR" : "R")
+       << "]";
+    if (parked)
+        os << " parked";
+    if (completed)
+        os << " done";
+    return os.str();
+}
+
+} // namespace ltp

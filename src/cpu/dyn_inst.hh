@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The in-flight dynamic instruction record.
+ *
+ * One DynInst exists per fetched micro-op from fetch until commit (or
+ * squash).  It carries the renamed operands, LTP classification state
+ * (urgent / non-ready / parked, tickets, internal LTP register id), the
+ * saved previous RAT state of its destination (for rollback and for
+ * commit-time register freeing), and per-stage timestamps.
+ *
+ * Everything is inline: the LTP queue (src/ltp/ltp_queue.*) stores
+ * DynInst pointers without needing to link against the cpu library.
+ */
+
+#ifndef LTP_CPU_DYN_INST_HH
+#define LTP_CPU_DYN_INST_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "isa/microop.hh"
+#include "ltp/tickets.hh"
+#include "mem/mem_system.hh"
+
+namespace ltp {
+
+/**
+ * A renamed source operand.  Exactly one of three states:
+ *  - none:   no register source (slot unused)
+ *  - phys:   resolved physical register
+ *  - ltp id: the producer is parked; the physical register will be
+ *            looked up in the LTP RAT (RAT_LTP) when this instruction
+ *            leaves the LTP (Section 5.2 / Appendix A)
+ */
+struct SrcRef
+{
+    RegClass cls = RegClass::Int;
+    std::int32_t phys = -1;
+    std::int32_t ltpId = -1;
+
+    bool isNone() const { return phys < 0 && ltpId < 0; }
+    bool isPhys() const { return phys >= 0; }
+    bool isLtp() const { return ltpId >= 0; }
+};
+
+/** Saved previous RAT mapping of an instruction's destination. */
+struct PrevMapping
+{
+    enum class Kind : std::uint8_t { None, Phys, Ltp };
+    Kind kind = Kind::None;
+    std::int32_t idx = -1; ///< phys reg or LTP id, per kind
+};
+
+/** One in-flight dynamic instruction. */
+struct DynInst
+{
+    MicroOp op;
+    SeqNum seq = kSeqNone;
+
+    /// @name Classification (Section 2)
+    /// @{
+    bool classified = false;  ///< table lookups done (memoized: hardware
+                              ///< classifies once when the group enters
+                              ///< rename, not on every stall retry)
+    bool urgent = false;      ///< ancestor of a long-latency instruction
+    bool nonReady = false;    ///< descendant of one (live tickets)
+    bool predictedLL = false; ///< predicted long-latency at rename
+    bool actualLL = false;    ///< observed long-latency at execute
+    TicketMask tickets;       ///< live ticket dependences at rename
+    int ownTicket = -1;       ///< ticket allocated to this instruction
+    /// @}
+
+    /// @name Parking state
+    /// @{
+    bool parked = false; ///< went through LTP
+    bool inLtp = false;  ///< currently parked
+    int ltpId = -1;      ///< internal LTP register id for the dest
+    /// @}
+
+    /// @name Rename state
+    /// @{
+    SrcRef srcs[kMaxSrcs];
+    std::int32_t dstPhys = -1;
+    PrevMapping prevMap;      ///< what the dest arch reg mapped to before
+    Addr prevProducerPc = 0;  ///< RAT rollback: producer-PC extension
+    bool prevParkedBit = false;
+    TicketMask prevTickets;
+    /// @}
+
+    /// @name Structure indices
+    /// @{
+    bool inIq = false;
+    bool inLq = false;
+    bool inSq = false;
+    /// @}
+
+    /// @name Status
+    /// @{
+    bool dispatched = false;
+    bool issued = false;
+    bool executed = false;  ///< stores: address+data staged in the SQ
+    bool completed = false; ///< result available (loads: data arrived)
+    bool committed = false;
+    bool squashed = false;
+    bool mispredicted = false; ///< branch direction/target mispredict
+    /// @}
+
+    /// @name Memory state
+    /// @{
+    bool waitingOnStore = false;
+    SeqNum waitStoreSeq = kSeqNone;
+    HitLevel memLevel = HitLevel::L1;
+    /// @}
+
+    /// @name Timing
+    /// @{
+    Cycle fetchCycle = 0;
+    Cycle renameCycle = 0;
+    Cycle earliestIssue = 0;
+    Cycle issueCycle = 0;
+    Cycle completeCycle = 0;
+    Cycle unparkCycle = 0;
+    /// @}
+
+    bool hasDst() const { return op.hasDst(); }
+    RegClass dstClass() const { return op.dst.regClass(); }
+
+    /** Reset for reuse from the instruction pool. */
+    void
+    init(const MicroOp &o, SeqNum s, Cycle fetch_cycle)
+    {
+        *this = DynInst{};
+        op = o;
+        seq = s;
+        fetchCycle = fetch_cycle;
+    }
+
+    std::string toString() const;
+};
+
+} // namespace ltp
+
+#endif // LTP_CPU_DYN_INST_HH

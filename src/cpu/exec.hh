@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Functional-unit pool.
+ *
+ * Groups (units / ops):
+ *   ALU x4   IntAlu, Branch, Nop        (1c, pipelined)
+ *   MUL x2   IntMul (3c pipelined), IntDiv (20c unpipelined)
+ *   FP  x2   FpAlu/FpMul pipelined, FpDiv/FpSqrt unpipelined
+ *   LD  x2   load address generation + cache port
+ *   ST  x1   store address/data staging
+ *
+ * Total selected per cycle is additionally bounded by the core's issue
+ * width (Table 1: 6).
+ */
+
+#ifndef LTP_CPU_EXEC_HH
+#define LTP_CPU_EXEC_HH
+
+#include <array>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "isa/opclass.hh"
+
+namespace ltp {
+
+/** Functional-unit counts. */
+struct FuConfig
+{
+    int alu = 4;
+    int mul = 2;
+    int fp = 2;
+    int ld = 2;
+    int st = 1;
+};
+
+/** Per-cycle functional-unit arbiter. */
+class FuPool
+{
+  public:
+    explicit FuPool(const FuConfig &cfg);
+
+    /** Start-of-cycle: reset per-cycle issue counts. */
+    void beginCycle();
+
+    /** Can an op of class @p c start at cycle @p now? */
+    bool canIssue(OpClass c, Cycle now) const;
+
+    /** Claim a unit; returns the execute latency of the op. */
+    int issue(OpClass c, Cycle now);
+
+  private:
+    enum Group { kAlu, kMul, kFp, kLd, kSt, kNumGroups };
+
+    static Group groupOf(OpClass c);
+
+    struct GroupState
+    {
+        std::vector<Cycle> busyUntil;
+        int issuedThisCycle = 0;
+    };
+
+    std::array<GroupState, kNumGroups> groups_;
+};
+
+} // namespace ltp
+
+#endif // LTP_CPU_EXEC_HH

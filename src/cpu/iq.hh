@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Issue Queue: out-of-order scheduling window.
+ *
+ * Entries are allocated at dispatch and freed at issue (Figure 4) —
+ * this early deallocation is why Non-Ready instructions waiting on
+ * misses are what actually fills the IQ, the observation LTP builds on.
+ *
+ * Select policy: oldest-first among ready entries, bounded by issue
+ * width and functional-unit availability (checked by the core via the
+ * visitor).  One *emergency slot* beyond the nominal capacity is
+ * reserved for the forced unpark of a parked ROB head (Section 5.4
+ * deadlock avoidance).
+ */
+
+#ifndef LTP_CPU_IQ_HH
+#define LTP_CPU_IQ_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "cpu/dyn_inst.hh"
+
+namespace ltp {
+
+/** The issue queue (scheduling window). */
+class IssueQueue
+{
+  public:
+    explicit IssueQueue(int capacity) : capacity_(capacity) {}
+
+    /** Space for a normal dispatch? */
+    bool hasSpace() const { return size() < capacity_; }
+
+    /** Space for a forced unpark (may use the emergency slot)? */
+    bool hasEmergencySpace() const { return size() < capacity_ + 1; }
+
+    int size() const { return static_cast<int>(entries_.size()); }
+    int capacity() const { return capacity_; }
+    bool empty() const { return entries_.empty(); }
+
+    /** Insert in sequence order (unparked entries arrive "late"). */
+    void
+    insert(DynInst *inst, Cycle now, bool emergency = false)
+    {
+        sim_assert(emergency ? hasEmergencySpace() : hasSpace());
+        sim_assert(!inst->inIq);
+        auto it = entries_.end();
+        while (it != entries_.begin() && (*(it - 1))->seq > inst->seq)
+            --it;
+        entries_.insert(it, inst);
+        inst->inIq = true;
+        inserts++;
+        occupancy.add(1, now);
+    }
+
+    /** Remove at issue (frees the entry, per Figure 4). */
+    void
+    remove(DynInst *inst, Cycle now)
+    {
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (*it == inst) {
+                entries_.erase(it);
+                inst->inIq = false;
+                occupancy.sub(1, now);
+                return;
+            }
+        }
+        panic("IQ remove: instruction not present");
+    }
+
+    /** Visit entries oldest-first (select scan). */
+    template <typename Fn>
+    void
+    forEachInOrder(Fn &&fn) const
+    {
+        for (DynInst *inst : entries_)
+            fn(inst);
+    }
+
+    void
+    squashYoungerThan(SeqNum keep, Cycle now)
+    {
+        std::size_t kept = 0;
+        for (DynInst *inst : entries_) {
+            if (inst->seq <= keep) {
+                entries_[kept++] = inst;
+            } else {
+                inst->inIq = false;
+                occupancy.sub(1, now);
+            }
+        }
+        entries_.resize(kept);
+    }
+
+    Counter inserts;
+    OccupancyStat occupancy;
+
+  private:
+    int capacity_;
+    std::vector<DynInst *> entries_; ///< sorted by seq
+};
+
+} // namespace ltp
+
+#endif // LTP_CPU_IQ_HH

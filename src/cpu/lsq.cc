@@ -1,0 +1,165 @@
+#include "cpu/lsq.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ltp {
+
+namespace {
+
+void
+insertSorted(std::vector<DynInst *> &v, DynInst *inst)
+{
+    auto it = v.end();
+    while (it != v.begin() && (*(it - 1))->seq > inst->seq)
+        --it;
+    v.insert(it, inst);
+}
+
+void
+eraseFrom(std::vector<DynInst *> &v, DynInst *inst, const char *what)
+{
+    auto it = std::find(v.begin(), v.end(), inst);
+    if (it == v.end())
+        panic("%s: instruction not present", what);
+    v.erase(it);
+}
+
+} // namespace
+
+Lsq::Lsq(int lq_size, int sq_size, int lq_reserve, int sq_reserve)
+    : lq_capacity_(lq_size),
+      sq_capacity_(sq_size),
+      lq_reserve_(lq_reserve),
+      sq_reserve_(sq_reserve)
+{
+    sim_assert(lq_size > 0 && sq_size > 0);
+    sim_assert(lq_reserve >= 0 && lq_reserve < lq_size);
+    sim_assert(sq_reserve >= 0 && sq_reserve < sq_size);
+}
+
+bool
+Lsq::lqHasSpace(bool from_reserve) const
+{
+    int limit = from_reserve ? lq_capacity_ : lq_capacity_ - lq_reserve_;
+    return lqSize() < limit;
+}
+
+bool
+Lsq::sqHasSpace(bool from_reserve) const
+{
+    int limit = from_reserve ? sq_capacity_ : sq_capacity_ - sq_reserve_;
+    return sqSize() < limit;
+}
+
+void
+Lsq::insertLoad(DynInst *inst, Cycle now)
+{
+    sim_assert(!inst->inLq);
+    insertSorted(lq_, inst);
+    inst->inLq = true;
+    lqOccupancy.add(1, now);
+}
+
+void
+Lsq::insertStore(DynInst *inst, Cycle now)
+{
+    sim_assert(!inst->inSq);
+    insertSorted(sq_, inst);
+    inst->inSq = true;
+    sqOccupancy.add(1, now);
+}
+
+void
+Lsq::removeLoad(DynInst *inst, Cycle now)
+{
+    sim_assert(inst->inLq);
+    eraseFrom(lq_, inst, "LQ remove");
+    inst->inLq = false;
+    lqOccupancy.sub(1, now);
+}
+
+void
+Lsq::removeStore(DynInst *inst, Cycle now)
+{
+    sim_assert(inst->inSq);
+    eraseFrom(sq_, inst, "SQ remove");
+    inst->inSq = false;
+    sqOccupancy.sub(1, now);
+}
+
+DynInst *
+Lsq::oldestDrainableStore() const
+{
+    if (!sq_.empty() && sq_.front()->committed)
+        return sq_.front();
+    return nullptr;
+}
+
+bool
+Lsq::overlaps(const DynInst *a, const DynInst *b)
+{
+    Addr a_lo = a->op.effAddr, a_hi = a_lo + a->op.memSize;
+    Addr b_lo = b->op.effAddr, b_hi = b_lo + b->op.memSize;
+    return a_lo < b_hi && b_lo < a_hi;
+}
+
+DynInst *
+Lsq::olderStoreConflict(const DynInst *load) const
+{
+    DynInst *best = nullptr;
+    for (DynInst *st : sq_) {
+        if (st->seq >= load->seq)
+            break;
+        if (overlaps(st, load))
+            best = st;
+    }
+    for (DynInst *st : shadow_stores_) {
+        if (st->seq >= load->seq)
+            break;
+        if (overlaps(st, load) && (!best || st->seq > best->seq))
+            best = st;
+    }
+    return best;
+}
+
+void
+Lsq::addShadowStore(DynInst *inst)
+{
+    insertSorted(shadow_stores_, inst);
+}
+
+void
+Lsq::removeShadowStore(DynInst *inst)
+{
+    eraseFrom(shadow_stores_, inst, "shadow store remove");
+}
+
+void
+Lsq::collectLoadsWaitingOn(SeqNum store_seq,
+                           std::vector<DynInst *> &out) const
+{
+    for (DynInst *ld : lq_)
+        if (ld->waitingOnStore && ld->waitStoreSeq == store_seq)
+            out.push_back(ld);
+}
+
+void
+Lsq::squashYoungerThan(SeqNum keep, Cycle now)
+{
+    while (!lq_.empty() && lq_.back()->seq > keep) {
+        lq_.back()->inLq = false;
+        lq_.pop_back();
+        lqOccupancy.sub(1, now);
+    }
+    while (!sq_.empty() && sq_.back()->seq > keep) {
+        sq_.back()->inSq = false;
+        sq_.pop_back();
+        sqOccupancy.sub(1, now);
+    }
+    while (!shadow_stores_.empty() && shadow_stores_.back()->seq > keep)
+        shadow_stores_.pop_back();
+}
+
+} // namespace ltp

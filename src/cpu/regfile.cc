@@ -1,0 +1,67 @@
+#include "cpu/regfile.hh"
+
+#include "common/logging.hh"
+
+namespace ltp {
+
+PhysRegFile::PhysRegFile(int available, int reserve)
+    : capacity_(available), reserve_(reserve), free_count_(available)
+{
+    sim_assert(available > 0 && reserve >= 0 && reserve < available);
+    free_list_.reserve(capacity_);
+    for (std::int32_t r = capacity_ - 1; r >= 0; --r)
+        free_list_.push_back(r);
+    ready_.assign(capacity_, false);
+}
+
+int
+PhysRegFile::freeFor(AllocPriority prio) const
+{
+    switch (prio) {
+      case AllocPriority::Rename:
+        return std::max(0, free_count_ - reserve_);
+      case AllocPriority::Unpark:
+        // Hold one register back for a forced head unpark.
+        return std::max(0, free_count_ - (reserve_ > 0 ? 1 : 0));
+      case AllocPriority::Forced:
+        return free_count_;
+    }
+    return 0;
+}
+
+std::int32_t
+PhysRegFile::allocate(AllocPriority prio, Cycle now)
+{
+    if (freeFor(prio) <= 0)
+        return -1;
+    std::int32_t phys = free_list_.back();
+    free_list_.pop_back();
+    free_count_ -= 1;
+    ready_[phys] = false;
+    occupancy.set(allocatedCount(), now);
+    allocations++;
+    if (prio != AllocPriority::Rename)
+        reserveAllocations++;
+    return phys;
+}
+
+void
+PhysRegFile::release(std::int32_t phys, Cycle now)
+{
+    sim_assert(phys >= 0 && phys < capacity_);
+    sim_assert(free_count_ < capacity_);
+    free_list_.push_back(phys);
+    free_count_ += 1;
+    ready_[phys] = false;
+    occupancy.set(allocatedCount(), now);
+}
+
+void
+PhysRegFile::resetStats(Cycle now)
+{
+    occupancy.reset(now);
+    allocations.reset();
+    reserveAllocations.reset();
+}
+
+} // namespace ltp

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Physical register file: per-class free lists, ready scoreboard, and
+ * the LTP register reserve.
+ *
+ * Table 1 footnote semantics: the configured size is the number of
+ * *available* (renameable) registers; the architectural base copies are
+ * implicit.  The free list therefore starts with exactly `size`
+ * entries.
+ *
+ * Deadlock avoidance (Section 5.4): a configurable number of registers
+ * is reserved for instructions leaving the LTP — normal rename may not
+ * dip below the reserve, the unpark path may.
+ */
+
+#ifndef LTP_CPU_REGFILE_HH
+#define LTP_CPU_REGFILE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "isa/reg.hh"
+
+namespace ltp {
+
+/**
+ * Allocation priority levels (Section 5.4 deadlock avoidance):
+ *  - Rename: normal front-end rename; may not dip into the reserve.
+ *  - Unpark: instructions leaving the LTP; may use the reserve except
+ *    for one register held back for Forced.
+ *  - Forced: the forced unpark of a parked ROB head; may take the very
+ *    last free register, guaranteeing forward progress.
+ */
+enum class AllocPriority { Rename, Unpark, Forced };
+
+/** One register class's physical file. */
+class PhysRegFile
+{
+  public:
+    /**
+     * @param available number of renameable registers (Table 1 style)
+     * @param reserve   registers only the LTP-unpark path may take
+     */
+    PhysRegFile(int available, int reserve);
+
+    /** Registers obtainable at priority @p prio right now. */
+    int freeFor(AllocPriority prio) const;
+
+    /**
+     * Allocate a register at the given priority.
+     * @return physical index, or -1 if none available to this path.
+     */
+    std::int32_t allocate(AllocPriority prio, Cycle now);
+
+    /** Return a register to the free list. */
+    void release(std::int32_t phys, Cycle now);
+
+    bool ready(std::int32_t phys) const { return ready_[phys]; }
+    void setReady(std::int32_t phys) { ready_[phys] = true; }
+
+    int capacity() const { return capacity_; }
+    int allocatedCount() const { return capacity_ - free_count_; }
+
+    /** Average registers in use per cycle (Figure 1c / Figure 6 RF). */
+    OccupancyStat occupancy;
+
+    Counter allocations;
+    Counter reserveAllocations;
+
+    void resetStats(Cycle now);
+
+  private:
+    int capacity_;
+    int reserve_;
+    int free_count_;
+    std::vector<std::int32_t> free_list_;
+    std::vector<bool> ready_;
+};
+
+} // namespace ltp
+
+#endif // LTP_CPU_REGFILE_HH

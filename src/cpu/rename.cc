@@ -1,0 +1,55 @@
+#include "cpu/rename.hh"
+
+#include "common/logging.hh"
+
+namespace ltp {
+
+LtpRat::LtpRat(int ids)
+    : slots_(ids)
+{
+    sim_assert(ids > 0);
+    free_.reserve(ids);
+    for (int i = ids - 1; i >= 0; --i)
+        free_.push_back(i);
+}
+
+int
+LtpRat::allocate()
+{
+    if (free_.empty()) {
+        exhaustions++;
+        return -1;
+    }
+    int id = free_.back();
+    free_.pop_back();
+    slots_[id] = Slot{true, -1};
+    allocations++;
+    return id;
+}
+
+void
+LtpRat::resolve(int id, std::int32_t phys)
+{
+    sim_assert(id >= 0 && id < static_cast<int>(slots_.size()));
+    sim_assert(slots_[id].live && slots_[id].phys < 0);
+    slots_[id].phys = phys;
+}
+
+std::int32_t
+LtpRat::lookup(int id) const
+{
+    sim_assert(id >= 0 && id < static_cast<int>(slots_.size()));
+    sim_assert(slots_[id].live);
+    return slots_[id].phys;
+}
+
+void
+LtpRat::release(int id)
+{
+    sim_assert(id >= 0 && id < static_cast<int>(slots_.size()));
+    sim_assert(slots_[id].live);
+    slots_[id].live = false;
+    free_.push_back(id);
+}
+
+} // namespace ltp

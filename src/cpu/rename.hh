@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Register Allocation Table (RAT) with the LTP extensions, plus the
+ * second-level RAT_LTP.
+ *
+ * Each architectural register entry carries, beyond the mapping:
+ *  - the producer PC        (UIT backward propagation, Section 5.2)
+ *  - the Parked bit         (dependants of parked producers must park)
+ *  - the ticket vector      (Non-Ready propagation, Appendix A)
+ *
+ * A mapping is either a physical register or an *internal LTP register
+ * id* when the producer is parked and has not yet been assigned a
+ * physical register.  RAT_LTP resolves LTP ids to physical registers
+ * once the producer leaves the LTP; ids live until the next writer of
+ * the architectural register commits (the same lifetime as the
+ * physical register the id resolves to).
+ */
+
+#ifndef LTP_CPU_RENAME_HH
+#define LTP_CPU_RENAME_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "cpu/dyn_inst.hh"
+#include "isa/reg.hh"
+#include "ltp/tickets.hh"
+
+namespace ltp {
+
+/** One architectural register's rename state. */
+struct RatEntry
+{
+    PrevMapping map;      ///< current producer mapping (None/Phys/Ltp)
+    Addr producerPc = 0;  ///< PC of the current producer
+    bool parked = false;  ///< producer is parked (propagates parking)
+    TicketMask tickets;   ///< long-latency deps of the current value
+};
+
+/** The front-end RAT: kTotalArchRegs entries. */
+class RenameTable
+{
+  public:
+    RenameTable() : entries_(kTotalArchRegs) {}
+
+    RatEntry &operator[](RegId r) { return entries_[r.flat()]; }
+    const RatEntry &operator[](RegId r) const { return entries_[r.flat()]; }
+
+  private:
+    std::vector<RatEntry> entries_;
+};
+
+/**
+ * RAT_LTP: internal LTP register ids and their eventual physical
+ * mappings (Section 5.2 "Wakeup", Appendix A "Parking").
+ */
+class LtpRat
+{
+  public:
+    /** @param ids pool size; the paper notes roughly |LTP| ids needed,
+     *  we provision generously and treat exhaustion as LTP-full. */
+    explicit LtpRat(int ids);
+
+    /** Allocate an id for a parked instruction's destination; -1 if
+     *  exhausted. */
+    int allocate();
+
+    /** The parked producer left LTP: record its physical register. */
+    void resolve(int id, std::int32_t phys);
+
+    /** Physical register for @p id, or -1 while unresolved. */
+    std::int32_t lookup(int id) const;
+
+    /** Release an id (next-writer commit, or squash of the owner). */
+    void release(int id);
+
+    int availableCount() const { return static_cast<int>(free_.size()); }
+
+    Counter allocations;
+    Counter exhaustions;
+
+  private:
+    struct Slot
+    {
+        bool live = false;
+        std::int32_t phys = -1;
+    };
+
+    std::vector<Slot> slots_;
+    std::vector<int> free_;
+};
+
+} // namespace ltp
+
+#endif // LTP_CPU_RENAME_HH

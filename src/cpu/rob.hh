@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Reorder buffer: program-ordered window of in-flight instructions.
+ *
+ * Parked instructions hold their ROB entry from rename (in-order commit
+ * is guaranteed, Section 3), so the ROB bounds the total of IQ + LTP +
+ * executing instructions.  The paper never scales the ROB (256 across
+ * all experiments).
+ */
+
+#ifndef LTP_CPU_ROB_HH
+#define LTP_CPU_ROB_HH
+
+#include <deque>
+
+#include "common/stats.hh"
+#include "cpu/dyn_inst.hh"
+
+namespace ltp {
+
+/** FIFO reorder buffer. */
+class Rob
+{
+  public:
+    explicit Rob(int capacity) : capacity_(capacity) {}
+
+    bool full() const { return size() >= capacity_; }
+    bool empty() const { return entries_.empty(); }
+    int size() const { return static_cast<int>(entries_.size()); }
+    int capacity() const { return capacity_; }
+
+    DynInst *head() const { return entries_.empty() ? nullptr : entries_.front(); }
+    DynInst *tail() const { return entries_.empty() ? nullptr : entries_.back(); }
+
+    void
+    push(DynInst *inst, Cycle now)
+    {
+        sim_assert(!full());
+        sim_assert(entries_.empty() || entries_.back()->seq < inst->seq);
+        entries_.push_back(inst);
+        occupancy.add(1, now);
+    }
+
+    void
+    popHead(Cycle now)
+    {
+        sim_assert(!entries_.empty());
+        entries_.pop_front();
+        occupancy.sub(1, now);
+    }
+
+    /** Squash support: visit tail..head while seq > keep, then drop. */
+    template <typename Fn>
+    void
+    squashYoungerThan(SeqNum keep, Cycle now, Fn &&undo)
+    {
+        while (!entries_.empty() && entries_.back()->seq > keep) {
+            undo(entries_.back());
+            entries_.pop_back();
+            occupancy.sub(1, now);
+        }
+    }
+
+    /** Iterate oldest-first. */
+    auto begin() const { return entries_.begin(); }
+    auto end() const { return entries_.end(); }
+
+    OccupancyStat occupancy;
+
+  private:
+    int capacity_;
+    std::deque<DynInst *> entries_;
+};
+
+} // namespace ltp
+
+#endif // LTP_CPU_ROB_HH

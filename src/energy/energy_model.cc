@@ -1,0 +1,80 @@
+#include "energy/energy_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace ltp {
+
+namespace {
+
+// Per-event coefficients (pJ).  See the header for the scaling laws.
+constexpr double kCamPerEntry = 0.10;      // wakeup tag compare
+constexpr double kSelectPerEntry = 0.03;   // select tree
+constexpr double kIqRwPerSqrtEntry = 0.40; // entry read/write
+constexpr double kRfPerSqrtEntry = 0.55;   // port access
+constexpr double kLtpPerSqrtEntry = 0.10;  // FIFO push/pop
+constexpr double kLtpPortFactor = 0.10;    // extra area per extra port
+constexpr double kUitPerSqrtEntry = 0.02;  // small tag probe
+constexpr double kPredAccess = 0.05;
+constexpr double kTicketCamPerEntry = 0.05;
+
+// Leakage (pJ per cycle per entry).
+constexpr double kIqLeak = 0.012;
+constexpr double kRfLeak = 0.004;
+constexpr double kLtpLeak = 0.0015;
+
+} // namespace
+
+std::string
+EnergyBreakdown::toString() const
+{
+    return strprintf("iq=%.3gpJ rf=%.3gpJ ltp=%.3gpJ total=%.3gpJ", iq, rf,
+                     ltp, total());
+}
+
+EnergyBreakdown
+computeEnergy(const EnergyInputs &in)
+{
+    EnergyBreakdown out;
+    double cycles = double(in.cycles);
+
+    // ---- Issue queue ----
+    double iq_entries = double(in.iqEntries);
+    double wakeup = double(in.wakeupBroadcasts) * kCamPerEntry * iq_entries;
+    double select = double(in.iqIssues) * kSelectPerEntry * iq_entries;
+    double rw = double(in.iqInserts + in.iqIssues) * kIqRwPerSqrtEntry *
+                std::sqrt(iq_entries);
+    double iq_leak = cycles * kIqLeak * iq_entries;
+    out.iq = wakeup + select + rw + iq_leak;
+
+    // ---- Register file ----
+    double rf_access = double(in.rfReads + in.rfWrites) * kRfPerSqrtEntry *
+                       std::sqrt(double(in.totalRegs));
+    double rf_leak = cycles * kRfLeak * double(in.totalRegs);
+    out.rf = rf_access + rf_leak;
+
+    // ---- LTP support structures ----
+    if (in.ltpEntries > 0) {
+        double port_factor =
+            1.0 + kLtpPortFactor * std::max(0, in.ltpPorts - 1);
+        double fifo = double(in.ltpPushes + in.ltpPops) *
+                      kLtpPerSqrtEntry * std::sqrt(double(in.ltpEntries)) *
+                      port_factor;
+        double uit = double(in.uitLookups + in.uitInserts) *
+                     kUitPerSqrtEntry *
+                     std::sqrt(double(std::max(1, in.uitEntries)));
+        double pred = double(in.predLookups) * kPredAccess;
+        double cam = in.ltpCam ? double(in.ticketBroadcasts) *
+                                     kTicketCamPerEntry *
+                                     double(in.ltpEntries)
+                               : 0.0;
+        // Power gating: leakage only while the monitor keeps LTP on.
+        double leak = cycles * kLtpLeak * double(in.ltpEntries) *
+                      in.ltpEnabledFraction;
+        out.ltp = fifo + uit + pred + cam + leak;
+    }
+    return out;
+}
+
+} // namespace ltp

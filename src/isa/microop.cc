@@ -1,0 +1,27 @@
+#include "isa/microop.hh"
+
+#include <sstream>
+
+namespace ltp {
+
+std::string
+MicroOp::toString() const
+{
+    std::ostringstream os;
+    os << strprintf("0x%06llx ", static_cast<unsigned long long>(pc));
+    os << opClassName(opc);
+    if (hasDst())
+        os << " " << dst.toString() << " <-";
+    for (const auto &s : srcs)
+        if (s.valid())
+            os << " " << s.toString();
+    if (isMem())
+        os << strprintf(" [0x%llx,%d]",
+                        static_cast<unsigned long long>(effAddr), memSize);
+    if (isBranch())
+        os << strprintf(" %s->0x%llx", taken ? "T" : "N",
+                        static_cast<unsigned long long>(target));
+    return os.str();
+}
+
+} // namespace ltp

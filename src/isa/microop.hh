@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The trace element: one dynamic micro-op.
+ *
+ * A MicroOp carries everything the timing model needs and nothing it
+ * does not: the static PC (identity for the UIT and predictors), the
+ * operation class, up to three architectural sources and one
+ * destination, the exact effective address for memory ops, and the
+ * resolved direction/target for branches.  Data *values* are not
+ * simulated — this is a timing model, exactly like trace-driven use of
+ * the paper's own infrastructure.
+ */
+
+#ifndef LTP_ISA_MICROOP_HH
+#define LTP_ISA_MICROOP_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "isa/opclass.hh"
+#include "isa/reg.hh"
+
+namespace ltp {
+
+inline constexpr int kMaxSrcs = 3;
+
+/** One dynamic micro-op as produced by a workload generator. */
+struct MicroOp
+{
+    Addr pc = 0;              ///< static instruction address
+    OpClass opc = OpClass::Nop;
+    RegId srcs[kMaxSrcs];     ///< invalid entries are unused slots
+    RegId dst;                ///< invalid => no destination register
+
+    Addr effAddr = 0;         ///< byte address for loads/stores
+    std::uint8_t memSize = 0; ///< access size in bytes
+
+    bool taken = false;       ///< resolved direction for branches
+    Addr target = 0;          ///< resolved target for taken branches
+
+    int
+    numSrcs() const
+    {
+        int n = 0;
+        for (const auto &s : srcs)
+            n += s.valid();
+        return n;
+    }
+
+    bool hasDst() const { return dst.valid(); }
+    bool isLoad() const { return ltp::isLoad(opc); }
+    bool isStore() const { return ltp::isStore(opc); }
+    bool isMem() const { return ltp::isMem(opc); }
+    bool isBranch() const { return ltp::isBranch(opc); }
+
+    /** Human-readable one-liner for debugging and example output. */
+    std::string toString() const;
+};
+
+/** Fluent builder so kernels read like tiny assembly listings. */
+class OpBuilder
+{
+  public:
+    explicit OpBuilder(OpClass c) { op_.opc = c; }
+
+    OpBuilder &pc(Addr a) { op_.pc = a; return *this; }
+    OpBuilder &dst(RegId r) { op_.dst = r; return *this; }
+
+    OpBuilder &
+    src(RegId r)
+    {
+        for (auto &s : op_.srcs) {
+            if (!s.valid()) {
+                s = r;
+                return *this;
+            }
+        }
+        panic("micro-op has more than %d sources", kMaxSrcs);
+    }
+
+    OpBuilder &
+    mem(Addr a, int size)
+    {
+        op_.effAddr = a;
+        op_.memSize = static_cast<std::uint8_t>(size);
+        return *this;
+    }
+
+    OpBuilder &
+    branch(bool taken, Addr target)
+    {
+        op_.taken = taken;
+        op_.target = target;
+        return *this;
+    }
+
+    MicroOp build() const { return op_; }
+
+  private:
+    MicroOp op_;
+};
+
+} // namespace ltp
+
+#endif // LTP_ISA_MICROOP_HH

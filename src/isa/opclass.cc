@@ -1,0 +1,40 @@
+#include "isa/opclass.hh"
+
+#include "common/logging.hh"
+
+namespace ltp {
+
+namespace {
+
+// name, latency, pipelined, fixedLong
+constexpr OpClassInfo kOpInfo[kNumOpClasses] = {
+    {"IntAlu", 1, true, false},
+    {"IntMul", 3, true, false},
+    {"IntDiv", 20, false, true},
+    {"FpAlu", 3, true, false},
+    {"FpMul", 4, true, false},
+    {"FpDiv", 18, false, true},
+    {"FpSqrt", 24, false, true},
+    {"Load", 1, true, false},   // address generation; memory adds latency
+    {"Store", 1, true, false},  // address generation; write happens at SQ
+    {"Branch", 1, true, false},
+    {"Nop", 1, true, false},
+};
+
+} // namespace
+
+const OpClassInfo &
+opInfo(OpClass c)
+{
+    int i = static_cast<int>(c);
+    sim_assert(i >= 0 && i < kNumOpClasses);
+    return kOpInfo[i];
+}
+
+const char *
+opClassName(OpClass c)
+{
+    return opInfo(c).name;
+}
+
+} // namespace ltp

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Micro-op operation classes and their execution properties.
+ *
+ * Latencies follow the gem5 O3 defaults for a large core (and the
+ * paper's premise that divide/sqrt are "long-latency instructions"
+ * alongside LLC misses: see Section 2).
+ */
+
+#ifndef LTP_ISA_OPCLASS_HH
+#define LTP_ISA_OPCLASS_HH
+
+#include <cstdint>
+
+namespace ltp {
+
+/** Operation class of a micro-op. */
+enum class OpClass : std::uint8_t
+{
+    IntAlu = 0,
+    IntMul,
+    IntDiv,
+    FpAlu,
+    FpMul,
+    FpDiv,
+    FpSqrt,
+    Load,
+    Store,
+    Branch,
+    Nop,
+    NumOpClasses
+};
+
+inline constexpr int kNumOpClasses =
+    static_cast<int>(OpClass::NumOpClasses);
+
+/** Execution properties of one op class. */
+struct OpClassInfo
+{
+    const char *name;
+    int latency;     ///< execute latency in cycles
+    bool pipelined;  ///< false => FU busy for `latency` cycles per op
+    bool fixedLong;  ///< intrinsically long latency (div/sqrt): LTP
+                     ///< treats these like misses with known latency
+};
+
+/** Property table lookup. */
+const OpClassInfo &opInfo(OpClass c);
+
+inline bool
+isLoad(OpClass c)
+{
+    return c == OpClass::Load;
+}
+
+inline bool
+isStore(OpClass c)
+{
+    return c == OpClass::Store;
+}
+
+inline bool
+isMem(OpClass c)
+{
+    return isLoad(c) || isStore(c);
+}
+
+inline bool
+isBranch(OpClass c)
+{
+    return c == OpClass::Branch;
+}
+
+/** Division and square root: long fixed-latency ops (Section 2). */
+inline bool
+isFixedLongLat(OpClass c)
+{
+    return opInfo(c).fixedLong;
+}
+
+const char *opClassName(OpClass c);
+
+} // namespace ltp
+
+#endif // LTP_ISA_OPCLASS_HH

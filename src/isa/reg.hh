@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Architectural register identifiers for the synthetic micro-op ISA.
+ *
+ * The trace ISA is a RISC-style micro-op format with 32 integer and 32
+ * floating-point architectural registers (comfortably covering x86-64's
+ * 16+16 plus renamed temporaries the micro-op cracking would expose).
+ * The paper scales INT and FP physical register files together; the
+ * rename stage keeps one free list per class.
+ */
+
+#ifndef LTP_ISA_REG_HH
+#define LTP_ISA_REG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace ltp {
+
+/** Register class: integer or floating point (Table 1: 128 + 128). */
+enum class RegClass : std::uint8_t { Int = 0, Fp = 1 };
+
+inline constexpr int kNumRegClasses = 2;
+inline constexpr int kArchRegsPerClass = 32;
+
+/** An architectural register: class + index, or the invalid sentinel. */
+struct RegId
+{
+    std::uint8_t cls = 0;   // RegClass
+    std::uint8_t idx = 0xff; // 0xff == invalid
+
+    constexpr RegId() = default;
+    constexpr RegId(RegClass c, int i)
+        : cls(static_cast<std::uint8_t>(c)), idx(static_cast<std::uint8_t>(i))
+    {}
+
+    constexpr bool valid() const { return idx != 0xff; }
+    constexpr RegClass regClass() const { return static_cast<RegClass>(cls); }
+
+    /** Flat index over both classes: [0, 2*kArchRegsPerClass). */
+    constexpr int
+    flat() const
+    {
+        return cls * kArchRegsPerClass + idx;
+    }
+
+    constexpr bool
+    operator==(const RegId &o) const
+    {
+        return cls == o.cls && idx == o.idx;
+    }
+
+    std::string
+    toString() const
+    {
+        if (!valid())
+            return "r:-";
+        return strprintf("%c%d", regClass() == RegClass::Int ? 'r' : 'f',
+                         idx);
+    }
+};
+
+/** Total number of architectural registers across classes. */
+inline constexpr int kTotalArchRegs = kNumRegClasses * kArchRegsPerClass;
+
+/** Shorthand constructors. */
+inline constexpr RegId
+intReg(int i)
+{
+    return RegId(RegClass::Int, i);
+}
+
+inline constexpr RegId
+fpReg(int i)
+{
+    return RegId(RegClass::Fp, i);
+}
+
+} // namespace ltp
+
+#endif // LTP_ISA_REG_HH

@@ -1,0 +1,74 @@
+#include "ltp/llpred.hh"
+
+#include "common/logging.hh"
+
+namespace ltp {
+
+LoadLatencyPredictor::LoadLatencyPredictor(int history_entries,
+                                           int table_entries)
+    : history_(history_entries, 0),
+      counters_(table_entries, 1), // weakly "short"
+      lastPrediction_(history_entries, 0)
+{
+    sim_assert(history_entries > 0 && table_entries > 0);
+}
+
+std::size_t
+LoadLatencyPredictor::historyIndex(Addr pc) const
+{
+    return (pc >> 2) % history_.size();
+}
+
+std::size_t
+LoadLatencyPredictor::tableIndex(Addr pc) const
+{
+    std::uint64_t hist = history_[historyIndex(pc)] & 0xf;
+    return ((pc >> 2) ^ (hist * 0x9e37)) % counters_.size();
+}
+
+bool
+LoadLatencyPredictor::predictLong(Addr pc)
+{
+    predictions++;
+    bool pred = counters_[tableIndex(pc)] >= 2;
+    lastPrediction_[historyIndex(pc)] = pred;
+    return pred;
+}
+
+void
+LoadLatencyPredictor::update(Addr pc, bool was_long)
+{
+    std::uint8_t &ctr = counters_[tableIndex(pc)];
+    if (was_long) {
+        if (ctr < 3)
+            ctr++;
+    } else {
+        if (ctr > 0)
+            ctr--;
+    }
+    // Track accuracy against the most recent prediction for this PC.
+    if (lastPrediction_[historyIndex(pc)] == was_long)
+        correct++;
+    else
+        mispredicts++;
+    // Shift the outcome into the per-PC history register.
+    std::uint8_t &h = history_[historyIndex(pc)];
+    h = static_cast<std::uint8_t>(((h << 1) | (was_long ? 1 : 0)) & 0xf);
+}
+
+double
+LoadLatencyPredictor::accuracy() const
+{
+    std::uint64_t n = correct.value() + mispredicts.value();
+    return n ? double(correct.value()) / n : 0.0;
+}
+
+void
+LoadLatencyPredictor::resetStats()
+{
+    predictions.reset();
+    correct.reset();
+    mispredicts.reset();
+}
+
+} // namespace ltp

@@ -1,0 +1,122 @@
+#include "ltp/ltp_queue.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ltp {
+
+LtpQueue::LtpQueue(int entries, int insert_ports, int extract_ports)
+    : capacity_(entries),
+      insert_ports_(insert_ports),
+      extract_ports_(extract_ports)
+{
+    sim_assert(entries > 0 && insert_ports > 0 && extract_ports > 0);
+}
+
+void
+LtpQueue::beginCycle(Cycle now)
+{
+    (void)now;
+    inserts_left_ = insert_ports_;
+    extracts_left_ = extract_ports_;
+}
+
+bool
+LtpQueue::canInsert() const
+{
+    return inserts_left_ > 0 && size() < capacity_;
+}
+
+void
+LtpQueue::push(DynInst *inst, Cycle now)
+{
+    sim_assert(canInsert());
+    sim_assert(entries_.empty() || entries_.back()->seq < inst->seq);
+    inserts_left_ -= 1;
+    entries_.push_back(inst);
+    inst->inLtp = true;
+    pushes++;
+    occupancy.add(1, now);
+    if (inst->hasDst())
+        parkedWithDest.add(1, now);
+    if (inst->op.isLoad())
+        parkedLoads.add(1, now);
+    if (inst->op.isStore())
+        parkedStores.add(1, now);
+}
+
+bool
+LtpQueue::canExtract() const
+{
+    return extracts_left_ > 0;
+}
+
+DynInst *
+LtpQueue::front() const
+{
+    return entries_.empty() ? nullptr : entries_.front();
+}
+
+void
+LtpQueue::accountRemove(DynInst *inst, Cycle now)
+{
+    inst->inLtp = false;
+    occupancy.sub(1, now);
+    if (inst->hasDst())
+        parkedWithDest.sub(1, now);
+    if (inst->op.isLoad())
+        parkedLoads.sub(1, now);
+    if (inst->op.isStore())
+        parkedStores.sub(1, now);
+}
+
+void
+LtpQueue::popFront(Cycle now)
+{
+    sim_assert(!entries_.empty() && extracts_left_ > 0);
+    extracts_left_ -= 1;
+    DynInst *inst = entries_.front();
+    entries_.pop_front();
+    accountRemove(inst, now);
+    pops++;
+}
+
+void
+LtpQueue::remove(DynInst *inst, Cycle now)
+{
+    sim_assert(extracts_left_ > 0);
+    auto it = std::find(entries_.begin(), entries_.end(), inst);
+    sim_assert(it != entries_.end());
+    extracts_left_ -= 1;
+    entries_.erase(it);
+    accountRemove(inst, now);
+    pops++;
+    camExtractions++;
+}
+
+void
+LtpQueue::squashYoungerThan(SeqNum seq, Cycle now)
+{
+    while (!entries_.empty() && entries_.back()->seq > seq) {
+        accountRemove(entries_.back(), now);
+        entries_.pop_back();
+    }
+}
+
+void
+LtpQueue::resetStats(Cycle now)
+{
+    pushes.reset();
+    pops.reset();
+    camExtractions.reset();
+    insertPortStalls.reset();
+    extractPortStalls.reset();
+    fullStalls.reset();
+    occupancy.reset(now);
+    parkedWithDest.reset(now);
+    parkedLoads.reset(now);
+    parkedStores.reset(now);
+}
+
+} // namespace ltp

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The Long Term Parking structure itself — Sections 5.2 and Appendix A.
+ *
+ * For the Non-Urgent-only design the LTP is a plain FIFO queue: parked
+ * instructions are inserted at rename in program order and only ever
+ * leave from the head (ROB-position wakeup is in program order) — this
+ * is the property that makes the structure "enormously more efficient"
+ * than an IQ.
+ *
+ * For the Non-Ready modes the structure additionally supports
+ * CAM-style extraction: any entry whose ticket vector has been fully
+ * cleared may leave out of order (the paper's ticket bit-matrix).  The
+ * energy model charges the two modes differently.
+ *
+ * Capacity and insert/extract port counts are configurable — the
+ * subject of Figure 10's sweep.
+ */
+
+#ifndef LTP_LTP_LTP_QUEUE_HH
+#define LTP_LTP_LTP_QUEUE_HH
+
+#include <deque>
+#include <functional>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "cpu/dyn_inst.hh"
+
+namespace ltp {
+
+/** Bounded parking queue with per-cycle port limits. */
+class LtpQueue
+{
+  public:
+    /**
+     * @param entries       capacity (kInfiniteSize for the limit study)
+     * @param insert_ports  parks accepted per cycle
+     * @param extract_ports wakeups served per cycle
+     */
+    LtpQueue(int entries, int insert_ports, int extract_ports);
+
+    /** Start-of-cycle: replenish port budgets. */
+    void beginCycle(Cycle now);
+
+    /** Can another instruction be parked this cycle? */
+    bool canInsert() const;
+
+    /** Park @p inst (callers park in program order). */
+    void push(DynInst *inst, Cycle now);
+
+    /** Can another instruction be woken this cycle? */
+    bool canExtract() const;
+
+    /** Oldest parked instruction, or nullptr. */
+    DynInst *front() const;
+
+    /** Remove the head (FIFO extraction; consumes an extract port). */
+    void popFront(Cycle now);
+
+    /**
+     * CAM extraction for Non-Ready wakeup: remove @p inst wherever it
+     * sits in the queue (consumes an extract port).
+     */
+    void remove(DynInst *inst, Cycle now);
+
+    /** Squash support: drop every entry younger than @p seq. */
+    void squashYoungerThan(SeqNum seq, Cycle now);
+
+    /** Visit entries oldest-first (for ticket-cleared scans). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (DynInst *inst : entries_)
+            fn(inst);
+    }
+
+    int size() const { return static_cast<int>(entries_.size()); }
+    bool empty() const { return entries_.empty(); }
+    int capacity() const { return capacity_; }
+
+    /// @name Statistics (Figure 7 utilisation, Figure 10 activity)
+    /// @{
+    Counter pushes;
+    Counter pops;
+    Counter camExtractions;
+    Counter insertPortStalls;
+    Counter extractPortStalls;
+    Counter fullStalls;
+    OccupancyStat occupancy;
+    OccupancyStat parkedWithDest; ///< "Regs in LTP"  (Fig 7)
+    OccupancyStat parkedLoads;    ///< "Loads in LTP" (Fig 7)
+    OccupancyStat parkedStores;   ///< "Stores in LTP"(Fig 7)
+    void resetStats(Cycle now);
+    /// @}
+
+  private:
+    void accountRemove(DynInst *inst, Cycle now);
+
+    int capacity_;
+    int insert_ports_;
+    int extract_ports_;
+    int inserts_left_ = 0;
+    int extracts_left_ = 0;
+    std::deque<DynInst *> entries_;
+};
+
+} // namespace ltp
+
+#endif // LTP_LTP_LTP_QUEUE_HH

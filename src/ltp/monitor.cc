@@ -1,0 +1,10 @@
+#include "ltp/monitor.hh"
+
+namespace ltp {
+
+LtpMonitor::LtpMonitor(bool use_timer, Cycle timeout)
+    : use_timer_(use_timer), timeout_(timeout)
+{
+}
+
+} // namespace ltp

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Timer-based DRAM monitor — Section 5.2 "Runtime Management".
+ *
+ * "On a demand access that miss in L3, a timer (set to the DRAM
+ *  latency) is started or restarted, and LTP is enabled.  If the timer
+ *  expires, LTP is turned off [power gated]."
+ *
+ * This keeps compute-bound phases (where *every* instruction misses in
+ * the UIT and would be parked pointlessly) from paying LTP overheads —
+ * the bottom row of Figure 7 reports the resulting enabled fraction.
+ */
+
+#ifndef LTP_LTP_MONITOR_HH
+#define LTP_LTP_MONITOR_HH
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace ltp {
+
+/** LTP on/off controller driven by demand DRAM misses. */
+class LtpMonitor
+{
+  public:
+    /**
+     * @param use_timer false => LTP is always on (the limit study keeps
+     *                  the monitor, but tests use this to isolate it)
+     * @param timeout   timer duration, nominally the DRAM latency
+     */
+    LtpMonitor(bool use_timer, Cycle timeout);
+
+    /** Demand access missed in the L3: (re)arm the timer. */
+    void
+    onDramDemandMiss(Cycle now)
+    {
+        deadline_ = now + timeout_;
+    }
+
+    /** Is LTP enabled at cycle @p now? */
+    bool
+    enabled(Cycle now) const
+    {
+        return !use_timer_ || now < deadline_;
+    }
+
+    /** Per-cycle bookkeeping for the enabled-fraction statistic. */
+    void
+    tick(Cycle now)
+    {
+        on_.set(enabled(now) ? 1 : 0, now);
+    }
+
+    /** Fraction of cycles LTP was powered on (Fig 7 bottom). */
+    double enabledFraction(Cycle now) { return on_.mean(now); }
+
+    void resetStats(Cycle now) { on_.reset(now); }
+
+    Cycle timeout() const { return timeout_; }
+
+  private:
+    bool use_timer_;
+    Cycle timeout_;
+    Cycle deadline_ = 0;
+    OccupancyStat on_;
+};
+
+} // namespace ltp
+
+#endif // LTP_LTP_MONITOR_HH

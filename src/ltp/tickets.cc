@@ -1,0 +1,57 @@
+#include "ltp/tickets.hh"
+
+#include "common/logging.hh"
+
+namespace ltp {
+
+TicketPool::TicketPool(int num_tickets)
+    : capacity_(std::min(num_tickets, kMaxTickets)),
+      allocated_(static_cast<std::size_t>(capacity_), false)
+{
+    sim_assert(num_tickets > 0);
+    free_.reserve(capacity_);
+    for (int t = capacity_ - 1; t >= 0; --t)
+        free_.push_back(t);
+}
+
+int
+TicketPool::allocate()
+{
+    if (free_.empty()) {
+        exhaustions++;
+        return -1;
+    }
+    int t = free_.back();
+    free_.pop_back();
+    allocated_[t] = true;
+    pending_.set(t);
+    allocations++;
+    return t;
+}
+
+void
+TicketPool::clearPending(int t)
+{
+    sim_assert(t >= 0 && t < capacity_ && allocated_[t]);
+    pending_.clear(t);
+    broadcasts++;
+}
+
+void
+TicketPool::release(int t)
+{
+    sim_assert(t >= 0 && t < capacity_ && allocated_[t]);
+    allocated_[t] = false;
+    pending_.clear(t);
+    free_.push_back(t);
+}
+
+void
+TicketPool::resetStats()
+{
+    allocations.reset();
+    exhaustions.reset();
+    broadcasts.reset();
+}
+
+} // namespace ltp

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Ticket machinery for Non-Ready tracking — Appendix A.
+ *
+ * Every predicted long-latency instruction is assigned a *ticket*.
+ * Descendants inherit the union of their sources' tickets through the
+ * RAT; an instruction with a non-empty (live) ticket set is Non-Ready.
+ * When the long-latency instruction is about to finish (the phased
+ * cache tag-hit early signal), its ticket is broadcast-cleared in the
+ * LTP and the pool.
+ *
+ * "The Tickets field is a vector of tickets containing all the tickets
+ *  that the instruction needs to wait for since an instruction can
+ *  depend on several long latency instructions."
+ */
+
+#ifndef LTP_LTP_TICKETS_HH
+#define LTP_LTP_TICKETS_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace ltp {
+
+/** Maximum tickets supported by the mask type (Fig 11 sweeps to 128). */
+inline constexpr int kMaxTickets = 256;
+
+/** Fixed-width ticket bit vector. */
+class TicketMask
+{
+  public:
+    void
+    set(int t)
+    {
+        w_[idx(t)] |= bit(t);
+    }
+
+    void
+    clear(int t)
+    {
+        w_[idx(t)] &= ~bit(t);
+    }
+
+    bool
+    test(int t) const
+    {
+        return (w_[idx(t)] & bit(t)) != 0;
+    }
+
+    void
+    orWith(const TicketMask &o)
+    {
+        for (std::size_t i = 0; i < w_.size(); ++i)
+            w_[i] |= o.w_[i];
+    }
+
+    void
+    andWith(const TicketMask &o)
+    {
+        for (std::size_t i = 0; i < w_.size(); ++i)
+            w_[i] &= o.w_[i];
+    }
+
+    bool
+    any() const
+    {
+        for (auto v : w_)
+            if (v)
+                return true;
+        return false;
+    }
+
+    void
+    reset()
+    {
+        w_.fill(0);
+    }
+
+    bool
+    operator==(const TicketMask &o) const
+    {
+        return w_ == o.w_;
+    }
+
+  private:
+    static std::size_t idx(int t) { return static_cast<std::size_t>(t) / 64; }
+    static std::uint64_t bit(int t) { return 1ull << (t % 64); }
+
+    std::array<std::uint64_t, kMaxTickets / 64> w_{};
+};
+
+/**
+ * Bounded ticket pool.
+ *
+ * A ticket's life cycle: allocate (predicted-LL instruction renames) →
+ * pending → cleared (broadcast when the data is about to arrive) →
+ * released (the owning instruction commits or squashes).  Exhaustion is
+ * graceful: the load is simply treated as short-latency (descendants
+ * are not marked Non-Ready), which is how the paper's Figure 11 ticket
+ * sweep degrades.
+ */
+class TicketPool
+{
+  public:
+    explicit TicketPool(int num_tickets);
+
+    /** Allocate a ticket; returns -1 when the pool is exhausted. */
+    int allocate();
+
+    /** Broadcast-clear: the value is (about to be) available. */
+    void clearPending(int t);
+
+    /** Return the ticket to the pool for reuse. */
+    void release(int t);
+
+    /** Mask of tickets still pending (not yet cleared). */
+    const TicketMask &pending() const { return pending_; }
+
+    /** Live-filter a stale mask: keep only still-pending tickets. */
+    TicketMask
+    liveSubset(TicketMask m) const
+    {
+        m.andWith(pending_);
+        return m;
+    }
+
+    int capacity() const { return capacity_; }
+    int availableCount() const { return static_cast<int>(free_.size()); }
+
+    Counter allocations;
+    Counter exhaustions;
+    Counter broadcasts;
+
+    void resetStats();
+
+  private:
+    int capacity_;
+    std::vector<int> free_;
+    std::vector<bool> allocated_;
+    TicketMask pending_;
+};
+
+} // namespace ltp
+
+#endif // LTP_LTP_TICKETS_HH

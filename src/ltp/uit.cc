@@ -1,0 +1,101 @@
+#include "ltp/uit.hh"
+
+#include "common/logging.hh"
+
+namespace ltp {
+
+namespace {
+
+int
+floorPow2(int v)
+{
+    int p = 1;
+    while (p * 2 <= v)
+        p *= 2;
+    return p;
+}
+
+} // namespace
+
+Uit::Uit(int entries, int assoc)
+    : infinite_(isInfinite(entries))
+{
+    if (!infinite_) {
+        sim_assert(entries > 0 && assoc > 0);
+        assoc_ = std::min(assoc, entries);
+        sets_ = floorPow2(std::max(1, entries / assoc_));
+        table_.resize(static_cast<std::size_t>(sets_) * assoc_);
+    }
+}
+
+bool
+Uit::lookup(Addr pc)
+{
+    lookups++;
+    if (infinite_) {
+        bool hit = exact_.count(pc) != 0;
+        if (hit)
+            hits++;
+        return hit;
+    }
+    std::size_t set = (pc >> 2) & (sets_ - 1);
+    Entry *base = &table_[set * assoc_];
+    for (int w = 0; w < assoc_; ++w) {
+        if (base[w].valid && base[w].tag == pc) {
+            base[w].lastUse = ++use_stamp_;
+            hits++;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Uit::insert(Addr pc)
+{
+    if (infinite_) {
+        if (exact_.insert(pc).second)
+            inserts++;
+        return;
+    }
+    std::size_t set = (pc >> 2) & (sets_ - 1);
+    Entry *base = &table_[set * assoc_];
+    Entry *victim = &base[0];
+    for (int w = 0; w < assoc_; ++w) {
+        if (base[w].valid && base[w].tag == pc) {
+            base[w].lastUse = ++use_stamp_;
+            return; // already present
+        }
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    if (victim->valid)
+        conflictEvictions++;
+    victim->valid = true;
+    victim->tag = pc;
+    victim->lastUse = ++use_stamp_;
+    inserts++;
+}
+
+void
+Uit::clear()
+{
+    exact_.clear();
+    for (auto &e : table_)
+        e.valid = false;
+}
+
+void
+Uit::resetStats()
+{
+    lookups.reset();
+    hits.reset();
+    inserts.reset();
+    conflictEvictions.reset();
+}
+
+} // namespace ltp

@@ -1,0 +1,143 @@
+#include "mem/cache.hh"
+
+#include "common/logging.hh"
+
+namespace ltp {
+
+namespace {
+
+bool
+isPow2(int v)
+{
+    return v > 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+Cache::Cache(std::string name, const CacheConfig &cfg)
+    : name_(std::move(name)), cfg_(cfg)
+{
+    std::int64_t bytes = std::int64_t(cfg_.sizeKB) * 1024;
+    num_sets_ = static_cast<int>(bytes / (cfg_.assoc * kBlockBytes));
+    if (num_sets_ <= 0 || !isPow2(num_sets_))
+        fatal("%s: size %dkB / assoc %d gives non-power-of-2 sets",
+              name_.c_str(), cfg_.sizeKB, cfg_.assoc);
+    lines_.resize(static_cast<std::size_t>(num_sets_) * cfg_.assoc);
+}
+
+Cache::Line *
+Cache::findLine(Addr block)
+{
+    std::size_t set = (block / kBlockBytes) & (num_sets_ - 1);
+    Line *base = &lines_[set * cfg_.assoc];
+    for (int w = 0; w < cfg_.assoc; ++w)
+        if (base[w].valid && base[w].tag == block)
+            return &base[w];
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr block) const
+{
+    return const_cast<Cache *>(this)->findLine(block);
+}
+
+bool
+Cache::lookup(Addr block, Cycle now, Cycle *data_ready)
+{
+    sim_assert(block == blockAlign(block));
+    Line *line = findLine(block);
+    if (!line) {
+        demandMisses++;
+        return false;
+    }
+    line->lastUse = ++use_stamp_;
+    if (line->prefetched) {
+        usefulPrefetches++;
+        line->prefetched = false;
+    }
+    if (line->dataReady > now)
+        mergedInflight++;
+    else
+        demandHits++;
+    *data_ready = line->dataReady;
+    return true;
+}
+
+bool
+Cache::contains(Addr block) const
+{
+    return findLine(block) != nullptr;
+}
+
+Cache::Victim
+Cache::fill(Addr block, Cycle now, Cycle data_ready, bool prefetch)
+{
+    sim_assert(block == blockAlign(block));
+    (void)now;
+    // Refill of a present line (e.g. upgrade): just refresh timing.
+    if (Line *line = findLine(block)) {
+        line->dataReady = std::max(line->dataReady, data_ready);
+        return Victim{};
+    }
+
+    std::size_t set = (block / kBlockBytes) & (num_sets_ - 1);
+    Line *base = &lines_[set * cfg_.assoc];
+    Line *victim = &base[0];
+    for (int w = 0; w < cfg_.assoc; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+
+    Victim out;
+    if (victim->valid) {
+        out.valid = true;
+        out.dirty = victim->dirty;
+        out.addr = victim->tag;
+        evictions++;
+        if (victim->dirty)
+            dirtyEvictions++;
+    }
+
+    victim->valid = true;
+    victim->dirty = false;
+    victim->prefetched = prefetch;
+    victim->tag = block;
+    victim->dataReady = data_ready;
+    victim->lastUse = ++use_stamp_;
+    if (prefetch)
+        prefetchFills++;
+    return out;
+}
+
+void
+Cache::setDirty(Addr block)
+{
+    if (Line *line = findLine(block))
+        line->dirty = true;
+}
+
+void
+Cache::invalidate(Addr block)
+{
+    if (Line *line = findLine(block))
+        line->valid = false;
+}
+
+void
+Cache::resetStats()
+{
+    demandHits.reset();
+    demandMisses.reset();
+    mergedInflight.reset();
+    prefetchFills.reset();
+    usefulPrefetches.reset();
+    evictions.reset();
+    dirtyEvictions.reset();
+}
+
+} // namespace ltp

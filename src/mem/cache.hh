@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Set-associative cache tag array with true LRU, write-back/allocate.
+ *
+ * Timing convention: this is a latency-returning ("Sniper-style") model.
+ * On a miss the line is installed immediately with a @c dataReady cycle
+ * in the future; a subsequent access to the same block before that cycle
+ * observes the in-flight fill and is merged (the MSHR-secondary-miss
+ * case).  Installing the tag at request time rather than fill time makes
+ * evictions marginally early; DESIGN.md documents this approximation.
+ */
+
+#ifndef LTP_MEM_CACHE_HH
+#define LTP_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace ltp {
+
+/** Static parameters of one cache level. */
+struct CacheConfig
+{
+    int sizeKB = 32;
+    int assoc = 8;
+    Cycle hitLatency = 4; ///< total load-to-use latency at this level
+};
+
+/** One cache level (tags + per-line fill timing, no data). */
+class Cache
+{
+  public:
+    Cache(std::string name, const CacheConfig &cfg);
+
+    /**
+     * Demand lookup at cycle @p now, updating LRU.
+     *
+     * @param block     block-aligned address
+     * @param now       current cycle
+     * @param data_ready out: cycle the line's data is available
+     *                  (<= now for resident lines, > now for in-flight
+     *                  fills being merged with)
+     * @retval true on tag hit
+     */
+    bool lookup(Addr block, Cycle now, Cycle *data_ready);
+
+    /** Tag-only peek without LRU update (used by prefetch filtering). */
+    bool contains(Addr block) const;
+
+    /** Evicted line descriptor returned by fill(). */
+    struct Victim
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr addr = 0;
+    };
+
+    /**
+     * Install @p block with data arriving at @p data_ready.
+     * @param prefetch marks the line as prefetched (for accuracy stats).
+     * @return the victim line, if a valid one was evicted.
+     */
+    Victim fill(Addr block, Cycle now, Cycle data_ready, bool prefetch);
+
+    /** Mark a (present) block dirty; no-op if absent. */
+    void setDirty(Addr block);
+
+    /** Drop a block if present. */
+    void invalidate(Addr block);
+
+    Cycle hitLatency() const { return cfg_.hitLatency; }
+    int numSets() const { return num_sets_; }
+    int assoc() const { return cfg_.assoc; }
+    const std::string &name() const { return name_; }
+
+    /// @name Statistics
+    /// @{
+    Counter demandHits;
+    Counter demandMisses;
+    Counter mergedInflight; ///< hits on lines whose fill is in flight
+    Counter prefetchFills;
+    Counter usefulPrefetches; ///< demand hit on a prefetched line
+    Counter evictions;
+    Counter dirtyEvictions;
+    void resetStats();
+    /// @}
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        bool prefetched = false;
+        Addr tag = 0;
+        Cycle dataReady = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    Line *findLine(Addr block);
+    const Line *findLine(Addr block) const;
+
+    std::string name_;
+    CacheConfig cfg_;
+    int num_sets_;
+    std::uint64_t use_stamp_ = 0;
+    std::vector<Line> lines_; ///< num_sets_ * assoc, set-major
+};
+
+} // namespace ltp
+
+#endif // LTP_MEM_CACHE_HH

@@ -1,0 +1,115 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace ltp {
+
+Dram::Dram(const DramConfig &cfg)
+    : cfg_(cfg),
+      banks_(static_cast<std::size_t>(cfg.channels) * cfg.banks),
+      bus_next_free_(cfg.channels, 0)
+{
+    sim_assert(cfg.banks > 0 && cfg.channels > 0);
+}
+
+Cycle
+Dram::dramCk(int ck) const
+{
+    return static_cast<Cycle>(
+        std::llround(ck * cfg_.cpuCyclesPerDramCycle));
+}
+
+void
+Dram::expireReads(Cycle now)
+{
+    while (!read_completions_.empty() && read_completions_.top() <= now) {
+        Cycle t = read_completions_.top();
+        read_completions_.pop();
+        inflight_.sub(1, t);
+    }
+}
+
+Cycle
+Dram::access(Addr addr, Cycle now, bool is_write, Cycle path_delay)
+{
+    expireReads(now);
+
+    // Channel/bank interleave on block address bits; row = higher bits.
+    Addr block = addr / kBlockBytes;
+    std::size_t channel = block % cfg_.channels;
+    std::size_t bank_idx = (block / cfg_.channels) % cfg_.banks;
+    Addr row = addr / cfg_.rowBytes / (cfg_.channels * cfg_.banks);
+    Bank &bank = banks_[channel * cfg_.banks + bank_idx];
+
+    Cycle arrive = now + path_delay + cfg_.controllerLatency;
+    Cycle start = std::max(arrive, bank.nextFree);
+
+    Cycle service;
+    if (bank.open && bank.row == row) {
+        service = dramCk(cfg_.clCk);
+        rowHits++;
+    } else {
+        service = dramCk(bank.open ? cfg_.rpCk + cfg_.rcdCk + cfg_.clCk
+                                   : cfg_.rcdCk + cfg_.clCk);
+        rowConflicts++;
+        bank.open = true;
+        bank.row = row;
+    }
+
+    // The data burst occupies the channel's bus after the CAS completes.
+    Cycle &bus = bus_next_free_[channel];
+    Cycle data_start = std::max(start + service, bus);
+    Cycle burst = dramCk(cfg_.burstCk);
+    Cycle complete = data_start + burst;
+
+    bus = data_start + burst;
+    bank.nextFree = complete;
+
+    if (is_write) {
+        writes++;
+    } else {
+        reads++;
+        inflight_.add(1, now);
+        read_completions_.push(complete);
+    }
+    return complete;
+}
+
+int
+Dram::inflightReads(Cycle now)
+{
+    expireReads(now);
+    return static_cast<int>(inflight_.level());
+}
+
+double
+Dram::meanInflightReads(Cycle now)
+{
+    expireReads(now);
+    return inflight_.mean(now);
+}
+
+Cycle
+Dram::typicalLatency() const
+{
+    // Controller + activate + CAS + burst: the row-conflict common case
+    // for the random miss streams that matter to the monitor.
+    return cfg_.controllerLatency +
+           dramCk(cfg_.rpCk + cfg_.rcdCk + cfg_.clCk + cfg_.burstCk);
+}
+
+void
+Dram::resetStats(Cycle now)
+{
+    reads.reset();
+    writes.reset();
+    rowHits.reset();
+    rowConflicts.reset();
+    expireReads(now);
+    inflight_.reset(now);
+}
+
+} // namespace ltp

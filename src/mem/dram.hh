@@ -1,0 +1,98 @@
+/**
+ * @file
+ * DDR3-1600 11-11-11 main-memory model (Table 1).
+ *
+ * Bank/row-buffer timing at CPU-cycle resolution: a 3.4 GHz core clock
+ * against an 800 MHz DRAM command clock gives ~4.25 CPU cycles per DRAM
+ * cycle.  Row-buffer hits pay CAS + burst; conflicts pay precharge +
+ * activate + CAS.  A shared data bus serializes bursts, providing the
+ * bandwidth wall that bounds achievable MLP, and per-bank next-free
+ * times provide the bank-level parallelism that makes overlapped misses
+ * (the paper's whole subject) profitable.
+ *
+ * The model also integrates the number of in-flight reads per cycle —
+ * the "average outstanding requests" metric of Figure 1b.
+ */
+
+#ifndef LTP_MEM_DRAM_HH
+#define LTP_MEM_DRAM_HH
+
+#include <queue>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace ltp {
+
+/** DDR3-1600 11-11-11 timing expressed in CPU cycles. */
+struct DramConfig
+{
+    int channels = 2; ///< independent channels (high-end desktop config)
+    int banks = 8;    ///< banks per channel
+    double cpuCyclesPerDramCycle = 4.25; ///< 3.4GHz / 800MHz
+    int clCk = 11;    ///< CAS latency (DRAM cycles)
+    int rcdCk = 11;   ///< RAS-to-CAS (DRAM cycles)
+    int rpCk = 11;    ///< precharge (DRAM cycles)
+    int burstCk = 4;  ///< BL8 on a DDR bus (DRAM cycles)
+    int rowBytes = 8192;
+    Cycle controllerLatency = 20; ///< queue/PHY overhead (CPU cycles)
+};
+
+/** Single-channel, multi-bank DRAM with open-page policy. */
+class Dram
+{
+  public:
+    explicit Dram(const DramConfig &cfg);
+
+    /**
+     * Issue a read or write for @p addr at CPU cycle @p now.
+     * @param path_delay cycles before the request reaches the
+     *        controller (the L3 tag-check path); @p now itself must be
+     *        the core clock so the in-flight integration stays
+     *        monotonic.
+     * @return the cycle the data burst completes.
+     */
+    Cycle access(Addr addr, Cycle now, bool is_write,
+                 Cycle path_delay = 0);
+
+    /** Outstanding reads at cycle @p now (Fig 1b numerator). */
+    int inflightReads(Cycle now);
+
+    /** Average outstanding reads per cycle since the last reset. */
+    double meanInflightReads(Cycle now);
+
+    /** Typical random-access read latency (used to set the LTP
+     *  monitor's timer, Section 5.2). */
+    Cycle typicalLatency() const;
+
+    void resetStats(Cycle now);
+
+    Counter reads;
+    Counter writes;
+    Counter rowHits;
+    Counter rowConflicts;
+
+  private:
+    void expireReads(Cycle now);
+
+    struct Bank
+    {
+        bool open = false;
+        Addr row = 0;
+        Cycle nextFree = 0;
+    };
+
+    Cycle dramCk(int ck) const;
+
+    DramConfig cfg_;
+    std::vector<Bank> banks_; ///< channels * banks, channel-major
+    std::vector<Cycle> bus_next_free_; ///< per channel
+    std::priority_queue<Cycle, std::vector<Cycle>, std::greater<Cycle>>
+        read_completions_;
+    OccupancyStat inflight_;
+};
+
+} // namespace ltp
+
+#endif // LTP_MEM_DRAM_HH

@@ -1,0 +1,46 @@
+#include "mem/prefetcher.hh"
+
+namespace ltp {
+
+StridePrefetcher::StridePrefetcher(int degree, int table_entries)
+    : degree_(degree), table_(table_entries)
+{
+    sim_assert(degree >= 0 && table_entries > 0);
+}
+
+void
+StridePrefetcher::observe(Addr pc, Addr addr, std::vector<Addr> &out)
+{
+    if (degree_ == 0)
+        return;
+
+    Entry &e = table_[(pc >> 2) % table_.size()];
+    trainings++;
+
+    if (!e.valid || e.pc != pc) {
+        e = Entry{pc, addr, 0, 0, true};
+        return;
+    }
+
+    std::int64_t stride = static_cast<std::int64_t>(addr) -
+                          static_cast<std::int64_t>(e.lastAddr);
+    if (stride != 0 && stride == e.stride) {
+        if (e.confidence < 3)
+            e.confidence++;
+    } else {
+        e.confidence = stride != 0 && e.stride == 0 ? 1 : 0;
+    }
+    e.stride = stride;
+    e.lastAddr = addr;
+
+    if (e.confidence >= 2 && e.stride != 0) {
+        for (int k = 1; k <= degree_; ++k) {
+            Addr target = static_cast<Addr>(
+                static_cast<std::int64_t>(addr) + k * e.stride);
+            out.push_back(blockAlign(target));
+            issued++;
+        }
+    }
+}
+
+} // namespace ltp

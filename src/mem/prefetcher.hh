@@ -1,0 +1,57 @@
+/**
+ * @file
+ * PC-indexed stride prefetcher, degree 4, sitting at the L2 (Table 1:
+ * "L2 Prefetcher: Stride prefetcher, degree 4").
+ *
+ * Trains on the demand stream reaching the L2 (i.e. L1 misses).  After
+ * two consecutive accesses from the same PC with the same non-zero
+ * stride it emits up to `degree` block addresses ahead of the stream.
+ * Handles negative strides (the paper-loop A[] array walks downward).
+ */
+
+#ifndef LTP_MEM_PREFETCHER_HH
+#define LTP_MEM_PREFETCHER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace ltp {
+
+/** Classic per-PC stride prefetcher. */
+class StridePrefetcher
+{
+  public:
+    StridePrefetcher(int degree, int table_entries = 256);
+
+    /**
+     * Train on a demand access and collect prefetch candidates.
+     *
+     * @param pc   static PC of the triggering load/store
+     * @param addr byte address of the access
+     * @param out  receives block-aligned prefetch addresses
+     */
+    void observe(Addr pc, Addr addr, std::vector<Addr> &out);
+
+    Counter issued;
+    Counter trainings;
+
+  private:
+    struct Entry
+    {
+        Addr pc = 0;
+        Addr lastAddr = 0;
+        std::int64_t stride = 0;
+        int confidence = 0;
+        bool valid = false;
+    };
+
+    int degree_;
+    std::vector<Entry> table_;
+};
+
+} // namespace ltp
+
+#endif // LTP_MEM_PREFETCHER_HH

@@ -1,0 +1,166 @@
+#include "sim/config.hh"
+
+namespace ltp {
+
+SimConfig
+SimConfig::baseline()
+{
+    SimConfig cfg;
+    cfg.name = "base-iq64-rf128";
+    // CoreConfig/MemConfig defaults already encode Table 1.
+    cfg.core.ltp.mode = LtpMode::Off;
+    return cfg;
+}
+
+SimConfig
+SimConfig::ltpProposal(LtpMode mode)
+{
+    SimConfig cfg;
+    cfg.name = std::string("ltp-") + ltpModeName(mode) + "-iq32-rf96";
+    cfg.core.iqSize = 32;
+    cfg.core.intRegs = 96;
+    cfg.core.fpRegs = 96;
+    cfg.core.ltp.mode = mode;
+    cfg.core.ltp.classifier = ClassifierKind::Learned;
+    cfg.core.ltp.entries = 128;
+    cfg.core.ltp.insertPorts = 4;
+    cfg.core.ltp.extractPorts = 4;
+    cfg.core.ltp.uitEntries = 256;
+    cfg.core.ltp.useMonitor = true;
+    return cfg;
+}
+
+SimConfig
+SimConfig::limitStudy(LtpMode mode)
+{
+    SimConfig cfg;
+    cfg.name = std::string("limit-") + ltpModeName(mode);
+    cfg.core.iqSize = kInfiniteSize;
+    cfg.core.intRegs = kInfiniteSize;
+    cfg.core.fpRegs = kInfiniteSize;
+    cfg.core.lqSize = kInfiniteSize;
+    cfg.core.sqSize = kInfiniteSize;
+    cfg.core.ltp.mode = mode;
+    cfg.core.ltp.classifier =
+        mode == LtpMode::Off ? ClassifierKind::Learned
+                             : ClassifierKind::Oracle;
+    cfg.core.ltp.entries = kInfiniteSize;
+    cfg.core.ltp.insertPorts = 8;
+    cfg.core.ltp.extractPorts = 8;
+    cfg.core.ltp.numTickets = kMaxTickets;
+    cfg.core.ltp.useMonitor = true;
+    cfg.core.ltp.delayLqSq = true;
+    cfg.mem.l1dMshrs = kInfiniteSize;
+    return cfg;
+}
+
+SimConfig &
+SimConfig::withName(const std::string &n)
+{
+    name = n;
+    return *this;
+}
+
+SimConfig &
+SimConfig::withIq(int entries)
+{
+    core.iqSize = entries;
+    return *this;
+}
+
+SimConfig &
+SimConfig::withRegs(int per_class)
+{
+    core.intRegs = per_class;
+    core.fpRegs = per_class;
+    return *this;
+}
+
+SimConfig &
+SimConfig::withLq(int entries)
+{
+    core.lqSize = entries;
+    return *this;
+}
+
+SimConfig &
+SimConfig::withSq(int entries)
+{
+    core.sqSize = entries;
+    return *this;
+}
+
+SimConfig &
+SimConfig::withRob(int entries)
+{
+    core.robSize = entries;
+    return *this;
+}
+
+SimConfig &
+SimConfig::withLtp(LtpMode mode, int entries, int ports)
+{
+    core.ltp.mode = mode;
+    core.ltp.entries = entries;
+    core.ltp.insertPorts = ports;
+    core.ltp.extractPorts = ports;
+    return *this;
+}
+
+SimConfig &
+SimConfig::withLtpOff()
+{
+    core.ltp.mode = LtpMode::Off;
+    return *this;
+}
+
+SimConfig &
+SimConfig::withOracle()
+{
+    core.ltp.classifier = ClassifierKind::Oracle;
+    return *this;
+}
+
+SimConfig &
+SimConfig::withLearned()
+{
+    core.ltp.classifier = ClassifierKind::Learned;
+    return *this;
+}
+
+SimConfig &
+SimConfig::withUit(int entries)
+{
+    core.ltp.uitEntries = entries;
+    return *this;
+}
+
+SimConfig &
+SimConfig::withTickets(int n)
+{
+    core.ltp.numTickets = n;
+    return *this;
+}
+
+SimConfig &
+SimConfig::withMonitor(bool on)
+{
+    core.ltp.useMonitor = on;
+    return *this;
+}
+
+SimConfig &
+SimConfig::withPrefetcher(bool on)
+{
+    mem.prefetchEnabled = on;
+    return *this;
+}
+
+SimConfig &
+SimConfig::withSeed(std::uint64_t s)
+{
+    seed = s;
+    return *this;
+}
+
+} // namespace ltp

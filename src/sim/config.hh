@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Whole-simulation configuration: core + memory + trace staging, with
+ * the named presets every bench builds from.
+ *
+ *  - baseline():    Table 1 — IQ 64, RF 128+128, LQ 64, SQ 32, ROB 256,
+ *                   3-level caches, stride prefetcher, LTP off.
+ *  - ltpProposal(): the paper's proposal — IQ 32, RF 96+96, plus a
+ *                   128-entry 4-port queue-based Non-Urgent LTP with
+ *                   learned classification (UIT 256) and the DRAM-timer
+ *                   monitor.
+ *  - limitStudy():  Section 4 — every resource effectively unlimited
+ *                   except the ones a bench sweeps, infinite LTP with
+ *                   oracle classification, LQ/SQ late allocation.
+ */
+
+#ifndef LTP_SIM_CONFIG_HH
+#define LTP_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "cpu/core.hh"
+#include "mem/mem_system.hh"
+
+namespace ltp {
+
+/** Complete configuration of one simulation run. */
+struct SimConfig
+{
+    std::string name = "baseline";
+    CoreConfig core;
+    MemConfig mem;
+    std::uint64_t seed = 1;
+
+    /// @name Presets
+    /// @{
+    static SimConfig baseline();
+    static SimConfig ltpProposal(LtpMode mode = LtpMode::NU);
+    static SimConfig limitStudy(LtpMode mode);
+    /// @}
+
+    /// @name Fluent mutators (return *this for chaining)
+    /// @{
+    SimConfig &withName(const std::string &n);
+    SimConfig &withIq(int entries);
+    SimConfig &withRegs(int per_class);
+    SimConfig &withLq(int entries);
+    SimConfig &withSq(int entries);
+    SimConfig &withRob(int entries);
+    SimConfig &withLtp(LtpMode mode, int entries, int ports);
+    SimConfig &withLtpOff();
+    SimConfig &withOracle();
+    SimConfig &withLearned();
+    SimConfig &withUit(int entries);
+    SimConfig &withTickets(int n);
+    SimConfig &withMonitor(bool on);
+    SimConfig &withPrefetcher(bool on);
+    SimConfig &withSeed(std::uint64_t s);
+    /// @}
+};
+
+} // namespace ltp
+
+#endif // LTP_SIM_CONFIG_HH

@@ -1,0 +1,59 @@
+#include "sim/experiment.hh"
+
+#include "common/logging.hh"
+
+namespace ltp {
+
+std::vector<Metrics>
+runSuite(const SimConfig &cfg, const std::vector<std::string> &kernels,
+         const RunLengths &lengths)
+{
+    std::vector<Metrics> out;
+    out.reserve(kernels.size());
+    for (const std::string &k : kernels)
+        out.push_back(Simulator::runOnce(cfg, k, lengths));
+    return out;
+}
+
+Metrics
+runGroupAverage(const SimConfig &cfg,
+                const std::vector<std::string> &kernels,
+                const std::string &label, const RunLengths &lengths)
+{
+    return averageMetrics(runSuite(cfg, kernels, lengths), label);
+}
+
+void
+ResultGrid::put(const std::string &row, const std::string &series,
+                const Metrics &m)
+{
+    grid_[row][series] = m;
+}
+
+const Metrics &
+ResultGrid::at(const std::string &row, const std::string &series) const
+{
+    auto r = grid_.find(row);
+    if (r == grid_.end())
+        fatal("no results for row '%s'", row.c_str());
+    auto c = r->second.find(series);
+    if (c == r->second.end())
+        fatal("no results for series '%s' in row '%s'", series.c_str(),
+              row.c_str());
+    return c->second;
+}
+
+bool
+ResultGrid::has(const std::string &row, const std::string &series) const
+{
+    auto r = grid_.find(row);
+    return r != grid_.end() && r->second.count(series) != 0;
+}
+
+std::string
+sizeLabel(int entries)
+{
+    return isInfinite(entries) ? "inf" : std::to_string(entries);
+}
+
+} // namespace ltp

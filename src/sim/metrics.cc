@@ -1,0 +1,67 @@
+#include "sim/metrics.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace ltp {
+
+std::string
+Metrics::toString() const
+{
+    std::ostringstream os;
+    os << config << "/" << workload
+       << strprintf(": ipc=%.3f cpi=%.3f", ipc, cpi)
+       << strprintf(" mlp=%.2f", avgOutstanding)
+       << strprintf(" iq=%.1f rf=%.1f lq=%.1f sq=%.1f", iqOcc, rfOcc,
+                    lqOcc, sqOcc);
+    if (ltpOcc > 0.0 || parked > 0)
+        os << strprintf(" ltp=%.1f parked=%.0f%%", ltpOcc,
+                        100.0 * parkedFrac);
+    return os.str();
+}
+
+Metrics
+averageMetrics(const std::vector<Metrics> &runs, const std::string &label)
+{
+    sim_assert(!runs.empty());
+    Metrics avg;
+    avg.config = runs.front().config;
+    avg.workload = label;
+    double n = double(runs.size());
+
+    for (const Metrics &m : runs) {
+        avg.insts += m.insts;
+        avg.cycles += m.cycles;
+        avg.ipc += m.ipc / n;
+        avg.cpi += m.cpi / n;
+        avg.avgOutstanding += m.avgOutstanding / n;
+        avg.avgLoadLatency += m.avgLoadLatency / n;
+        avg.dramReads += m.dramReads;
+        avg.iqOcc += m.iqOcc / n;
+        avg.robOcc += m.robOcc / n;
+        avg.lqOcc += m.lqOcc / n;
+        avg.sqOcc += m.sqOcc / n;
+        avg.rfOcc += m.rfOcc / n;
+        avg.ltpOcc += m.ltpOcc / n;
+        avg.ltpRegsOcc += m.ltpRegsOcc / n;
+        avg.ltpLoadsOcc += m.ltpLoadsOcc / n;
+        avg.ltpStoresOcc += m.ltpStoresOcc / n;
+        avg.ltpEnabledFrac += m.ltpEnabledFrac / n;
+        avg.parkedFrac += m.parkedFrac / n;
+        avg.parked += m.parked;
+        avg.unparked += m.unparked;
+        avg.forcedUnparks += m.forcedUnparks;
+        avg.pressureUnparks += m.pressureUnparks;
+        avg.llpredAccuracy += m.llpredAccuracy / n;
+        avg.bpAccuracy += m.bpAccuracy / n;
+        avg.energy.iq += m.energy.iq / n;
+        avg.energy.rf += m.energy.rf / n;
+        avg.energy.ltp += m.energy.ltp / n;
+        avg.ed2p += m.ed2p / n;
+        avg.edp += m.edp / n;
+    }
+    return avg;
+}
+
+} // namespace ltp

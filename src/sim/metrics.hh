@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Aggregated results of one simulation run — everything the paper's
+ * figures report, extracted once at the end of the detailed region.
+ */
+
+#ifndef LTP_SIM_METRICS_HH
+#define LTP_SIM_METRICS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "energy/energy_model.hh"
+
+namespace ltp {
+
+/** Results of one (config, workload) run over the detailed region. */
+struct Metrics
+{
+    std::string config;
+    std::string workload;
+
+    std::uint64_t insts = 0;
+    std::uint64_t cycles = 0;
+    double ipc = 0.0;
+    double cpi = 0.0;
+
+    /// @name Memory behaviour (Fig 1b, Section 4.1)
+    /// @{
+    double avgOutstanding = 0.0; ///< mean in-flight DRAM reads per cycle
+    double avgLoadLatency = 0.0; ///< mean demand load-to-use latency
+    std::uint64_t dramReads = 0;
+    /// @}
+
+    /// @name Resource occupancies, mean per cycle (Fig 1c, Fig 7)
+    /// @{
+    double iqOcc = 0.0;
+    double robOcc = 0.0;
+    double lqOcc = 0.0;
+    double sqOcc = 0.0;
+    double rfOcc = 0.0;       ///< INT + FP registers in use
+    double ltpOcc = 0.0;      ///< instructions in LTP
+    double ltpRegsOcc = 0.0;  ///< parked insts with a destination
+    double ltpLoadsOcc = 0.0; ///< parked loads
+    double ltpStoresOcc = 0.0;///< parked stores
+    /// @}
+
+    /// @name LTP behaviour (Fig 7 bottom, Section 5)
+    /// @{
+    double ltpEnabledFrac = 0.0;
+    double parkedFrac = 0.0; ///< parked / committed
+    std::uint64_t parked = 0;
+    std::uint64_t unparked = 0;
+    std::uint64_t forcedUnparks = 0;
+    std::uint64_t pressureUnparks = 0;
+    double llpredAccuracy = 0.0;
+    double bpAccuracy = 0.0;
+    /// @}
+
+    /// @name Energy (Fig 10)
+    /// @{
+    EnergyBreakdown energy;
+    double ed2p = 0.0;
+    double edp = 0.0;
+    /// @}
+
+    /** IPC speedup of this run over @p base, as a fraction. */
+    double
+    speedupOver(const Metrics &base) const
+    {
+        return base.ipc != 0.0 ? ipc / base.ipc : 0.0;
+    }
+
+    /** Performance delta vs @p base in percent (paper-style axis). */
+    double
+    perfDeltaPct(const Metrics &base) const
+    {
+        return (speedupOver(base) - 1.0) * 100.0;
+    }
+
+    /** ED2P delta vs @p base in percent. */
+    double
+    ed2pDeltaPct(const Metrics &base) const
+    {
+        return base.ed2p != 0.0 ? (ed2p / base.ed2p - 1.0) * 100.0 : 0.0;
+    }
+
+    std::string toString() const;
+};
+
+/** Arithmetic-mean aggregate of a group of runs (paper group averages). */
+Metrics averageMetrics(const std::vector<Metrics> &runs,
+                       const std::string &label);
+
+} // namespace ltp
+
+#endif // LTP_SIM_METRICS_HH

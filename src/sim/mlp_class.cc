@@ -1,0 +1,46 @@
+#include "sim/mlp_class.hh"
+
+#include "trace/suite.hh"
+
+namespace ltp {
+
+MlpClassification
+classifyMlp(const std::string &kernel, const RunLengths &lengths,
+            std::uint64_t seed)
+{
+    SimConfig small = SimConfig::baseline().withIq(32).withSeed(seed);
+    SimConfig big = SimConfig::baseline().withIq(256).withSeed(seed);
+
+    Metrics m32 = Simulator::runOnce(small, kernel, lengths);
+    Metrics m256 = Simulator::runOnce(big, kernel, lengths);
+
+    MlpClassification out;
+    out.kernel = kernel;
+    out.speedup = m32.ipc != 0.0 ? m256.ipc / m32.ipc : 0.0;
+    out.outstandingRatio = m32.avgOutstanding > 1e-9
+                               ? m256.avgOutstanding / m32.avgOutstanding
+                               : (m256.avgOutstanding > 1e-9 ? 10.0 : 0.0);
+    out.avgLoadLatency = m256.avgLoadLatency;
+
+    Cycle l2_lat = big.mem.l2.hitLatency;
+    out.sensitive = out.avgLoadLatency > double(l2_lat) &&
+                    out.speedup > 1.05 && out.outstandingRatio > 1.10;
+    return out;
+}
+
+SuiteGroups
+classifySuite(const RunLengths &lengths, std::uint64_t seed)
+{
+    SuiteGroups groups;
+    for (const std::string &name : allKernelNames()) {
+        MlpClassification c = classifyMlp(name, lengths, seed);
+        groups.details.push_back(c);
+        if (c.sensitive)
+            groups.sensitive.push_back(name);
+        else
+            groups.insensitive.push_back(name);
+    }
+    return groups;
+}
+
+} // namespace ltp

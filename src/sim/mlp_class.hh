@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Section 4.1 MLP-sensitivity classification.
+ *
+ * "To identify the sensitive simulation points, we compared the
+ *  speedup, average cache latency, and number of outstanding memory
+ *  requests per cycle when run on a processor with a 32-entry IQ vs. a
+ *  processor with a 256-entry IQ.  Simulation points that had an
+ *  average cache latency greater than the L2 latency, and showed more
+ *  than 5% speedup and 10% more outstanding memory requests with the
+ *  larger IQ were categorized as MLP-sensitive."
+ */
+
+#ifndef LTP_SIM_MLP_CLASS_HH
+#define LTP_SIM_MLP_CLASS_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace ltp {
+
+/** Outcome of classifying one kernel. */
+struct MlpClassification
+{
+    std::string kernel;
+    bool sensitive = false;
+    double speedup = 0.0;          ///< IPC(IQ256) / IPC(IQ32)
+    double outstandingRatio = 0.0; ///< outstanding(IQ256)/outstanding(IQ32)
+    double avgLoadLatency = 0.0;   ///< at IQ256
+};
+
+/** Apply the Section 4.1 criteria to one kernel. */
+MlpClassification classifyMlp(const std::string &kernel,
+                              const RunLengths &lengths,
+                              std::uint64_t seed = 1);
+
+/** The suite partitioned by the runtime classifier. */
+struct SuiteGroups
+{
+    std::vector<std::string> sensitive;
+    std::vector<std::string> insensitive;
+    std::vector<MlpClassification> details;
+};
+
+/** Classify every kernel in the registered suite. */
+SuiteGroups classifySuite(const RunLengths &lengths,
+                          std::uint64_t seed = 1);
+
+} // namespace ltp
+
+#endif // LTP_SIM_MLP_CLASS_HH

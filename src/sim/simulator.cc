@@ -1,0 +1,142 @@
+#include "sim/simulator.hh"
+
+#include "ltp/oracle.hh"
+#include "trace/suite.hh"
+
+namespace ltp {
+
+Simulator::Simulator(const SimConfig &cfg, const std::string &kernel,
+                     const RunLengths &lengths)
+    : cfg_(cfg), kernel_(kernel), lengths_(lengths)
+{
+    workload_ = makeKernel(kernel);
+
+    // Oracle pre-pass (limit study): classify the whole region the
+    // detailed phase can reach, including fetch-ahead slack.
+    if (cfg_.core.ltp.mode != LtpMode::Off &&
+        cfg_.core.ltp.classifier == ClassifierKind::Oracle) {
+        WorkloadPtr oracle_wl = makeKernel(kernel);
+        std::uint64_t n = lengths_.funcWarm + lengths_.pipeWarm +
+                          lengths_.detail + 16384;
+        oracle_ = oracleClassify(*oracle_wl, cfg_.seed, n, cfg_.mem);
+        oracle_.setBase(lengths_.funcWarm);
+    }
+
+    mem_ = std::make_unique<MemSystem>(cfg_.mem);
+
+    // Phase 1: functional cache warm (Section 4.1's 250M equivalent).
+    workload_->reset(cfg_.seed);
+    for (std::uint64_t i = 0; i < lengths_.funcWarm; ++i) {
+        MicroOp op = workload_->next();
+        if (op.isMem())
+            mem_->warmAccess(op.pc, op.effAddr, op.isStore(), 0);
+    }
+
+    // The trace window continues from the warm position: core seq 0 is
+    // trace position funcWarm (the oracle is offset to match).
+    source_ = std::make_unique<TraceWindow>(*workload_);
+    core_ = std::make_unique<Core>(cfg_.core, *mem_, *source_,
+                                   oracle_.valid() ? &oracle_ : nullptr);
+}
+
+Metrics
+Simulator::run()
+{
+    // Phase 2: detailed pipeline warm (stats discarded).
+    core_->runUntilCommitted(lengths_.pipeWarm);
+    core_->resetStats();
+    mem_->resetStats(core_->cycle());
+    Cycle detail_start = core_->cycle();
+
+    // Phase 3: measured detail region.
+    core_->runUntilCommitted(lengths_.detail);
+    return extractMetrics(core_->cycle() - detail_start);
+}
+
+Metrics
+Simulator::runOnce(const SimConfig &cfg, const std::string &kernel,
+                   const RunLengths &lengths)
+{
+    Simulator sim(cfg, kernel, lengths);
+    return sim.run();
+}
+
+Metrics
+Simulator::extractMetrics(Cycle detail_cycles)
+{
+    Metrics m;
+    Core &core = *core_;
+    CoreStats &cs = core.stats();
+    Cycle now = core.cycle();
+
+    m.config = cfg_.name;
+    m.workload = kernel_;
+    m.insts = cs.committed.value();
+    m.cycles = detail_cycles;
+    m.ipc = safeDiv(double(m.insts), double(m.cycles));
+    m.cpi = safeDiv(double(m.cycles), double(m.insts));
+
+    m.avgOutstanding = mem_->avgOutstanding(now);
+    m.avgLoadLatency = mem_->avgLoadLatency();
+    m.dramReads = mem_->dram().reads.value();
+
+    m.iqOcc = core.iq().occupancy.mean(now);
+    m.robOcc = core.rob().occupancy.mean(now);
+    m.lqOcc = core.lsq().lqOccupancy.mean(now);
+    m.sqOcc = core.lsq().sqOccupancy.mean(now);
+    m.rfOcc = core.regs(RegClass::Int).occupancy.mean(now) +
+              core.regs(RegClass::Fp).occupancy.mean(now);
+    m.ltpOcc = core.ltpQueue().occupancy.mean(now);
+    m.ltpRegsOcc = core.ltpQueue().parkedWithDest.mean(now);
+    m.ltpLoadsOcc = core.ltpQueue().parkedLoads.mean(now);
+    m.ltpStoresOcc = core.ltpQueue().parkedStores.mean(now);
+
+    m.ltpEnabledFrac = cfg_.core.ltp.mode != LtpMode::Off
+                           ? core.monitor().enabledFraction(now)
+                           : 0.0;
+    m.parked = cs.parked.value();
+    m.unparked = cs.unparked.value();
+    m.parkedFrac = safeDiv(double(m.parked), double(cs.renamed.value()));
+    m.forcedUnparks = cs.forcedUnparks.value();
+    m.pressureUnparks = cs.pressureUnparks.value();
+    m.llpredAccuracy = core.llpred().accuracy();
+    m.bpAccuracy = core.branchPred().accuracy();
+
+    // ---- energy ----
+    EnergyInputs ein;
+    ein.cycles = m.cycles;
+    // "Infinite" structures are modelled at a finite proxy size so the
+    // limit-study points remain plottable (ratios are what matter).
+    auto energySize = [](int entries, int cap) {
+        return isInfinite(entries) ? cap : entries;
+    };
+    ein.iqEntries = energySize(cfg_.core.iqSize, 1024);
+    ein.issueWidth = cfg_.core.issueWidth;
+    ein.totalRegs = energySize(cfg_.core.intRegs, 1024) +
+                    energySize(cfg_.core.fpRegs, 1024);
+    if (cfg_.core.ltp.mode != LtpMode::Off) {
+        ein.ltpEntries = energySize(cfg_.core.ltp.entries, 1024);
+        ein.ltpPorts = cfg_.core.ltp.insertPorts;
+        ein.uitEntries = energySize(cfg_.core.ltp.uitEntries, 4096);
+        ein.ltpCam = cfg_.core.ltp.mode != LtpMode::NU;
+        ein.ltpEnabledFraction = m.ltpEnabledFrac;
+    }
+    ein.iqInserts = core.iq().inserts.value();
+    ein.iqIssues = cs.iqIssued.value();
+    ein.wakeupBroadcasts = cs.wbWrites.value();
+    ein.rfReads = cs.rfReads.value();
+    ein.rfWrites = cs.rfWrites.value();
+    ein.ltpPushes = core.ltpQueue().pushes.value();
+    ein.ltpPops = core.ltpQueue().pops.value();
+    ein.ticketBroadcasts = core.tickets().broadcasts.value();
+    ein.uitLookups = core.uit().lookups.value();
+    ein.uitInserts = core.uit().inserts.value();
+    ein.predLookups = core.llpred().predictions.value();
+    m.energy = computeEnergy(ein);
+    m.ed2p = m.energy.ed2p(m.cycles);
+    m.edp = m.energy.edp(m.cycles);
+
+    return m;
+}
+
+} // namespace ltp

@@ -1,0 +1,114 @@
+#include "trace/kernel_dsl.hh"
+
+namespace ltp {
+
+std::uint64_t
+hashName(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+LoopKernel::LoopKernel(std::string name)
+    : name_(std::move(name))
+{
+    // Distinct text and data ranges per kernel so suites can be compared
+    // without accidental cache sharing between configurations.
+    pc_base_ = 0x400000 + (hashName(name_) & 0xffff) * 0x1000;
+    next_region_ = 0;
+}
+
+void
+LoopKernel::reset(std::uint64_t seed)
+{
+    rng_ = Rng(seed ^ hashName(name_));
+    buf_.clear();
+    pos_ = 0;
+    iter_ = 0;
+    next_region_ = 0x10000000;
+    init();
+}
+
+MicroOp
+LoopKernel::next()
+{
+    while (pos_ >= buf_.size()) {
+        buf_.clear();
+        pos_ = 0;
+        emitIteration();
+        iter_ += 1;
+        sim_assert(!buf_.empty());
+    }
+    return buf_[pos_++];
+}
+
+Region
+LoopKernel::region(std::uint64_t bytes)
+{
+    // Page-align and pad so distinct regions never share a cache block.
+    std::uint64_t aligned = (bytes + 4095) & ~std::uint64_t(4095);
+    Region r{next_region_, bytes};
+    next_region_ += aligned + 4096;
+    return r;
+}
+
+void
+LoopKernel::emitOp(int slot, OpClass c, RegId dst, RegId s1, RegId s2,
+                   RegId s3)
+{
+    OpBuilder b(c);
+    b.pc(pcOf(slot));
+    if (dst.valid())
+        b.dst(dst);
+    if (s1.valid())
+        b.src(s1);
+    if (s2.valid())
+        b.src(s2);
+    if (s3.valid())
+        b.src(s3);
+    buf_.push_back(b.build());
+}
+
+void
+LoopKernel::emitLoad(int slot, RegId dst, Addr addr, RegId a1, RegId a2,
+                     int size)
+{
+    OpBuilder b(OpClass::Load);
+    b.pc(pcOf(slot)).dst(dst).mem(addr, size);
+    if (a1.valid())
+        b.src(a1);
+    if (a2.valid())
+        b.src(a2);
+    buf_.push_back(b.build());
+}
+
+void
+LoopKernel::emitStore(int slot, Addr addr, RegId data, RegId a1, RegId a2,
+                      int size)
+{
+    OpBuilder b(OpClass::Store);
+    b.pc(pcOf(slot)).mem(addr, size);
+    if (data.valid())
+        b.src(data);
+    if (a1.valid())
+        b.src(a1);
+    if (a2.valid())
+        b.src(a2);
+    buf_.push_back(b.build());
+}
+
+void
+LoopKernel::emitBranch(int slot, bool taken, int target_slot, RegId cond)
+{
+    OpBuilder b(OpClass::Branch);
+    b.pc(pcOf(slot)).branch(taken, pcOf(target_slot));
+    if (cond.valid())
+        b.src(cond);
+    buf_.push_back(b.build());
+}
+
+} // namespace ltp

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Factory functions for the synthetic kernel suite.
+ *
+ * SPEC CPU2006 stand-ins (DESIGN.md section 1).  Seven kernels are
+ * constructed to be MLP-sensitive under the Section 4.1 criteria and
+ * seven to be MLP-insensitive; `paper_loop` is the exact example of the
+ * paper's Figure 2.  Group membership is *verified at runtime* by the
+ * Section 4.1 classifier (src/sim/mlp_class.*) — the intent recorded
+ * here is only used by tests as a sanity anchor.
+ */
+
+#ifndef LTP_TRACE_KERNELS_HH
+#define LTP_TRACE_KERNELS_HH
+
+#include "trace/workload.hh"
+
+namespace ltp {
+
+/// Figure 2: for(i..){ d = B[A[j--]]; C[i] = d + 5; }  B misses, A/C hit.
+WorkloadPtr makePaperLoop();
+
+/// @name MLP-sensitive kernels
+/// @{
+/// astar/rivers stand-in: serial pointer chase + dependent fan-out loads.
+WorkloadPtr makeGraphWalk();
+/// milc stand-in: indirect FP stream, B[A[i]] misses, long FP consumer
+/// chains (Non-Ready mostly also Non-Urgent).
+WorkloadPtr makeIndirectStreamFp();
+/// soplex/sphinx stand-in: sparse gather y += M[col[j]] * x[j].
+WorkloadPtr makeSparseGather();
+/// omnetpp stand-in: hash table probe with short dependent chains.
+WorkloadPtr makeHashProbe();
+/// mcf stand-in: linked-list walk with per-node field loads.
+WorkloadPtr makeLinkedList();
+/// permutation walk over a DRAM-sized array: maximal independent misses.
+WorkloadPtr makeBucketShuffle();
+/// B-tree root-to-leaf descent: upper levels cached, leaves miss.
+WorkloadPtr makeBtreeLookup();
+/// @}
+
+/// @name MLP-insensitive kernels
+/// @{
+/// dense FP compute, L1-resident (povray/calculix flavour).
+WorkloadPtr makeDenseCompute();
+/// branchy integer with small tables (crafty/gobmk flavour).
+WorkloadPtr makeBranchyInt();
+/// FP dependence chains with occasional divides (namd flavour).
+WorkloadPtr makeFpKernel();
+/// sequential sweep of an L2-resident buffer (hmmer flavour).
+WorkloadPtr makeCacheResidentStream();
+/// serial accumulation chain, L1-resident.
+WorkloadPtr makeReduction();
+/// mixed integer + prefetch-friendly streaming (gcc flavour).
+WorkloadPtr makeIntMix();
+/// divide/sqrt-heavy: long fixed-latency ops without memory misses.
+WorkloadPtr makeDivHeavy();
+/// @}
+
+} // namespace ltp
+
+#endif // LTP_TRACE_KERNELS_HH

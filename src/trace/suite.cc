@@ -1,0 +1,62 @@
+#include "trace/suite.hh"
+
+#include "common/logging.hh"
+#include "trace/kernels.hh"
+
+namespace ltp {
+
+const std::vector<SuiteEntry> &
+kernelSuite()
+{
+    static const std::vector<SuiteEntry> suite = {
+        {"paper_loop", MlpIntent::Example, &makePaperLoop},
+        // MLP sensitive
+        {"graph_walk", MlpIntent::Sensitive, &makeGraphWalk},
+        {"indirect_stream_fp", MlpIntent::Sensitive, &makeIndirectStreamFp},
+        {"sparse_gather", MlpIntent::Sensitive, &makeSparseGather},
+        {"hash_probe", MlpIntent::Sensitive, &makeHashProbe},
+        {"linked_list", MlpIntent::Sensitive, &makeLinkedList},
+        {"bucket_shuffle", MlpIntent::Sensitive, &makeBucketShuffle},
+        {"btree_lookup", MlpIntent::Sensitive, &makeBtreeLookup},
+        // MLP insensitive
+        {"dense_compute", MlpIntent::Insensitive, &makeDenseCompute},
+        {"branchy_int", MlpIntent::Insensitive, &makeBranchyInt},
+        {"fp_kernel", MlpIntent::Insensitive, &makeFpKernel},
+        {"cache_stream", MlpIntent::Insensitive, &makeCacheResidentStream},
+        {"reduction", MlpIntent::Insensitive, &makeReduction},
+        {"int_mix", MlpIntent::Insensitive, &makeIntMix},
+        {"div_heavy", MlpIntent::Insensitive, &makeDivHeavy},
+    };
+    return suite;
+}
+
+WorkloadPtr
+makeKernel(const std::string &name)
+{
+    for (const auto &e : kernelSuite())
+        if (e.name == name)
+            return e.factory();
+    fatal("unknown kernel '%s'", name.c_str());
+}
+
+std::vector<std::string>
+kernelNames(MlpIntent intent)
+{
+    std::vector<std::string> out;
+    for (const auto &e : kernelSuite())
+        if (e.intent == intent)
+            out.push_back(e.name);
+    return out;
+}
+
+std::vector<std::string>
+allKernelNames()
+{
+    std::vector<std::string> out;
+    for (const auto &e : kernelSuite())
+        if (e.intent != MlpIntent::Example)
+            out.push_back(e.name);
+    return out;
+}
+
+} // namespace ltp

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Kernel suite registry: name → factory, plus the intended
+ * MLP-sensitivity grouping used as a sanity anchor by tests.
+ *
+ * Benchmarks never trust the intent: they group kernels with the
+ * Section 4.1 runtime classifier (src/sim/mlp_class.*), exactly as the
+ * paper groups SimPoints.
+ */
+
+#ifndef LTP_TRACE_SUITE_HH
+#define LTP_TRACE_SUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/workload.hh"
+
+namespace ltp {
+
+/** Intended sensitivity group of a kernel (design-time expectation). */
+enum class MlpIntent { Sensitive, Insensitive, Example };
+
+/** One registered kernel. */
+struct SuiteEntry
+{
+    std::string name;
+    MlpIntent intent;
+    WorkloadPtr (*factory)();
+};
+
+/** The full registered suite (paper_loop + 7 sensitive + 7 insensitive). */
+const std::vector<SuiteEntry> &kernelSuite();
+
+/** Instantiate a kernel by name; fatal() on unknown names. */
+WorkloadPtr makeKernel(const std::string &name);
+
+/** Names of all kernels with the given intent. */
+std::vector<std::string> kernelNames(MlpIntent intent);
+
+/** Names of all kernels excluding the example loop. */
+std::vector<std::string> allKernelNames();
+
+} // namespace ltp
+
+#endif // LTP_TRACE_SUITE_HH

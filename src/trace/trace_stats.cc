@@ -1,0 +1,45 @@
+#include "trace/trace_stats.hh"
+
+#include <set>
+#include <sstream>
+
+namespace ltp {
+
+std::string
+TraceMix::toString() const
+{
+    std::ostringstream os;
+    os << "insts=" << insts
+       << strprintf(" loads=%.1f%%", 100 * frac(loads))
+       << strprintf(" stores=%.1f%%", 100 * frac(stores))
+       << strprintf(" branches=%.1f%%", 100 * frac(branches))
+       << strprintf(" fp=%.1f%%", 100 * frac(fpOps))
+       << " uniquePCs=" << uniquePcs;
+    return os.str();
+}
+
+TraceMix
+measureMix(Workload &w, std::uint64_t n, std::uint64_t seed)
+{
+    w.reset(seed);
+    TraceMix mix;
+    std::set<Addr> pcs;
+    for (std::uint64_t k = 0; k < n; ++k) {
+        MicroOp op = w.next();
+        mix.insts += 1;
+        mix.loads += op.isLoad();
+        mix.stores += op.isStore();
+        mix.branches += op.isBranch();
+        mix.takenBranches += op.isBranch() && op.taken;
+        bool fp = op.opc == OpClass::FpAlu || op.opc == OpClass::FpMul ||
+                  op.opc == OpClass::FpDiv || op.opc == OpClass::FpSqrt;
+        mix.fpOps += fp;
+        mix.longFixedOps += isFixedLongLat(op.opc);
+        mix.withDest += op.hasDst();
+        pcs.insert(op.pc);
+    }
+    mix.uniquePcs = pcs.size();
+    return mix;
+}
+
+} // namespace ltp

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Unit tests for the common substrate: stats, RNG, tables, CLI, types.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/cli.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/types.hh"
+
+namespace ltp {
+namespace {
+
+TEST(Types, BlockAlign)
+{
+    EXPECT_EQ(blockAlign(0), 0u);
+    EXPECT_EQ(blockAlign(63), 0u);
+    EXPECT_EQ(blockAlign(64), 64u);
+    EXPECT_EQ(blockAlign(130), 128u);
+}
+
+TEST(Types, InfiniteSentinel)
+{
+    EXPECT_TRUE(isInfinite(kInfiniteSize));
+    EXPECT_TRUE(isInfinite(kInfiniteSize + 5));
+    EXPECT_FALSE(isInfinite(256));
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 20000; ++i) {
+        auto v = r.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceIsRoughlyCalibrated)
+{
+    Rng r(11);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(double(hits) / n, 0.3, 0.02);
+}
+
+TEST(Counter, Accumulates)
+{
+    Counter c;
+    c++;
+    c += 5;
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Average, MeanAndReset)
+{
+    Average a;
+    a.sample(1.0);
+    a.sample(3.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    EXPECT_EQ(a.count(), 2u);
+    a.reset();
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(OccupancyStat, ExactIntegration)
+{
+    OccupancyStat occ;
+    occ.set(2, 0);   // level 2 over [0,10)
+    occ.set(6, 10);  // level 6 over [10,20)
+    EXPECT_DOUBLE_EQ(occ.mean(20), (2 * 10 + 6 * 10) / 20.0);
+}
+
+TEST(OccupancyStat, AddSub)
+{
+    OccupancyStat occ;
+    occ.add(3, 0);
+    occ.sub(1, 5);
+    EXPECT_EQ(occ.level(), 2);
+    EXPECT_DOUBLE_EQ(occ.mean(10), (3 * 5 + 2 * 5) / 10.0);
+}
+
+TEST(OccupancyStat, ResetKeepsLevel)
+{
+    OccupancyStat occ;
+    occ.set(4, 0);
+    occ.reset(100);
+    EXPECT_EQ(occ.level(), 4);
+    EXPECT_DOUBLE_EQ(occ.mean(110), 4.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(4, 10); // buckets [0,10) [10,20) [20,30) [30,40) + ovf
+    h.sample(5);
+    h.sample(15);
+    h.sample(39);
+    h.sample(1000);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.bucket(4), 1u); // overflow
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(SafeDiv, ZeroDenominator)
+{
+    EXPECT_DOUBLE_EQ(safeDiv(5.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(safeDiv(6.0, 2.0), 3.0);
+}
+
+TEST(PctDelta, Basics)
+{
+    EXPECT_NEAR(pctDelta(110, 100), 10.0, 1e-9);
+    EXPECT_NEAR(pctDelta(90, 100), -10.0, 1e-9);
+}
+
+TEST(Table, RendersAllRows)
+{
+    Table t({"a", "bb"});
+    t.addRow({"1", "2"});
+    t.addRow({"333", "4"});
+    std::string s = t.toString();
+    EXPECT_NE(s.find("333"), std::string::npos);
+    EXPECT_NE(s.find("bb"), std::string::npos);
+    std::string csv = t.toCsv();
+    EXPECT_NE(csv.find("a,bb"), std::string::npos);
+    EXPECT_NE(csv.find("333,4"), std::string::npos);
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::pct(-12.345, 1), "-12.3%");
+    EXPECT_EQ(Table::pct(4.2, 1), "+4.2%");
+}
+
+TEST(Cli, ParsesForms)
+{
+    const char *argv[] = {"prog", "--alpha=3", "--beta", "7", "--gamma"};
+    Cli cli(5, const_cast<char **>(argv), {"alpha", "beta", "gamma"});
+    EXPECT_EQ(cli.integer("alpha", 0), 3);
+    EXPECT_EQ(cli.integer("beta", 0), 7);
+    EXPECT_TRUE(cli.flag("gamma"));
+    EXPECT_EQ(cli.integer("missing", 9), 9);
+    EXPECT_FALSE(cli.has("missing"));
+}
+
+TEST(Logging, Strprintf)
+{
+    EXPECT_EQ(strprintf("x=%d y=%s", 5, "z"), "x=5 y=z");
+    EXPECT_EQ(strprintf("empty"), "empty");
+}
+
+} // namespace
+} // namespace ltp

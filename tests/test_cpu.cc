@@ -1,0 +1,391 @@
+/**
+ * @file
+ * Unit tests for the core's structural components: register file with
+ * the LTP reserve, RAT_LTP, ROB, IQ (ordering + emergency slot), LSQ
+ * (forwarding conflicts, drain order), branch predictor, FU pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/branch_pred.hh"
+#include "cpu/dyn_inst.hh"
+#include "cpu/exec.hh"
+#include "cpu/iq.hh"
+#include "cpu/lsq.hh"
+#include "cpu/regfile.hh"
+#include "cpu/rename.hh"
+#include "cpu/rob.hh"
+
+namespace ltp {
+namespace {
+
+DynInst
+makeInst(SeqNum seq, OpClass opc = OpClass::IntAlu, Addr addr = 0,
+         int size = 8)
+{
+    DynInst inst;
+    OpBuilder b(opc);
+    b.pc(0x1000 + seq * 4);
+    if (opc != OpClass::Store && opc != OpClass::Branch)
+        b.dst(intReg(1));
+    if (isMem(opc))
+        b.mem(addr, size);
+    inst.init(b.build(), seq, 0);
+    return inst;
+}
+
+// ---------------------------------------------------------------------
+// PhysRegFile
+
+TEST(RegFile, AllocationPriorities)
+{
+    PhysRegFile rf(10, 4); // 4 reserved
+    EXPECT_EQ(rf.freeFor(AllocPriority::Rename), 6);
+    EXPECT_EQ(rf.freeFor(AllocPriority::Unpark), 9);
+    EXPECT_EQ(rf.freeFor(AllocPriority::Forced), 10);
+
+    // Rename can take only 6.
+    for (int i = 0; i < 6; ++i)
+        EXPECT_GE(rf.allocate(AllocPriority::Rename, 0), 0);
+    EXPECT_EQ(rf.allocate(AllocPriority::Rename, 0), -1);
+    // Unpark can take 3 more (one held for Forced).
+    for (int i = 0; i < 3; ++i)
+        EXPECT_GE(rf.allocate(AllocPriority::Unpark, 0), 0);
+    EXPECT_EQ(rf.allocate(AllocPriority::Unpark, 0), -1);
+    // Forced takes the very last one.
+    EXPECT_GE(rf.allocate(AllocPriority::Forced, 0), 0);
+    EXPECT_EQ(rf.allocate(AllocPriority::Forced, 0), -1);
+}
+
+TEST(RegFile, ReleaseRecycles)
+{
+    PhysRegFile rf(4, 0);
+    std::int32_t a = rf.allocate(AllocPriority::Rename, 0);
+    std::int32_t b = rf.allocate(AllocPriority::Rename, 0);
+    EXPECT_EQ(rf.allocatedCount(), 2);
+    rf.release(a, 1);
+    rf.release(b, 1);
+    EXPECT_EQ(rf.allocatedCount(), 0);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_GE(rf.allocate(AllocPriority::Rename, 2), 0);
+}
+
+TEST(RegFile, ReadyBitLifecycle)
+{
+    PhysRegFile rf(4, 0);
+    std::int32_t r = rf.allocate(AllocPriority::Rename, 0);
+    EXPECT_FALSE(rf.ready(r));
+    rf.setReady(r);
+    EXPECT_TRUE(rf.ready(r));
+    rf.release(r, 1);
+    std::int32_t r2 = rf.allocate(AllocPriority::Rename, 2);
+    // Freshly allocated registers are never ready, even when recycled.
+    if (r2 == r)
+        EXPECT_FALSE(rf.ready(r2));
+}
+
+TEST(RegFile, OccupancyIntegrates)
+{
+    PhysRegFile rf(8, 0);
+    auto a = rf.allocate(AllocPriority::Rename, 0);
+    rf.release(a, 10);
+    EXPECT_NEAR(rf.occupancy.mean(20), 0.5, 1e-9);
+}
+
+// ---------------------------------------------------------------------
+// LtpRat
+
+TEST(LtpRat, ResolveLifecycle)
+{
+    LtpRat rat(4);
+    int id = rat.allocate();
+    ASSERT_GE(id, 0);
+    EXPECT_EQ(rat.lookup(id), -1);
+    rat.resolve(id, 17);
+    EXPECT_EQ(rat.lookup(id), 17);
+    rat.release(id);
+    EXPECT_EQ(rat.availableCount(), 4);
+}
+
+TEST(LtpRat, Exhaustion)
+{
+    LtpRat rat(2);
+    EXPECT_GE(rat.allocate(), 0);
+    EXPECT_GE(rat.allocate(), 0);
+    EXPECT_EQ(rat.allocate(), -1);
+    EXPECT_EQ(rat.exhaustions.value(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// ROB
+
+TEST(Rob, FifoOrder)
+{
+    Rob rob(4);
+    DynInst a = makeInst(1), b = makeInst(2);
+    rob.push(&a, 0);
+    rob.push(&b, 0);
+    EXPECT_EQ(rob.head(), &a);
+    rob.popHead(1);
+    EXPECT_EQ(rob.head(), &b);
+    EXPECT_EQ(rob.size(), 1);
+}
+
+TEST(Rob, SquashWalksYoungestFirst)
+{
+    Rob rob(8);
+    DynInst insts[5];
+    for (int i = 0; i < 5; ++i) {
+        insts[i] = makeInst(i + 1);
+        rob.push(&insts[i], 0);
+    }
+    std::vector<SeqNum> undone;
+    rob.squashYoungerThan(2, 1, [&](DynInst *inst) {
+        undone.push_back(inst->seq);
+    });
+    ASSERT_EQ(undone.size(), 3u);
+    EXPECT_EQ(undone[0], 5u); // reverse order
+    EXPECT_EQ(undone[2], 3u);
+    EXPECT_EQ(rob.size(), 2);
+}
+
+// ---------------------------------------------------------------------
+// IssueQueue
+
+TEST(Iq, InsertKeepsSeqOrder)
+{
+    IssueQueue iq(8);
+    DynInst a = makeInst(5), b = makeInst(2), c = makeInst(9);
+    iq.insert(&a, 0);
+    iq.insert(&b, 0);
+    iq.insert(&c, 0);
+    std::vector<SeqNum> order;
+    iq.forEachInOrder([&](DynInst *i) { order.push_back(i->seq); });
+    EXPECT_EQ(order, (std::vector<SeqNum>{2, 5, 9}));
+}
+
+TEST(Iq, EmergencySlotBeyondCapacity)
+{
+    IssueQueue iq(2);
+    DynInst a = makeInst(1), b = makeInst(2), c = makeInst(3);
+    iq.insert(&a, 0);
+    iq.insert(&b, 0);
+    EXPECT_FALSE(iq.hasSpace());
+    EXPECT_TRUE(iq.hasEmergencySpace());
+    iq.insert(&c, 0, /*emergency=*/true);
+    EXPECT_FALSE(iq.hasEmergencySpace());
+    EXPECT_EQ(iq.size(), 3);
+}
+
+TEST(Iq, RemoveAndSquash)
+{
+    IssueQueue iq(8);
+    DynInst insts[4];
+    for (int i = 0; i < 4; ++i) {
+        insts[i] = makeInst(i + 1);
+        iq.insert(&insts[i], 0);
+    }
+    iq.remove(&insts[1], 1);
+    EXPECT_FALSE(insts[1].inIq);
+    iq.squashYoungerThan(2, 2);
+    EXPECT_EQ(iq.size(), 1);
+    EXPECT_TRUE(insts[0].inIq);
+    EXPECT_FALSE(insts[3].inIq);
+}
+
+// ---------------------------------------------------------------------
+// LSQ
+
+TEST(Lsq, ConflictYoungestOlderStore)
+{
+    Lsq lsq(8, 8, 0, 0);
+    DynInst st1 = makeInst(1, OpClass::Store, 0x1000, 8);
+    DynInst st2 = makeInst(2, OpClass::Store, 0x1000, 8);
+    DynInst st3 = makeInst(3, OpClass::Store, 0x2000, 8);
+    DynInst ld = makeInst(4, OpClass::Load, 0x1000, 8);
+    lsq.insertStore(&st1, 0);
+    lsq.insertStore(&st2, 0);
+    lsq.insertStore(&st3, 0);
+    lsq.insertLoad(&ld, 0);
+    EXPECT_EQ(lsq.olderStoreConflict(&ld), &st2); // youngest older match
+}
+
+TEST(Lsq, PartialOverlapConflicts)
+{
+    Lsq lsq(8, 8, 0, 0);
+    DynInst st = makeInst(1, OpClass::Store, 0x1004, 8); // [0x1004,0x100c)
+    DynInst ld = makeInst(2, OpClass::Load, 0x1008, 8);  // [0x1008,0x1010)
+    lsq.insertStore(&st, 0);
+    lsq.insertLoad(&ld, 0);
+    EXPECT_EQ(lsq.olderStoreConflict(&ld), &st);
+    DynInst ld2 = makeInst(3, OpClass::Load, 0x100c, 8); // disjoint
+    lsq.insertLoad(&ld2, 0);
+    EXPECT_EQ(lsq.olderStoreConflict(&ld2), nullptr);
+}
+
+TEST(Lsq, YoungerStoreNeverConflicts)
+{
+    Lsq lsq(8, 8, 0, 0);
+    DynInst ld = makeInst(1, OpClass::Load, 0x1000, 8);
+    DynInst st = makeInst(2, OpClass::Store, 0x1000, 8);
+    lsq.insertLoad(&ld, 0);
+    lsq.insertStore(&st, 0);
+    EXPECT_EQ(lsq.olderStoreConflict(&ld), nullptr);
+}
+
+TEST(Lsq, ShadowStoresVisible)
+{
+    // A parked store (delayed SQ allocation) must still order loads.
+    Lsq lsq(8, 8, 0, 0);
+    DynInst st = makeInst(1, OpClass::Store, 0x3000, 8);
+    DynInst ld = makeInst(2, OpClass::Load, 0x3000, 8);
+    lsq.addShadowStore(&st);
+    lsq.insertLoad(&ld, 0);
+    EXPECT_EQ(lsq.olderStoreConflict(&ld), &st);
+    lsq.removeShadowStore(&st);
+    EXPECT_EQ(lsq.olderStoreConflict(&ld), nullptr);
+}
+
+TEST(Lsq, DrainOnlyCommittedHead)
+{
+    Lsq lsq(8, 8, 0, 0);
+    DynInst st1 = makeInst(1, OpClass::Store, 0x1000, 8);
+    DynInst st2 = makeInst(2, OpClass::Store, 0x2000, 8);
+    lsq.insertStore(&st1, 0);
+    lsq.insertStore(&st2, 0);
+    EXPECT_EQ(lsq.oldestDrainableStore(), nullptr);
+    st2.committed = true; // younger committed, head not: no drain
+    EXPECT_EQ(lsq.oldestDrainableStore(), nullptr);
+    st1.committed = true;
+    EXPECT_EQ(lsq.oldestDrainableStore(), &st1);
+    lsq.removeStore(&st1, 1);
+    EXPECT_EQ(lsq.oldestDrainableStore(), &st2);
+}
+
+TEST(Lsq, ReserveLimits)
+{
+    Lsq lsq(4, 4, 2, 2);
+    EXPECT_TRUE(lsq.lqHasSpace(false));
+    DynInst a = makeInst(1, OpClass::Load, 0x0, 8);
+    DynInst b = makeInst(2, OpClass::Load, 0x8, 8);
+    lsq.insertLoad(&a, 0);
+    lsq.insertLoad(&b, 0);
+    EXPECT_FALSE(lsq.lqHasSpace(false)); // reserve blocks rename
+    EXPECT_TRUE(lsq.lqHasSpace(true));   // unpark may proceed
+}
+
+TEST(Lsq, CollectWaitingLoads)
+{
+    Lsq lsq(8, 8, 0, 0);
+    DynInst ld1 = makeInst(2, OpClass::Load, 0x1000, 8);
+    DynInst ld2 = makeInst(3, OpClass::Load, 0x1000, 8);
+    ld1.waitingOnStore = true;
+    ld1.waitStoreSeq = 1;
+    ld2.waitingOnStore = true;
+    ld2.waitStoreSeq = 7;
+    lsq.insertLoad(&ld1, 0);
+    lsq.insertLoad(&ld2, 0);
+    std::vector<DynInst *> out;
+    lsq.collectLoadsWaitingOn(1, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], &ld1);
+}
+
+// ---------------------------------------------------------------------
+// Branch predictor
+
+TEST(BranchPred, LearnsLoopBranch)
+{
+    BranchPredictor bp;
+    // Always-taken loop branch: once the global history register has
+    // saturated (~14 outcomes) and the counter trained, predictions
+    // are correct.
+    int correct_late = 0;
+    for (int i = 0; i < 100; ++i) {
+        bool ok = bp.predict(0x4000, true, 0x3000);
+        if (i >= 20)
+            correct_late += ok;
+    }
+    EXPECT_EQ(correct_late, 80);
+}
+
+TEST(BranchPred, BtbMissIsMispredict)
+{
+    BranchPredictor bp;
+    // Train direction via a different PC mapping to the same counter is
+    // unlikely; first taken encounter must be wrong (no BTB target).
+    EXPECT_FALSE(bp.predict(0x5000, true, 0x100));
+}
+
+TEST(BranchPred, NotTakenDefaultCorrect)
+{
+    BranchPredictor bp;
+    // Counters initialise weakly not-taken: a never-taken branch is
+    // predicted correctly from the start.
+    EXPECT_TRUE(bp.predict(0x6000, false, 0));
+    EXPECT_TRUE(bp.predict(0x6000, false, 0));
+}
+
+TEST(BranchPred, AccuracyStat)
+{
+    BranchPredictor bp;
+    for (int i = 0; i < 300; ++i)
+        bp.predict(0x7000, true, 0x6000);
+    EXPECT_GT(bp.accuracy(), 0.9);
+}
+
+// ---------------------------------------------------------------------
+// FU pool
+
+TEST(FuPool, WidthPerGroup)
+{
+    FuConfig cfg;
+    cfg.alu = 2;
+    FuPool fu(cfg);
+    fu.beginCycle();
+    EXPECT_TRUE(fu.canIssue(OpClass::IntAlu, 0));
+    fu.issue(OpClass::IntAlu, 0);
+    fu.issue(OpClass::IntAlu, 0);
+    EXPECT_FALSE(fu.canIssue(OpClass::IntAlu, 0));
+    // Other groups unaffected.
+    EXPECT_TRUE(fu.canIssue(OpClass::Load, 0));
+    fu.beginCycle();
+    EXPECT_TRUE(fu.canIssue(OpClass::IntAlu, 1));
+}
+
+TEST(FuPool, UnpipelinedDivOccupiesUnit)
+{
+    FuConfig cfg;
+    cfg.mul = 1;
+    FuPool fu(cfg);
+    fu.beginCycle();
+    int lat = fu.issue(OpClass::IntDiv, 10);
+    EXPECT_EQ(lat, opInfo(OpClass::IntDiv).latency);
+    fu.beginCycle();
+    EXPECT_FALSE(fu.canIssue(OpClass::IntMul, 11)); // unit busy
+    EXPECT_TRUE(fu.canIssue(OpClass::IntMul, 10 + lat));
+}
+
+TEST(FuPool, PipelinedMulBackToBack)
+{
+    FuConfig cfg;
+    cfg.mul = 1;
+    FuPool fu(cfg);
+    fu.beginCycle();
+    fu.issue(OpClass::IntMul, 0);
+    fu.beginCycle();
+    EXPECT_TRUE(fu.canIssue(OpClass::IntMul, 1)); // pipelined
+}
+
+TEST(FuPool, BranchUsesAluGroup)
+{
+    FuConfig cfg;
+    cfg.alu = 1;
+    FuPool fu(cfg);
+    fu.beginCycle();
+    fu.issue(OpClass::Branch, 0);
+    EXPECT_FALSE(fu.canIssue(OpClass::IntAlu, 0));
+}
+
+} // namespace
+} // namespace ltp

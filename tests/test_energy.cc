@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the first-order energy model: scaling directions that the
+ * paper's ED2P argument rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hh"
+
+namespace ltp {
+namespace {
+
+EnergyInputs
+nominal()
+{
+    EnergyInputs in;
+    in.cycles = 100000;
+    in.iqEntries = 64;
+    in.totalRegs = 256;
+    in.iqInserts = 80000;
+    in.iqIssues = 80000;
+    in.wakeupBroadcasts = 80000;
+    in.rfReads = 120000;
+    in.rfWrites = 70000;
+    return in;
+}
+
+TEST(Energy, SmallerIqCheaper)
+{
+    EnergyInputs big = nominal();
+    EnergyInputs small = nominal();
+    small.iqEntries = 32;
+    EXPECT_LT(computeEnergy(small).iq, computeEnergy(big).iq);
+}
+
+TEST(Energy, SmallerRfCheaper)
+{
+    EnergyInputs big = nominal();
+    EnergyInputs small = nominal();
+    small.totalRegs = 192;
+    EXPECT_LT(computeEnergy(small).rf, computeEnergy(big).rf);
+}
+
+TEST(Energy, IqWakeupScalesLinearlyWithEntries)
+{
+    // CAM broadcast energy is the entries-proportional term.
+    EnergyInputs a = nominal();
+    a.cycles = 0; // isolate dynamic terms
+    EnergyInputs b = a;
+    b.iqEntries = 128;
+    double ea = computeEnergy(a).iq;
+    double eb = computeEnergy(b).iq;
+    EXPECT_GT(eb / ea, 1.6); // dominated by the linear CAM term
+}
+
+TEST(Energy, LtpQueueFarCheaperThanIqForSameTraffic)
+{
+    // The paper's core claim: a 128-entry 4-port FIFO costs much less
+    // than a 64-entry IQ moving the same number of instructions.
+    EnergyInputs in = nominal();
+    in.ltpEntries = 128;
+    in.ltpPorts = 4;
+    in.uitEntries = 256;
+    in.ltpPushes = 80000;
+    in.ltpPops = 80000;
+    in.uitLookups = 160000;
+    in.predLookups = 40000;
+    in.ltpEnabledFraction = 1.0;
+    EnergyBreakdown e = computeEnergy(in);
+    EXPECT_LT(e.ltp, 0.35 * e.iq);
+}
+
+TEST(Energy, TicketCamCostsExtra)
+{
+    EnergyInputs nu = nominal();
+    nu.ltpEntries = 128;
+    nu.ltpPorts = 4;
+    nu.ltpPushes = 50000;
+    nu.ltpPops = 50000;
+    nu.ltpEnabledFraction = 1.0;
+    EnergyInputs nr = nu;
+    nr.ltpCam = true;
+    nr.ticketBroadcasts = 30000;
+    EXPECT_GT(computeEnergy(nr).ltp, computeEnergy(nu).ltp);
+}
+
+TEST(Energy, PowerGatingCutsLtpLeakage)
+{
+    EnergyInputs on = nominal();
+    on.ltpEntries = 128;
+    on.ltpPorts = 4;
+    on.ltpEnabledFraction = 1.0;
+    EnergyInputs gated = on;
+    gated.ltpEnabledFraction = 0.05;
+    EXPECT_LT(computeEnergy(gated).ltp, computeEnergy(on).ltp);
+}
+
+TEST(Energy, MorePortsCostMore)
+{
+    EnergyInputs p1 = nominal();
+    p1.ltpEntries = 128;
+    p1.ltpPorts = 1;
+    p1.ltpPushes = 50000;
+    p1.ltpPops = 50000;
+    EnergyInputs p8 = p1;
+    p8.ltpPorts = 8;
+    EXPECT_GT(computeEnergy(p8).ltp, computeEnergy(p1).ltp);
+}
+
+TEST(Energy, Ed2pWeighsDelayQuadratically)
+{
+    EnergyBreakdown e{100.0, 0.0, 0.0};
+    EXPECT_DOUBLE_EQ(e.ed2p(10), 100.0 * 100);
+    EXPECT_DOUBLE_EQ(e.ed2p(20), 100.0 * 400);
+    EXPECT_DOUBLE_EQ(e.edp(10), 100.0 * 10);
+}
+
+TEST(Energy, ProposalBeatsBaselineEd2pAtSimilarCycles)
+{
+    // IQ64/RF128 vs IQ32/RF96+LTP at equal cycle counts and activity:
+    // the proposal's structure energy must be clearly lower (Fig 10's
+    // ~-40% at iso-performance).
+    EnergyInputs base = nominal();
+    EnergyInputs prop = nominal();
+    prop.iqEntries = 32;
+    prop.totalRegs = 192;
+    prop.ltpEntries = 128;
+    prop.ltpPorts = 4;
+    prop.uitEntries = 256;
+    prop.ltpPushes = 40000;
+    prop.ltpPops = 40000;
+    prop.uitLookups = 100000;
+    prop.predLookups = 20000;
+    prop.ltpEnabledFraction = 1.0;
+    // Parked instructions skip the IQ:
+    prop.iqInserts = base.iqInserts - 40000;
+    prop.iqIssues = base.iqIssues;
+    double e_base = computeEnergy(base).total();
+    double e_prop = computeEnergy(prop).total();
+    EXPECT_LT(e_prop, 0.85 * e_base);
+}
+
+TEST(Energy, BreakdownStringMentionsComponents)
+{
+    EnergyBreakdown e{1.0, 2.0, 3.0};
+    std::string s = e.toString();
+    EXPECT_NE(s.find("iq="), std::string::npos);
+    EXPECT_NE(s.find("total="), std::string::npos);
+    EXPECT_DOUBLE_EQ(e.total(), 6.0);
+}
+
+} // namespace
+} // namespace ltp

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests for the micro-op ISA: registers, op classes, builders.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/microop.hh"
+#include "isa/opclass.hh"
+#include "isa/reg.hh"
+
+namespace ltp {
+namespace {
+
+TEST(RegId, InvalidByDefault)
+{
+    RegId r;
+    EXPECT_FALSE(r.valid());
+}
+
+TEST(RegId, FlatIndexingDisjoint)
+{
+    EXPECT_EQ(intReg(0).flat(), 0);
+    EXPECT_EQ(intReg(31).flat(), 31);
+    EXPECT_EQ(fpReg(0).flat(), 32);
+    EXPECT_EQ(fpReg(31).flat(), 63);
+    EXPECT_LT(fpReg(31).flat(), kTotalArchRegs);
+}
+
+TEST(RegId, ClassAndEquality)
+{
+    EXPECT_EQ(intReg(3).regClass(), RegClass::Int);
+    EXPECT_EQ(fpReg(3).regClass(), RegClass::Fp);
+    EXPECT_EQ(intReg(3), intReg(3));
+    EXPECT_FALSE(intReg(3) == fpReg(3));
+}
+
+TEST(RegId, Names)
+{
+    EXPECT_EQ(intReg(5).toString(), "r5");
+    EXPECT_EQ(fpReg(7).toString(), "f7");
+    EXPECT_EQ(RegId().toString(), "r:-");
+}
+
+TEST(OpClass, Predicates)
+{
+    EXPECT_TRUE(isLoad(OpClass::Load));
+    EXPECT_TRUE(isStore(OpClass::Store));
+    EXPECT_TRUE(isMem(OpClass::Load));
+    EXPECT_TRUE(isMem(OpClass::Store));
+    EXPECT_FALSE(isMem(OpClass::IntAlu));
+    EXPECT_TRUE(isBranch(OpClass::Branch));
+}
+
+TEST(OpClass, LongFixedLatencyOps)
+{
+    EXPECT_TRUE(isFixedLongLat(OpClass::IntDiv));
+    EXPECT_TRUE(isFixedLongLat(OpClass::FpDiv));
+    EXPECT_TRUE(isFixedLongLat(OpClass::FpSqrt));
+    EXPECT_FALSE(isFixedLongLat(OpClass::IntAlu));
+    EXPECT_FALSE(isFixedLongLat(OpClass::Load));
+}
+
+TEST(OpClass, LatenciesSane)
+{
+    EXPECT_EQ(opInfo(OpClass::IntAlu).latency, 1);
+    EXPECT_GT(opInfo(OpClass::IntDiv).latency,
+              opInfo(OpClass::IntMul).latency);
+    EXPECT_FALSE(opInfo(OpClass::FpDiv).pipelined);
+    EXPECT_TRUE(opInfo(OpClass::FpMul).pipelined);
+}
+
+TEST(OpClass, Names)
+{
+    EXPECT_STREQ(opClassName(OpClass::Load), "Load");
+    EXPECT_STREQ(opClassName(OpClass::FpSqrt), "FpSqrt");
+}
+
+TEST(MicroOp, BuilderAssemblesFields)
+{
+    MicroOp op = OpBuilder(OpClass::Load)
+                     .pc(0x1000)
+                     .dst(intReg(3))
+                     .src(intReg(4))
+                     .mem(0xdeadbe00, 8)
+                     .build();
+    EXPECT_EQ(op.pc, 0x1000u);
+    EXPECT_TRUE(op.isLoad());
+    EXPECT_TRUE(op.hasDst());
+    EXPECT_EQ(op.dst, intReg(3));
+    EXPECT_EQ(op.numSrcs(), 1);
+    EXPECT_EQ(op.effAddr, 0xdeadbe00u);
+    EXPECT_EQ(op.memSize, 8);
+}
+
+TEST(MicroOp, BuilderBranch)
+{
+    MicroOp op = OpBuilder(OpClass::Branch)
+                     .pc(0x2000)
+                     .src(intReg(1))
+                     .branch(true, 0x1000)
+                     .build();
+    EXPECT_TRUE(op.isBranch());
+    EXPECT_TRUE(op.taken);
+    EXPECT_EQ(op.target, 0x1000u);
+    EXPECT_FALSE(op.hasDst());
+}
+
+TEST(MicroOp, ThreeSourcesMax)
+{
+    MicroOp op = OpBuilder(OpClass::IntAlu)
+                     .dst(intReg(0))
+                     .src(intReg(1))
+                     .src(intReg(2))
+                     .src(intReg(3))
+                     .build();
+    EXPECT_EQ(op.numSrcs(), 3);
+}
+
+TEST(MicroOp, ToStringMentionsOperands)
+{
+    MicroOp op = OpBuilder(OpClass::IntAlu)
+                     .pc(0x40)
+                     .dst(intReg(1))
+                     .src(intReg(2))
+                     .build();
+    std::string s = op.toString();
+    EXPECT_NE(s.find("IntAlu"), std::string::npos);
+    EXPECT_NE(s.find("r1"), std::string::npos);
+    EXPECT_NE(s.find("r2"), std::string::npos);
+}
+
+} // namespace
+} // namespace ltp

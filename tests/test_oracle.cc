@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for the limit-study oracle classifier, anchored on the paper's
+ * Figure 2 example: the oracle must reproduce the published
+ * classification of the example loop exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ltp/oracle.hh"
+#include "trace/kernels.hh"
+
+namespace ltp {
+namespace {
+
+/** Classify paper_loop and return flags for iteration @p iter. */
+struct IterClass
+{
+    bool urgent[11];
+    bool nonReady[11];
+    bool longLat[11];
+};
+
+IterClass
+classifyIteration(const OracleClassification &oc, int iter)
+{
+    IterClass out{};
+    for (int s = 0; s < 11; ++s) {
+        SeqNum seq = SeqNum(iter) * 11 + s;
+        out.urgent[s] = oc.urgent(seq);
+        out.nonReady[s] = oc.nonReady(seq);
+        out.longLat[s] = oc.longLatency(seq);
+    }
+    return out;
+}
+
+class OracleOnPaperLoop : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        WorkloadPtr w = makePaperLoop();
+        MemConfig mem;
+        oc_ = oracleClassify(*w, 1, 11 * 400, mem);
+    }
+
+    OracleClassification oc_;
+};
+
+// Slot letters: 0=A 1=B 2=C 3=D 4=E 5=F 6=G 7=H 8=I 9=J 10=K.
+
+TEST_F(OracleOnPaperLoop, Figure2Urgency)
+{
+    // Use a mid-stream iteration (caches and prefetcher warmed, and
+    // urgency's forward window fully populated).
+    IterClass c = classifyIteration(oc_, 100);
+    EXPECT_TRUE(c.urgent[0]) << "A addrA=baseA+j";
+    EXPECT_TRUE(c.urgent[1]) << "B t1=load A[j]";
+    EXPECT_TRUE(c.urgent[2]) << "C addrB=baseB+t1";
+    EXPECT_TRUE(c.urgent[3]) << "D d=load B[t1]";
+    EXPECT_TRUE(c.urgent[4]) << "E j=j-1";
+    EXPECT_FALSE(c.urgent[5]) << "F d=d+5";
+    EXPECT_FALSE(c.urgent[6]) << "G addrC=baseC+i";
+    EXPECT_FALSE(c.urgent[7]) << "H store";
+    EXPECT_FALSE(c.urgent[8]) << "I i=i+1";
+    EXPECT_FALSE(c.urgent[9]) << "J t2=i-10000";
+    EXPECT_FALSE(c.urgent[10]) << "K bltz";
+}
+
+TEST_F(OracleOnPaperLoop, Figure2Readiness)
+{
+    IterClass c = classifyIteration(oc_, 100);
+    // A-E are Ready (A[] hits thanks to the prefetcher).
+    for (int s = 0; s <= 4; ++s)
+        EXPECT_FALSE(c.nonReady[s]) << "slot " << s;
+    EXPECT_TRUE(c.nonReady[5]) << "F consumes the missing load";
+    EXPECT_FALSE(c.nonReady[6]) << "G only reads i";
+    EXPECT_TRUE(c.nonReady[7]) << "H stores the missing value";
+    EXPECT_FALSE(c.nonReady[8]);
+    EXPECT_FALSE(c.nonReady[9]);
+    EXPECT_FALSE(c.nonReady[10]);
+}
+
+TEST_F(OracleOnPaperLoop, OnlyDIsLongLatency)
+{
+    IterClass c = classifyIteration(oc_, 100);
+    for (int s = 0; s < 11; ++s) {
+        if (s == 3)
+            EXPECT_TRUE(c.longLat[s]) << "D misses to DRAM";
+        else
+            EXPECT_FALSE(c.longLat[s]) << "slot " << s;
+    }
+}
+
+TEST_F(OracleOnPaperLoop, StableAcrossIterations)
+{
+    // Classification must be identical for all steady-state iterations.
+    IterClass a = classifyIteration(oc_, 50);
+    IterClass b = classifyIteration(oc_, 300);
+    for (int s = 0; s < 11; ++s) {
+        EXPECT_EQ(a.urgent[s], b.urgent[s]) << "slot " << s;
+        EXPECT_EQ(a.nonReady[s], b.nonReady[s]) << "slot " << s;
+    }
+}
+
+TEST_F(OracleOnPaperLoop, BaseOffsetShiftsLookups)
+{
+    SeqNum probe = 11 * 100 + 3; // D of iteration 100
+    bool before = oc_.longLatency(probe);
+    oc_.setBase(11); // one iteration offset
+    EXPECT_EQ(oc_.longLatency(probe - 11), before);
+    oc_.setBase(0);
+}
+
+TEST(Oracle, EmptyTraceValid)
+{
+    WorkloadPtr w = makePaperLoop();
+    MemConfig mem;
+    OracleClassification oc = oracleClassify(*w, 1, 0, mem);
+    EXPECT_FALSE(oc.valid());
+    EXPECT_FALSE(oc.urgent(0));
+    EXPECT_FALSE(oc.nonReady(123456));
+}
+
+TEST(Oracle, OutOfRangeLookupsAreFalse)
+{
+    WorkloadPtr w = makePaperLoop();
+    MemConfig mem;
+    OracleClassification oc = oracleClassify(*w, 1, 110, mem);
+    EXPECT_FALSE(oc.urgent(110));
+    EXPECT_FALSE(oc.nonReady(1 << 20));
+}
+
+TEST(Oracle, UrgencyWindowBoundsPropagation)
+{
+    // With a tiny urgency window the cross-iteration chain (E feeds the
+    // next iteration's A) must still be caught — the consumer is only
+    // ~11 instructions ahead — but with window 1 nothing qualifies.
+    WorkloadPtr w = makePaperLoop();
+    MemConfig mem;
+    OracleParams tight;
+    tight.urgencyWindow = 1;
+    OracleClassification oc = oracleClassify(*w, 1, 11 * 50, mem, tight);
+    int urgents = 0;
+    for (SeqNum s = 0; s < oc.size(); ++s)
+        urgents += oc.urgent(s);
+    // Only the long-latency loads themselves stay urgent.
+    WorkloadPtr w2 = makePaperLoop();
+    OracleClassification full = oracleClassify(*w2, 1, 11 * 50, mem);
+    int full_urgents = 0;
+    for (SeqNum s = 0; s < full.size(); ++s)
+        full_urgents += full.urgent(s);
+    EXPECT_LT(urgents, full_urgents);
+}
+
+TEST(Oracle, ReadinessWindowExpires)
+{
+    // A value produced by a long-latency load stops making consumers
+    // Non-Ready once the readiness window has passed (the miss has
+    // returned by then).
+    WorkloadPtr w = makePaperLoop();
+    OracleParams p;
+    p.readinessWindow = 1; // expires immediately
+    MemConfig mem;
+    (void)mem;
+    OracleClassification oc = oracleClassify(*w, 1, 11 * 50,
+                                             MemConfig{}, p);
+    int non_ready = 0;
+    for (SeqNum s = 0; s < oc.size(); ++s)
+        non_ready += oc.nonReady(s);
+    EXPECT_EQ(non_ready, 0);
+}
+
+TEST(Oracle, GraphWalkChaseIsUrgentAndNonReady)
+{
+    // graph_walk slot 0 is a serial pointer chase: each instance is a
+    // long-latency load whose address depends on the previous one —
+    // the Urgent + Non-Ready class of the paper's astar discussion.
+    WorkloadPtr w = makeGraphWalk();
+    OracleClassification oc = oracleClassify(*w, 1, 12 * 300,
+                                             MemConfig{});
+    // Find the chase load PCs dynamically: slot 0 of each iteration.
+    WorkloadPtr probe = makeGraphWalk();
+    probe->reset(1);
+    MicroOp first = probe->next();
+    ASSERT_TRUE(first.isLoad());
+
+    WorkloadPtr scan = makeGraphWalk();
+    scan->reset(1);
+    int urgent_chase = 0, nonready_chase = 0, total_chase = 0;
+    for (SeqNum s = 0; s < oc.size(); ++s) {
+        MicroOp op = scan->next();
+        if (op.pc != first.pc || s < 100)
+            continue;
+        total_chase += 1;
+        urgent_chase += oc.urgent(s);
+        nonready_chase += oc.nonReady(s);
+    }
+    ASSERT_GT(total_chase, 50);
+    EXPECT_GT(double(urgent_chase) / total_chase, 0.9);
+    EXPECT_GT(double(nonready_chase) / total_chase, 0.5);
+}
+
+} // namespace
+} // namespace ltp

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Property-based tests: invariants that must hold across the whole
+ * (kernel x configuration) space, swept with parameterized gtest.
+ *
+ *  P1  Full completion: every run commits exactly the requested count.
+ *  P2  Occupancy bounds: mean occupancies never exceed capacities.
+ *  P3  Monotonic resources: an infinite-resource run is at least as
+ *      fast as any finite configuration (within noise).
+ *  P4  Determinism: identical (config, kernel, seed) => identical
+ *      cycle counts.
+ *  P5  LTP accounting: parked == unparked after drain-free runs,
+ *      forced unparks only under pressure-capable configs.
+ *  P6  Oracle closure: urgency is exactly the ancestor closure of
+ *      long-latency seeds on random DAG traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/random.hh"
+#include "ltp/oracle.hh"
+#include "sim/simulator.hh"
+#include "trace/suite.hh"
+
+namespace ltp {
+namespace {
+
+RunLengths
+tiny()
+{
+    RunLengths l;
+    l.funcWarm = 20000;
+    l.pipeWarm = 2000;
+    l.detail = 8000;
+    return l;
+}
+
+// ---------------------------------------------------------------------
+// P1/P2/P5 across kernel x LTP-mode.
+
+using KernelMode = std::tuple<std::string, LtpMode>;
+
+class KernelModeProp : public ::testing::TestWithParam<KernelMode>
+{
+};
+
+TEST_P(KernelModeProp, CompletionOccupancyAndAccounting)
+{
+    const auto &[kernel, mode] = GetParam();
+    SimConfig cfg = mode == LtpMode::Off
+                        ? SimConfig::baseline()
+                        : SimConfig::ltpProposal(mode);
+    RunLengths lengths = tiny();
+    Simulator sim(cfg, kernel, lengths);
+    Metrics m = sim.run();
+
+    // P1: full completion (commit is 8-wide, so the final cycle may
+    // overshoot by up to commitWidth-1).
+    EXPECT_GE(m.insts, lengths.detail);
+    EXPECT_LT(m.insts, lengths.detail + 8);
+
+    // P2: occupancy bounds.
+    EXPECT_LE(m.iqOcc, double(cfg.core.iqSize) + 1.0); // emergency slot
+    EXPECT_LE(m.robOcc, double(cfg.core.robSize));
+    EXPECT_LE(m.lqOcc, double(cfg.core.lqSize));
+    EXPECT_LE(m.sqOcc, double(cfg.core.sqSize));
+    EXPECT_LE(m.rfOcc, double(cfg.core.intRegs + cfg.core.fpRegs));
+    if (mode != LtpMode::Off)
+        EXPECT_LE(m.ltpOcc, double(cfg.core.ltp.entries));
+    else
+        EXPECT_EQ(m.parked, 0u);
+
+    // P5: parking balance after drain.  Unparks may exceed parks by
+    // whatever sat in the LTP when stats were reset at the start of
+    // the detail region — never the other way around.
+    sim.core().drain();
+    EXPECT_EQ(sim.core().ltpQueue().size(), 0);
+    std::uint64_t parked = sim.core().stats().parked.value();
+    std::uint64_t unparked = sim.core().stats().unparked.value();
+    EXPECT_GE(unparked, parked);
+    EXPECT_LE(unparked - parked,
+              std::uint64_t(std::min(cfg.core.ltp.entries,
+                                     cfg.core.robSize)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KernelModeProp,
+    ::testing::Combine(
+        ::testing::Values("paper_loop", "graph_walk",
+                          "indirect_stream_fp", "sparse_gather",
+                          "hash_probe", "linked_list", "bucket_shuffle",
+                          "btree_lookup", "dense_compute", "branchy_int",
+                          "fp_kernel", "cache_stream", "reduction",
+                          "int_mix", "div_heavy"),
+        ::testing::Values(LtpMode::Off, LtpMode::NU, LtpMode::NRNU)),
+    [](const ::testing::TestParamInfo<KernelMode> &info) {
+        std::string mode;
+        switch (std::get<1>(info.param)) {
+          case LtpMode::Off: mode = "Off"; break;
+          case LtpMode::NU: mode = "NU"; break;
+          case LtpMode::NR: mode = "NR"; break;
+          case LtpMode::NRNU: mode = "NRNU"; break;
+        }
+        return std::get<0>(info.param) + "_" + mode;
+    });
+
+// ---------------------------------------------------------------------
+// P3: resource monotonicity.
+
+class MonotonicProp : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(MonotonicProp, InfiniteResourcesNoSlower)
+{
+    RunLengths lengths = tiny();
+    Metrics finite = Simulator::runOnce(SimConfig::baseline(),
+                                        GetParam(), lengths);
+    Metrics infinite = Simulator::runOnce(
+        SimConfig::baseline()
+            .withIq(kInfiniteSize)
+            .withRegs(kInfiniteSize)
+            .withLq(kInfiniteSize)
+            .withSq(kInfiniteSize),
+        GetParam(), lengths);
+    // Modest tolerance: second-order scheduling interactions exist.
+    EXPECT_GE(infinite.ipc, finite.ipc * 0.98) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MonotonicProp,
+    ::testing::Values("paper_loop", "indirect_stream_fp",
+                      "bucket_shuffle", "dense_compute", "hash_probe"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+// ---------------------------------------------------------------------
+// P4: determinism across independent Simulator instances.
+
+class DeterminismProp : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(DeterminismProp, IdenticalRunsIdenticalCycles)
+{
+    Metrics a = Simulator::runOnce(SimConfig::ltpProposal(), GetParam(),
+                                   tiny());
+    Metrics b = Simulator::runOnce(SimConfig::ltpProposal(), GetParam(),
+                                   tiny());
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.parked, b.parked);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DeterminismProp,
+    ::testing::Values("graph_walk", "indirect_stream_fp", "div_heavy"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+// ---------------------------------------------------------------------
+// P6: oracle closure on random DAG traces.
+
+/** Random dependence-DAG workload for closure checking. */
+class RandomDag : public Workload
+{
+  public:
+    explicit RandomDag(std::uint64_t seed) : rng_(seed) {}
+
+    std::string name() const override { return "random_dag"; }
+
+    void
+    reset(std::uint64_t seed) override
+    {
+        rng_ = Rng(seed);
+    }
+
+    MicroOp
+    next() override
+    {
+        // 20% loads (some to a DRAM-sized region => long latency),
+        // 80% ALU ops with random sources.
+        int dst = int(rng_.below(kArchRegsPerClass));
+        if (rng_.chance(0.2)) {
+            Addr addr = rng_.chance(0.5)
+                            ? 0x10000000 + rng_.below(64 << 20)
+                            : 0x20000000 + rng_.below(4 << 10);
+            return OpBuilder(OpClass::Load)
+                .pc(0x1000 + rng_.below(64) * 4)
+                .dst(intReg(dst))
+                .src(intReg(int(rng_.below(kArchRegsPerClass))))
+                .mem(addr, 8)
+                .build();
+        }
+        return OpBuilder(OpClass::IntAlu)
+            .pc(0x2000 + rng_.below(256) * 4)
+            .dst(intReg(dst))
+            .src(intReg(int(rng_.below(kArchRegsPerClass))))
+            .src(intReg(int(rng_.below(kArchRegsPerClass))))
+            .build();
+    }
+
+  private:
+    Rng rng_;
+};
+
+class OracleClosureProp : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(OracleClosureProp, UrgencyIsAncestorClosure)
+{
+    const std::uint64_t seed = GetParam();
+    const SeqNum n = 4000;
+    RandomDag dag(seed);
+    OracleParams params;
+    OracleClassification oc =
+        oracleClassify(dag, seed, n, MemConfig{}, params);
+
+    // Reference closure computed independently: walk backwards keeping,
+    // per register, the nearest urgent consumer.
+    RandomDag replay(seed);
+    replay.reset(seed);
+    std::vector<MicroOp> trace(n);
+    for (SeqNum s = 0; s < n; ++s)
+        trace[s] = replay.next();
+
+    std::vector<SeqNum> need(kTotalArchRegs, kSeqNone);
+    std::vector<bool> urgent_ref(n, false);
+    for (SeqNum s = n; s-- > 0;) {
+        const MicroOp &op = trace[s];
+        bool urgent = oc.longLatency(s);
+        if (op.hasDst()) {
+            SeqNum consumer = need[op.dst.flat()];
+            if (consumer != kSeqNone &&
+                consumer - s <= SeqNum(params.urgencyWindow))
+                urgent = true;
+            need[op.dst.flat()] = kSeqNone;
+        }
+        if (urgent) {
+            urgent_ref[s] = true;
+            for (const auto &src : op.srcs)
+                if (src.valid())
+                    need[src.flat()] = s;
+        }
+    }
+    for (SeqNum s = 0; s < n; ++s)
+        ASSERT_EQ(oc.urgent(s), urgent_ref[s]) << "seq " << s;
+}
+
+TEST_P(OracleClosureProp, NonReadyOnlyFromLongLatencyAncestors)
+{
+    const std::uint64_t seed = GetParam() + 100;
+    const SeqNum n = 4000;
+    RandomDag dag(seed);
+    OracleClassification oc = oracleClassify(dag, seed, n, MemConfig{});
+
+    RandomDag replay(seed);
+    replay.reset(seed);
+    // Forward check: an instruction flagged Non-Ready must read at
+    // least one register whose last long-latency-tainted write is
+    // within the readiness window.
+    std::vector<SeqNum> taint(kTotalArchRegs, 0);
+    OracleParams params;
+    for (SeqNum s = 0; s < n; ++s) {
+        MicroOp op = replay.next();
+        SeqNum horizon = 0;
+        for (const auto &src : op.srcs)
+            if (src.valid())
+                horizon = std::max(horizon, taint[src.flat()]);
+        ASSERT_EQ(oc.nonReady(s), horizon > s) << "seq " << s;
+        if (op.hasDst()) {
+            SeqNum h = horizon > s ? horizon : 0;
+            if (oc.longLatency(s))
+                h = std::max(h, s + params.readinessWindow);
+            taint[op.dst.flat()] = h;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleClosureProp,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+} // namespace
+} // namespace ltp

@@ -18,20 +18,34 @@ main(int argc, char **argv)
     Cli cli(argc, argv, benchFlags());
     RunLengths lengths = benchLengths(cli);
     std::uint64_t seed = cli.integer("seed", 1);
-    Panels panels = makePanels(lengths, seed);
+    int threads = benchThreads(cli);
+    Panels panels = makePanels(lengths, seed, threads);
 
-    for (const std::string &panel : {std::string("mlp_sensitive"),
-                                     std::string("mlp_insensitive")}) {
-        Metrics base = runPanel(SimConfig::baseline().withSeed(seed),
-                                panels, panel, lengths);
-        Table t({"monitor", "perf vs base", "enabled frac",
-                 "parked frac", "IQ/RF+LTP ED2P vs base"});
+    const std::vector<std::string> groups = {"mlp_sensitive",
+                                             "mlp_insensitive"};
+
+    SweepSpec spec;
+    spec.name = "ablation_monitor";
+    spec.lengths = lengths;
+    for (const std::string &panel : groups) {
+        addPanelJob(spec, panel, "base",
+                    SimConfig::baseline().withSeed(seed), panels, panel);
         for (bool on : {true, false}) {
             SimConfig cfg =
                 SimConfig::ltpProposal().withMonitor(on).withSeed(seed);
             cfg.name = on ? "DRAM timer (paper)" : "always on";
-            Metrics m = runPanel(cfg, panels, panel, lengths);
-            t.addRow({cfg.name, Table::pct(m.perfDeltaPct(base)),
+            addPanelJob(spec, panel, cfg.name, cfg, panels, panel);
+        }
+    }
+    SweepResult result = Runner(threads).run(spec);
+
+    for (const std::string &panel : groups) {
+        const Metrics &base = result.grid.at(panel, "base");
+        Table t({"monitor", "perf vs base", "enabled frac",
+                 "parked frac", "IQ/RF+LTP ED2P vs base"});
+        for (const char *name : {"DRAM timer (paper)", "always on"}) {
+            const Metrics &m = result.grid.at(panel, name);
+            t.addRow({name, Table::pct(m.perfDeltaPct(base)),
                       Table::num(m.ltpEnabledFrac, 2),
                       Table::num(m.parkedFrac, 2),
                       Table::pct(m.ed2pDeltaPct(base))});
@@ -39,5 +53,6 @@ main(int argc, char **argv)
         t.print(strprintf("Ablation: DRAM-timer monitor (%s)",
                           panel.c_str()));
     }
+    maybeJson(cli, result);
     return 0;
 }

@@ -18,24 +18,38 @@ main(int argc, char **argv)
     Cli cli(argc, argv, benchFlags());
     RunLengths lengths = benchLengths(cli);
     std::uint64_t seed = cli.integer("seed", 1);
-    Panels panels = makePanels(lengths, seed);
+    int threads = benchThreads(cli);
+    Panels panels = makePanels(lengths, seed, threads);
 
     const std::vector<std::pair<std::string, WakeupPolicy>> policies = {
         {"ROB proximity (paper)", WakeupPolicy::RobProximity},
         {"eager", WakeupPolicy::Eager},
         {"lazy (forced/pressure only)", WakeupPolicy::Lazy},
     };
+    const std::vector<std::string> groups = {"mlp_sensitive",
+                                             "mlp_insensitive"};
 
-    for (const std::string &panel : {std::string("mlp_sensitive"),
-                                     std::string("mlp_insensitive")}) {
-        Metrics base = runPanel(SimConfig::baseline().withSeed(seed),
-                                panels, panel, lengths);
-        Table t({"wakeup policy", "perf vs base", "insts in LTP",
-                 "RF in use", "forced unparks / kinst"});
+    SweepSpec spec;
+    spec.name = "ablation_wakeup";
+    spec.lengths = lengths;
+    for (const std::string &panel : groups) {
+        addPanelJob(spec, panel, "base",
+                    SimConfig::baseline().withSeed(seed), panels, panel);
         for (const auto &[label, policy] : policies) {
             SimConfig cfg = SimConfig::ltpProposal().withSeed(seed);
             cfg.core.ltp.wakeup = policy;
-            Metrics m = runPanel(cfg, panels, panel, lengths);
+            addPanelJob(spec, panel, label, cfg, panels, panel);
+        }
+    }
+    SweepResult result = Runner(threads).run(spec);
+
+    for (const std::string &panel : groups) {
+        const Metrics &base = result.grid.at(panel, "base");
+        Table t({"wakeup policy", "perf vs base", "insts in LTP",
+                 "RF in use", "forced unparks / kinst"});
+        for (const auto &[label, policy] : policies) {
+            (void)policy;
+            const Metrics &m = result.grid.at(panel, label);
             t.addRow({label, Table::pct(m.perfDeltaPct(base)),
                       Table::num(m.ltpOcc, 1), Table::num(m.rfOcc, 1),
                       Table::num(safeDiv(1000.0 * m.forcedUnparks,
@@ -45,5 +59,6 @@ main(int argc, char **argv)
         t.print(strprintf("Ablation: NU wakeup policy (%s)",
                           panel.c_str()));
     }
+    maybeJson(cli, result);
     return 0;
 }

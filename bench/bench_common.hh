@@ -3,7 +3,12 @@
  * Shared plumbing for the figure/table benches: standard run lengths,
  * runtime suite grouping (Section 4.1), the paper's four panels
  * (astar-like, milc-like, mlp-sensitive avg, mlp-insensitive avg), and
- * CSV capture next to the binary for EXPERIMENTS.md.
+ * CSV/JSON capture next to the binary for EXPERIMENTS.md and CI.
+ *
+ * Every bench builds one SweepSpec naming all of its simulations, then
+ * runs it through the sharded Runner (--threads=N, default hardware
+ * concurrency; results are bit-identical at any thread count) and
+ * renders tables from the ResultGrid.
  */
 
 #ifndef LTP_BENCH_BENCH_COMMON_HH
@@ -18,6 +23,8 @@
 #include "common/table.hh"
 #include "sim/experiment.hh"
 #include "sim/mlp_class.hh"
+#include "sim/report.hh"
+#include "sim/runner.hh"
 #include "sim/simulator.hh"
 #include "trace/suite.hh"
 
@@ -39,7 +46,15 @@ benchLengths(const Cli &cli)
 inline std::set<std::string>
 benchFlags()
 {
-    return {"warm", "pipewarm", "detail", "seed", "csv"};
+    return {"warm", "pipewarm", "detail", "seed", "csv", "json",
+            "threads"};
+}
+
+/** Worker count for the Runner: --threads=N, default all cores. */
+inline int
+benchThreads(const Cli &cli)
+{
+    return int(cli.integer("threads", 0));
 }
 
 /** The four panels of Figure 6/7: two marquee kernels + two groups. */
@@ -52,12 +67,12 @@ struct Panels
 
 /** Classify the suite with the runtime criteria and report the split. */
 inline Panels
-makePanels(const RunLengths &lengths, std::uint64_t seed)
+makePanels(const RunLengths &lengths, std::uint64_t seed, int threads = 0)
 {
     Panels p;
     RunLengths quick = lengths;
     quick.detail = std::min<std::uint64_t>(lengths.detail, 20000);
-    p.groups = classifySuite(quick, seed);
+    p.groups = classifySuite(quick, seed, threads);
 
     std::printf("Section 4.1 classification (IQ32 vs IQ256):\n");
     for (const auto &d : p.groups.details)
@@ -70,18 +85,24 @@ makePanels(const RunLengths &lengths, std::uint64_t seed)
     return p;
 }
 
-/** Run a config over one panel (kernel name or group average). */
-inline Metrics
-runPanel(const SimConfig &cfg, const Panels &panels,
-         const std::string &panel, const RunLengths &lengths)
+/** The kernels behind a panel name (single kernel or a whole group). */
+inline std::vector<std::string>
+panelKernels(const Panels &panels, const std::string &panel)
 {
     if (panel == "mlp_sensitive")
-        return runGroupAverage(cfg, panels.groups.sensitive,
-                               "mlp_sensitive", lengths);
+        return panels.groups.sensitive;
     if (panel == "mlp_insensitive")
-        return runGroupAverage(cfg, panels.groups.insensitive,
-                               "mlp_insensitive", lengths);
-    return Simulator::runOnce(cfg, panel, lengths);
+        return panels.groups.insensitive;
+    return {panel};
+}
+
+/** Queue one (row, series) cell running @p cfg over @p panel. */
+inline void
+addPanelJob(SweepSpec &spec, const std::string &row,
+            const std::string &series, const SimConfig &cfg,
+            const Panels &panels, const std::string &panel)
+{
+    spec.addGroup(row, series, cfg, panelKernels(panels, panel), panel);
 }
 
 /** The four standard panel identifiers, in paper order. */
@@ -89,6 +110,13 @@ inline std::vector<std::string>
 panelNames(const Panels &p)
 {
     return {p.astarLike, p.milcLike, "mlp_sensitive", "mlp_insensitive"};
+}
+
+/** Grid key for a (panel, axis point) cell: "<panel>|<point>". */
+inline std::string
+panelRow(const std::string &panel, const std::string &point)
+{
+    return panel + "|" + point;
 }
 
 /** Optionally dump a table as CSV (flag --csv=<path>). */
@@ -102,6 +130,26 @@ maybeCsv(const Cli &cli, const Table &table, const std::string &dflt)
     std::ofstream out(target);
     out << table.toCsv();
     std::printf("csv written to %s\n", target.c_str());
+}
+
+/**
+ * Optionally archive the full sweep as JSON (flag --json=<path>;
+ * --json=1 writes BENCH_<sweep name>.json), including thread count and
+ * wall-clock so CI can track the perf trajectory.
+ */
+inline void
+maybeJson(const Cli &cli, const SweepResult &result)
+{
+    std::string path = cli.str("json", "");
+    if (path.empty())
+        return;
+    std::string target =
+        path == "1" ? "BENCH_" + result.name + ".json" : path;
+    writeFile(target, reportToJson(result));
+    std::printf("json report (%zu sims, %d threads, %.0f ms) written "
+                "to %s\n",
+                result.simulations, result.threads, result.wallMs,
+                target.c_str());
 }
 
 } // namespace bench

@@ -23,20 +23,41 @@ main(int argc, char **argv)
     Cli cli(argc, argv, benchFlags());
     RunLengths lengths = benchLengths(cli);
     std::uint64_t seed = cli.integer("seed", 1);
-    Panels panels = makePanels(lengths, seed);
+    int threads = benchThreads(cli);
+    Panels panels = makePanels(lengths, seed, threads);
 
     const std::vector<int> entry_sweep = {kInfiniteSize, 128, 64, 32, 16};
     const std::vector<int> port_sweep = {1, 2, 4, 8};
 
+    SweepSpec spec;
+    spec.name = "fig10_tradeoffs";
+    spec.lengths = lengths;
     for (const std::string &panel : panelNames(panels)) {
-        Metrics base = runPanel(SimConfig::baseline().withSeed(seed),
-                                panels, panel, lengths);
-        Metrics no_ltp = runPanel(SimConfig::baseline()
-                                      .withIq(32)
-                                      .withRegs(96)
-                                      .withSeed(seed)
-                                      .withName("no-LTP shrink"),
-                                  panels, panel, lengths);
+        addPanelJob(spec, panelRow(panel, "base"), "base",
+                    SimConfig::baseline().withSeed(seed), panels, panel);
+        addPanelJob(spec, panelRow(panel, "base"), "no-LTP shrink",
+                    SimConfig::baseline()
+                        .withIq(32)
+                        .withRegs(96)
+                        .withSeed(seed)
+                        .withName("no-LTP shrink"),
+                    panels, panel);
+        for (int entries : entry_sweep)
+            for (int ports : port_sweep)
+                addPanelJob(spec, panelRow(panel, sizeLabel(entries)),
+                            strprintf("%dp", ports),
+                            SimConfig::ltpProposal()
+                                .withLtp(LtpMode::NU, entries, ports)
+                                .withSeed(seed),
+                            panels, panel);
+    }
+    SweepResult result = Runner(threads).run(spec);
+
+    for (const std::string &panel : panelNames(panels)) {
+        const Metrics &base =
+            result.grid.at(panelRow(panel, "base"), "base");
+        const Metrics &no_ltp =
+            result.grid.at(panelRow(panel, "base"), "no-LTP shrink");
 
         Table perf({"LTP entries", "1p", "2p", "4p", "8p"});
         Table ed2p({"LTP entries", "1p", "2p", "4p", "8p"});
@@ -44,10 +65,9 @@ main(int argc, char **argv)
             std::vector<std::string> prow{sizeLabel(entries)};
             std::vector<std::string> erow{sizeLabel(entries)};
             for (int ports : port_sweep) {
-                SimConfig cfg = SimConfig::ltpProposal()
-                                    .withLtp(LtpMode::NU, entries, ports)
-                                    .withSeed(seed);
-                Metrics m = runPanel(cfg, panels, panel, lengths);
+                const Metrics &m =
+                    result.grid.at(panelRow(panel, sizeLabel(entries)),
+                                   strprintf("%dp", ports));
                 prow.push_back(Table::pct(m.perfDeltaPct(base)));
                 erow.push_back(Table::pct(m.ed2pDeltaPct(base)));
             }
@@ -68,5 +88,6 @@ main(int argc, char **argv)
         maybeCsv(cli, perf, strprintf("fig10_perf_%s.csv",
                                       panel.c_str()));
     }
+    maybeJson(cli, result);
     return 0;
 }

@@ -22,26 +22,48 @@ main(int argc, char **argv)
     Cli cli(argc, argv, benchFlags());
     RunLengths lengths = benchLengths(cli);
     std::uint64_t seed = cli.integer("seed", 1);
-    Panels panels = makePanels(lengths, seed);
+    int threads = benchThreads(cli);
+    Panels panels = makePanels(lengths, seed, threads);
 
     const std::vector<int> tickets = {128, 64, 32, 16, 8, 4};
+    const std::vector<std::string> groups = {"mlp_sensitive",
+                                             "mlp_insensitive"};
 
-    for (const std::string &panel : {std::string("mlp_sensitive"),
-                                     std::string("mlp_insensitive")}) {
-        Metrics base = runPanel(SimConfig::baseline().withSeed(seed),
-                                panels, panel, lengths);
-        Metrics no_ltp = runPanel(
-            SimConfig::baseline().withIq(32).withRegs(96).withSeed(seed),
-            panels, panel, lengths);
-        Metrics nu_only = runPanel(SimConfig::ltpProposal().withSeed(seed),
-                                   panels, panel, lengths);
+    SweepSpec spec;
+    spec.name = "fig11_tickets";
+    spec.lengths = lengths;
+    for (const std::string &panel : groups) {
+        addPanelJob(spec, panelRow(panel, "base"), "base",
+                    SimConfig::baseline().withSeed(seed), panels, panel);
+        addPanelJob(spec, panelRow(panel, "base"), "no LTP",
+                    SimConfig::baseline().withIq(32).withRegs(96).withSeed(
+                        seed),
+                    panels, panel);
+        addPanelJob(spec, panelRow(panel, "base"), "NU only",
+                    SimConfig::ltpProposal().withSeed(seed), panels,
+                    panel);
+        for (int n : tickets)
+            addPanelJob(spec, panelRow(panel, std::to_string(n)), "NR+NU",
+                        SimConfig::ltpProposal(LtpMode::NRNU)
+                            .withTickets(n)
+                            .withSeed(seed),
+                        panels, panel);
+    }
+    SweepResult result = Runner(threads).run(spec);
+
+    for (const std::string &panel : groups) {
+        const Metrics &base =
+            result.grid.at(panelRow(panel, "base"), "base");
+        const Metrics &no_ltp =
+            result.grid.at(panelRow(panel, "base"), "no LTP");
+        const Metrics &nu_only =
+            result.grid.at(panelRow(panel, "base"), "NU only");
 
         Table t({"# tickets", "LTP (NR+NU) perf vs base"});
         for (int n : tickets) {
-            SimConfig cfg = SimConfig::ltpProposal(LtpMode::NRNU)
-                                .withTickets(n)
-                                .withSeed(seed);
-            Metrics m = runPanel(cfg, panels, panel, lengths);
+            const Metrics &m =
+                result.grid.at(panelRow(panel, std::to_string(n)),
+                               "NR+NU");
             t.addRow({std::to_string(n),
                       Table::pct(m.perfDeltaPct(base))});
         }
@@ -52,5 +74,6 @@ main(int argc, char **argv)
             Table::pct(nu_only.perfDeltaPct(base)).c_str()));
         maybeCsv(cli, t, strprintf("fig11_%s.csv", panel.c_str()));
     }
+    maybeJson(cli, result);
     return 0;
 }

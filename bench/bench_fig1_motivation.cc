@@ -25,7 +25,8 @@ main(int argc, char **argv)
     Cli cli(argc, argv, benchFlags());
     RunLengths lengths = benchLengths(cli);
     std::uint64_t seed = cli.integer("seed", 1);
-    Panels panels = makePanels(lengths, seed);
+    int threads = benchThreads(cli);
+    Panels panels = makePanels(lengths, seed, threads);
 
     // Figure 1 note: infinite RF, LQ, SQ, MSHRs.
     auto unlimited = [&](SimConfig cfg) {
@@ -44,14 +45,24 @@ main(int argc, char **argv)
     SimConfig iq256 = unlimited(SimConfig::baseline().withIq(256))
                           .withName("IQ:256");
 
+    const std::vector<std::string> groups = {"mlp_sensitive",
+                                             "mlp_insensitive"};
+
+    SweepSpec spec;
+    spec.name = "fig1_motivation";
+    spec.lengths = lengths;
+    for (const std::string &group : groups)
+        for (const SimConfig &cfg : {iq32, iq32_ltp, iq256})
+            addPanelJob(spec, group, cfg.name, cfg, panels, group);
+    SweepResult result = Runner(threads).run(spec);
+
     Table ab({"group", "config", "CPI", "avg outstanding reqs"});
     Table c({"group (at IQ:256)", "RF in use", "IQ in use", "LQ in use",
              "SQ in use"});
 
-    for (const std::string &group : {std::string("mlp_sensitive"),
-                                     std::string("mlp_insensitive")}) {
+    for (const std::string &group : groups) {
         for (const SimConfig &cfg : {iq32, iq32_ltp, iq256}) {
-            Metrics m = runPanel(cfg, panels, group, lengths);
+            const Metrics &m = result.grid.at(group, cfg.name);
             ab.addRow({group, cfg.name, Table::num(m.cpi, 3),
                        Table::num(m.avgOutstanding, 2)});
             if (cfg.name == "IQ:256")
@@ -65,5 +76,6 @@ main(int argc, char **argv)
              "(inf RF/LQ/SQ/MSHR, prefetcher on)");
     c.print("Figure 1c: avg resources in use per cycle at IQ:256");
     maybeCsv(cli, ab, "fig1_ab.csv");
+    maybeJson(cli, result);
     return 0;
 }

@@ -24,6 +24,7 @@ main(int argc, char **argv)
     Cli cli(argc, argv, benchFlags());
     RunLengths lengths = benchLengths(cli);
     std::uint64_t seed = cli.integer("seed", 1);
+    int threads = benchThreads(cli);
 
     // ---- Part 1: Figure 2 classification, as learned by the UIT.
     Simulator sim(SimConfig::ltpProposal().withSeed(seed), "paper_loop",
@@ -57,15 +58,22 @@ main(int argc, char **argv)
             .withSq(kInfiniteSize)
             .withSeed(seed);
     };
-    Metrics no_ltp = Simulator::runOnce(
-        tiny(SimConfig::baseline()).withName("traditional IQ:8"),
-        "paper_loop", lengths);
     SimConfig with_ltp = tiny(SimConfig::ltpProposal())
                              .withLtp(LtpMode::NU, 128, 4)
                              .withName("IQ:8 + LTP");
     with_ltp.core.intRegs = kInfiniteSize;
     with_ltp.core.fpRegs = kInfiniteSize;
-    Metrics ltp = Simulator::runOnce(with_ltp, "paper_loop", lengths);
+
+    SweepSpec spec;
+    spec.name = "fig23_example";
+    spec.lengths = lengths;
+    spec.add("paper_loop", "traditional",
+             tiny(SimConfig::baseline()).withName("traditional IQ:8"),
+             "paper_loop");
+    spec.add("paper_loop", "ltp", with_ltp, "paper_loop");
+    SweepResult result = Runner(threads).run(spec);
+    const Metrics &no_ltp = result.grid.at("paper_loop", "traditional");
+    const Metrics &ltp = result.grid.at("paper_loop", "ltp");
 
     Table t({"config", "IPC", "avg outstanding (MLP)", "IQ in use",
              "insts in LTP"});
@@ -81,5 +89,6 @@ main(int argc, char **argv)
                 "illustration has 2x (4 vs 2).\n",
                 safeDiv(ltp.avgOutstanding, no_ltp.avgOutstanding));
     maybeCsv(cli, t, "fig23.csv");
+    maybeJson(cli, result);
     return 0;
 }

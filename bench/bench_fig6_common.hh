@@ -8,6 +8,9 @@
  * No LTP, LTP (NR), LTP (NU), LTP (NR+NU); performance is reported
  * relative to the no-LTP run at the resource's Table 1 baseline size
  * (the circled point on the paper's axes).
+ *
+ * The whole study — 4 panels × (1 baseline + |sizes| × 4 modes) — is
+ * declared as one SweepSpec and sharded across the Runner's pool.
  */
 
 #ifndef LTP_BENCH_BENCH_FIG6_COMMON_HH
@@ -33,6 +36,40 @@ applySize(SimConfig cfg, SweptResource res, int size)
     return cfg;
 }
 
+/** Declare the full Figure 6 study for one resource as a SweepSpec. */
+inline SweepSpec
+fig6Spec(const Panels &panels, SweptResource res, const char *res_name,
+         const std::vector<int> &sizes, int baseline_size,
+         std::uint64_t seed, const RunLengths &lengths)
+{
+    const std::vector<std::pair<std::string, LtpMode>> series = {
+        {"No LTP", LtpMode::Off},
+        {"LTP (NR)", LtpMode::NR},
+        {"LTP (NU)", LtpMode::NU},
+        {"LTP (NR+NU)", LtpMode::NRNU},
+    };
+
+    SweepSpec spec;
+    spec.name = strprintf("fig6_%s", res_name);
+    spec.lengths = lengths;
+    for (const std::string &panel : panelNames(panels)) {
+        // Baseline: no LTP at the Table 1 size of the swept resource.
+        addPanelJob(spec, panelRow(panel, "base"), "No LTP",
+                    applySize(SimConfig::limitStudy(LtpMode::Off), res,
+                              baseline_size)
+                        .withSeed(seed),
+                    panels, panel);
+        for (int size : sizes)
+            for (const auto &[label, mode] : series)
+                addPanelJob(spec, panelRow(panel, sizeLabel(size)), label,
+                            applySize(SimConfig::limitStudy(mode), res,
+                                      size)
+                                .withSeed(seed),
+                            panels, panel);
+    }
+    return spec;
+}
+
 inline void
 runFig6Row(int argc, char **argv, SweptResource res,
            const char *res_name, const std::vector<int> &sizes,
@@ -41,32 +78,26 @@ runFig6Row(int argc, char **argv, SweptResource res,
     Cli cli(argc, argv, benchFlags());
     RunLengths lengths = benchLengths(cli);
     std::uint64_t seed = cli.integer("seed", 1);
-    Panels panels = makePanels(lengths, seed);
+    int threads = benchThreads(cli);
+    Panels panels = makePanels(lengths, seed, threads);
 
-    const std::vector<std::pair<std::string, LtpMode>> series = {
-        {"No LTP", LtpMode::Off},
-        {"LTP (NR)", LtpMode::NR},
-        {"LTP (NU)", LtpMode::NU},
-        {"LTP (NR+NU)", LtpMode::NRNU},
-    };
+    SweepSpec spec = fig6Spec(panels, res, res_name, sizes,
+                              baseline_size, seed, lengths);
+    SweepResult result = Runner(threads).run(spec);
 
+    const std::vector<std::string> series = {"No LTP", "LTP (NR)",
+                                             "LTP (NU)", "LTP (NR+NU)"};
     for (const std::string &panel : panelNames(panels)) {
-        // Baseline: no LTP at the Table 1 size of the swept resource.
-        SimConfig base_cfg =
-            applySize(SimConfig::limitStudy(LtpMode::Off), res,
-                      baseline_size)
-                .withSeed(seed);
-        Metrics base = runPanel(base_cfg, panels, panel, lengths);
+        const Metrics &base =
+            result.grid.at(panelRow(panel, "base"), "No LTP");
 
         Table t({std::string(res_name) + " size", "No LTP", "LTP (NR)",
                  "LTP (NU)", "LTP (NR+NU)"});
         for (int size : sizes) {
             std::vector<std::string> row{sizeLabel(size)};
-            for (const auto &[label, mode] : series) {
-                SimConfig cfg =
-                    applySize(SimConfig::limitStudy(mode), res, size)
-                        .withSeed(seed);
-                Metrics m = runPanel(cfg, panels, panel, lengths);
+            for (const std::string &label : series) {
+                const Metrics &m = result.grid.at(
+                    panelRow(panel, sizeLabel(size)), label);
                 row.push_back(Table::pct(m.perfDeltaPct(base)));
             }
             t.addRow(std::move(row));
@@ -78,6 +109,7 @@ runFig6Row(int argc, char **argv, SweptResource res,
         maybeCsv(cli, t,
                  strprintf("fig6_%s_%s.csv", res_name, panel.c_str()));
     }
+    maybeJson(cli, result);
 }
 
 } // namespace bench

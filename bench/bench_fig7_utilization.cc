@@ -23,7 +23,8 @@ main(int argc, char **argv)
     Cli cli(argc, argv, benchFlags());
     RunLengths lengths = benchLengths(cli);
     std::uint64_t seed = cli.integer("seed", 1);
-    Panels panels = makePanels(lengths, seed);
+    int threads = benchThreads(cli);
+    Panels panels = makePanels(lengths, seed, threads);
 
     const std::vector<std::pair<std::string, LtpMode>> series = {
         {"NR", LtpMode::NR},
@@ -31,15 +32,25 @@ main(int argc, char **argv)
         {"NR+NU", LtpMode::NRNU},
     };
 
+    SweepSpec spec;
+    spec.name = "fig7_utilization";
+    spec.lengths = lengths;
+    for (const std::string &panel : panelNames(panels))
+        for (const auto &[label, mode] : series)
+            addPanelJob(spec, panel, label,
+                        SimConfig::limitStudy(mode)
+                            .withIq(32)
+                            .withRegs(96)
+                            .withSeed(seed),
+                        panels, panel);
+    SweepResult result = Runner(threads).run(spec);
+
     Table t({"panel", "mode", "insts in LTP", "regs in LTP",
              "loads in LTP", "stores in LTP", "enabled"});
     for (const std::string &panel : panelNames(panels)) {
         for (const auto &[label, mode] : series) {
-            SimConfig cfg = SimConfig::limitStudy(mode)
-                                .withIq(32)
-                                .withRegs(96)
-                                .withSeed(seed);
-            Metrics m = runPanel(cfg, panels, panel, lengths);
+            (void)mode;
+            const Metrics &m = result.grid.at(panel, label);
             t.addRow({panel, label, Table::num(m.ltpOcc, 1),
                       Table::num(m.ltpRegsOcc, 1),
                       Table::num(m.ltpLoadsOcc, 1),
@@ -50,5 +61,6 @@ main(int argc, char **argv)
     t.print("Figure 7: LTP utilisation (unlimited LTP, IQ 32, 96+96 "
             "regs, oracle classification)");
     maybeCsv(cli, t, "fig7.csv");
+    maybeJson(cli, result);
     return 0;
 }

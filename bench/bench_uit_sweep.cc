@@ -20,20 +20,34 @@ main(int argc, char **argv)
     Cli cli(argc, argv, benchFlags());
     RunLengths lengths = benchLengths(cli);
     std::uint64_t seed = cli.integer("seed", 1);
-    Panels panels = makePanels(lengths, seed);
+    int threads = benchThreads(cli);
+    Panels panels = makePanels(lengths, seed, threads);
 
     const std::vector<int> sizes = {kInfiniteSize, 512, 256, 128, 64,
                                     32};
+    const std::vector<std::string> groups = {"mlp_sensitive",
+                                             "mlp_insensitive"};
 
-    for (const std::string &panel : {std::string("mlp_sensitive"),
-                                     std::string("mlp_insensitive")}) {
-        Metrics base = runPanel(SimConfig::baseline().withSeed(seed),
-                                panels, panel, lengths);
+    SweepSpec spec;
+    spec.name = "uit_sweep";
+    spec.lengths = lengths;
+    for (const std::string &panel : groups) {
+        addPanelJob(spec, panelRow(panel, "base"), "base",
+                    SimConfig::baseline().withSeed(seed), panels, panel);
+        for (int n : sizes)
+            addPanelJob(spec, panelRow(panel, sizeLabel(n)), "LTP",
+                        SimConfig::ltpProposal().withUit(n).withSeed(seed),
+                        panels, panel);
+    }
+    SweepResult result = Runner(threads).run(spec);
+
+    for (const std::string &panel : groups) {
+        const Metrics &base =
+            result.grid.at(panelRow(panel, "base"), "base");
         Table t({"UIT entries", "perf vs base", "parked frac"});
         for (int n : sizes) {
-            SimConfig cfg =
-                SimConfig::ltpProposal().withUit(n).withSeed(seed);
-            Metrics m = runPanel(cfg, panels, panel, lengths);
+            const Metrics &m =
+                result.grid.at(panelRow(panel, sizeLabel(n)), "LTP");
             t.addRow({sizeLabel(n), Table::pct(m.perfDeltaPct(base)),
                       Table::num(m.parkedFrac, 2)});
         }
@@ -41,5 +55,6 @@ main(int argc, char **argv)
                           panel.c_str()));
         maybeCsv(cli, t, strprintf("uit_%s.csv", panel.c_str()));
     }
+    maybeJson(cli, result);
     return 0;
 }

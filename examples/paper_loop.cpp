@@ -18,7 +18,7 @@
 #include "common/cli.hh"
 #include "common/table.hh"
 #include "ltp/oracle.hh"
-#include "sim/simulator.hh"
+#include "sim/runner.hh"
 #include "trace/kernels.hh"
 
 using namespace ltp;
@@ -26,8 +26,9 @@ using namespace ltp;
 int
 main(int argc, char **argv)
 {
-    Cli cli(argc, argv, {"iterations"});
+    Cli cli(argc, argv, {"iterations", "threads"});
     int iters = int(cli.integer("iterations", 200));
+    int threads = int(cli.integer("threads", 0));
 
     // ---- 1. the loop itself -------------------------------------------
     std::printf("The paper's example loop (Figure 2):\n"
@@ -77,12 +78,17 @@ main(int argc, char **argv)
             .withSq(kInfiniteSize)
             .withName(name);
     };
-    Metrics trad = Simulator::runOnce(
-        tiny(SimConfig::baseline(), "traditional, IQ:8"), "paper_loop",
-        lengths);
-    Metrics ltp = Simulator::runOnce(
-        tiny(SimConfig::ltpProposal(), "LTP, IQ:8"), "paper_loop",
-        lengths);
+    SweepSpec spec;
+    spec.name = "paper_loop_fig3";
+    spec.lengths = lengths;
+    spec.add("fig3", "traditional",
+             tiny(SimConfig::baseline(), "traditional, IQ:8"),
+             "paper_loop");
+    spec.add("fig3", "ltp", tiny(SimConfig::ltpProposal(), "LTP, IQ:8"),
+             "paper_loop");
+    SweepResult fig3 = Runner(threads).run(spec);
+    const Metrics &trad = fig3.grid.at("fig3", "traditional");
+    const Metrics &ltp = fig3.grid.at("fig3", "ltp");
 
     Table fx({"pipeline", "IPC", "MLP (outstanding)", "IQ in use",
               "in LTP"});

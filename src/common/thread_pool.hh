@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fixed-size worker pool with std::future results.
+ *
+ * Deliberately minimal — no work stealing, no task priorities: sweep
+ * jobs are coarse (one whole simulation each, milliseconds to seconds),
+ * so a single locked FIFO queue is nowhere near contention-bound.
+ * Determinism note: the pool guarantees nothing about execution order;
+ * callers that need reproducible results must make each task a pure
+ * function of its inputs (the Runner's jobs are — every Simulator owns
+ * its Rng, seeded from the job's config).
+ */
+
+#ifndef LTP_COMMON_THREAD_POOL_HH
+#define LTP_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace ltp {
+
+/** Fixed-size thread pool; tasks run FIFO, results via std::future. */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; <= 0 selects defaultThreads(). */
+    explicit ThreadPool(int threads = 0);
+
+    /** Drains the queue: blocks until every submitted task has run. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int threadCount() const { return static_cast<int>(workers_.size()); }
+
+    /** Hardware concurrency, with a floor of 1. */
+    static int defaultThreads();
+
+    /** Enqueue @p fn; the future reports its result (or exception). */
+    template <typename Fn>
+    auto
+    submit(Fn &&fn) -> std::future<std::invoke_result_t<Fn>>
+    {
+        using Result = std::invoke_result_t<Fn>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            std::forward<Fn>(fn));
+        std::future<Result> future = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            queue_.emplace_back([task]() { (*task)(); });
+        }
+        cv_.notify_one();
+        return future;
+    }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+} // namespace ltp
+
+#endif // LTP_COMMON_THREAD_POOL_HH

@@ -1,53 +1,33 @@
 #include "sim/experiment.hh"
 
-#include "common/logging.hh"
-
 namespace ltp {
 
 std::vector<Metrics>
 runSuite(const SimConfig &cfg, const std::vector<std::string> &kernels,
-         const RunLengths &lengths)
+         const RunLengths &lengths, int threads)
 {
+    SweepSpec spec;
+    spec.name = "suite:" + cfg.name;
+    spec.lengths = lengths;
+    for (const std::string &k : kernels)
+        spec.add(k, cfg.name, cfg, k);
+
+    SweepResult result = Runner(threads).run(spec);
+
     std::vector<Metrics> out;
     out.reserve(kernels.size());
     for (const std::string &k : kernels)
-        out.push_back(Simulator::runOnce(cfg, k, lengths));
+        out.push_back(result.grid.at(k, cfg.name));
     return out;
 }
 
 Metrics
 runGroupAverage(const SimConfig &cfg,
                 const std::vector<std::string> &kernels,
-                const std::string &label, const RunLengths &lengths)
+                const std::string &label, const RunLengths &lengths,
+                int threads)
 {
-    return averageMetrics(runSuite(cfg, kernels, lengths), label);
-}
-
-void
-ResultGrid::put(const std::string &row, const std::string &series,
-                const Metrics &m)
-{
-    grid_[row][series] = m;
-}
-
-const Metrics &
-ResultGrid::at(const std::string &row, const std::string &series) const
-{
-    auto r = grid_.find(row);
-    if (r == grid_.end())
-        fatal("no results for row '%s'", row.c_str());
-    auto c = r->second.find(series);
-    if (c == r->second.end())
-        fatal("no results for series '%s' in row '%s'", series.c_str(),
-              row.c_str());
-    return c->second;
-}
-
-bool
-ResultGrid::has(const std::string &row, const std::string &series) const
-{
-    auto r = grid_.find(row);
-    return r != grid_.end() && r->second.count(series) != 0;
+    return averageMetrics(runSuite(cfg, kernels, lengths, threads), label);
 }
 
 std::string

@@ -4,47 +4,34 @@
  * across kernel lists, group-average the results (the paper reports
  * mlp-sensitive / mlp-insensitive averages), and keyed result lookup
  * for building the paper-shaped tables.
+ *
+ * These are thin wrappers over the sharded Runner (sim/runner.hh),
+ * which also owns ResultGrid; pass threads > 1 to fan a suite out
+ * across cores with bit-identical results.
  */
 
 #ifndef LTP_SIM_EXPERIMENT_HH
 #define LTP_SIM_EXPERIMENT_HH
 
-#include <map>
 #include <string>
 #include <vector>
 
 #include "sim/metrics.hh"
+#include "sim/runner.hh"
 #include "sim/simulator.hh"
 
 namespace ltp {
 
-/** Run @p cfg on every kernel in @p kernels. */
+/** Run @p cfg on every kernel in @p kernels, @p threads at a time. */
 std::vector<Metrics> runSuite(const SimConfig &cfg,
                               const std::vector<std::string> &kernels,
-                              const RunLengths &lengths);
+                              const RunLengths &lengths, int threads = 1);
 
 /** Run @p cfg on @p kernels and return the group average. */
 Metrics runGroupAverage(const SimConfig &cfg,
                         const std::vector<std::string> &kernels,
-                        const std::string &label,
-                        const RunLengths &lengths);
-
-/**
- * Keyed result store for sweeps: results[row][series] = Metrics.
- * Rows are typically resource sizes, series the LTP modes.
- */
-class ResultGrid
-{
-  public:
-    void put(const std::string &row, const std::string &series,
-             const Metrics &m);
-    const Metrics &at(const std::string &row,
-                      const std::string &series) const;
-    bool has(const std::string &row, const std::string &series) const;
-
-  private:
-    std::map<std::string, std::map<std::string, Metrics>> grid_;
-};
+                        const std::string &label, const RunLengths &lengths,
+                        int threads = 1);
 
 /** "∞" for kInfiniteSize, the number otherwise (table axis labels). */
 std::string sizeLabel(int entries);

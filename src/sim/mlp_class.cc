@@ -1,8 +1,25 @@
 #include "sim/mlp_class.hh"
 
+#include "sim/runner.hh"
 #include "trace/suite.hh"
 
 namespace ltp {
+
+MlpClassification
+deriveMlpClassification(const std::string &kernel, const Metrics &m32,
+                        const Metrics &m256, double l2Latency)
+{
+    MlpClassification out;
+    out.kernel = kernel;
+    out.speedup = m32.ipc != 0.0 ? m256.ipc / m32.ipc : 0.0;
+    out.outstandingRatio = m32.avgOutstanding > 1e-9
+                               ? m256.avgOutstanding / m32.avgOutstanding
+                               : (m256.avgOutstanding > 1e-9 ? 10.0 : 0.0);
+    out.avgLoadLatency = m256.avgLoadLatency;
+    out.sensitive = out.avgLoadLatency > l2Latency &&
+                    out.speedup > 1.05 && out.outstandingRatio > 1.10;
+    return out;
+}
 
 MlpClassification
 classifyMlp(const std::string &kernel, const RunLengths &lengths,
@@ -14,26 +31,27 @@ classifyMlp(const std::string &kernel, const RunLengths &lengths,
     Metrics m32 = Simulator::runOnce(small, kernel, lengths);
     Metrics m256 = Simulator::runOnce(big, kernel, lengths);
 
-    MlpClassification out;
-    out.kernel = kernel;
-    out.speedup = m32.ipc != 0.0 ? m256.ipc / m32.ipc : 0.0;
-    out.outstandingRatio = m32.avgOutstanding > 1e-9
-                               ? m256.avgOutstanding / m32.avgOutstanding
-                               : (m256.avgOutstanding > 1e-9 ? 10.0 : 0.0);
-    out.avgLoadLatency = m256.avgLoadLatency;
-
-    Cycle l2_lat = big.mem.l2.hitLatency;
-    out.sensitive = out.avgLoadLatency > double(l2_lat) &&
-                    out.speedup > 1.05 && out.outstandingRatio > 1.10;
-    return out;
+    return deriveMlpClassification(kernel, m32, m256,
+                                   double(big.mem.l2.hitLatency));
 }
 
 SuiteGroups
-classifySuite(const RunLengths &lengths, std::uint64_t seed)
+classifySuite(const RunLengths &lengths, std::uint64_t seed, int threads)
 {
+    SimConfig small =
+        SimConfig::baseline().withIq(32).withSeed(seed).withName("IQ32");
+    SimConfig big =
+        SimConfig::baseline().withIq(256).withSeed(seed).withName("IQ256");
+
+    SweepSpec spec = SweepSpec::cross("mlp_classification", {small, big},
+                                      allKernelNames(), lengths);
+    SweepResult result = Runner(threads).run(spec);
+
     SuiteGroups groups;
     for (const std::string &name : allKernelNames()) {
-        MlpClassification c = classifyMlp(name, lengths, seed);
+        MlpClassification c = deriveMlpClassification(
+            name, result.grid.at(name, "IQ32"),
+            result.grid.at(name, "IQ256"), double(big.mem.l2.hitLatency));
         groups.details.push_back(c);
         if (c.sensitive)
             groups.sensitive.push_back(name);

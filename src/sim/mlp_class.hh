@@ -36,6 +36,12 @@ MlpClassification classifyMlp(const std::string &kernel,
                               const RunLengths &lengths,
                               std::uint64_t seed = 1);
 
+/** Derive the criteria outcome from the two already-run points. */
+MlpClassification deriveMlpClassification(const std::string &kernel,
+                                          const Metrics &m32,
+                                          const Metrics &m256,
+                                          double l2Latency);
+
 /** The suite partitioned by the runtime classifier. */
 struct SuiteGroups
 {
@@ -44,9 +50,13 @@ struct SuiteGroups
     std::vector<MlpClassification> details;
 };
 
-/** Classify every kernel in the registered suite. */
+/**
+ * Classify every kernel in the registered suite.  The 2 × N-kernel
+ * run matrix is sharded across @p threads workers (1 = serial,
+ * <= 0 = hardware concurrency); grouping is identical either way.
+ */
 SuiteGroups classifySuite(const RunLengths &lengths,
-                          std::uint64_t seed = 1);
+                          std::uint64_t seed = 1, int threads = 1);
 
 } // namespace ltp
 

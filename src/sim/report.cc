@@ -1,0 +1,441 @@
+#include "sim/report.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/logging.hh"
+
+namespace ltp {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+/** Shortest representation that parses back to the identical double. */
+std::string
+jsonNum(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+jsonStr(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+/** Flat key → JSON-fragment map keeping insertion order. */
+class JsonObject
+{
+  public:
+    void
+    field(const std::string &key, const std::string &fragment)
+    {
+        fields_.emplace_back(key, fragment);
+    }
+
+    void str(const std::string &k, const std::string &v)
+    {
+        field(k, jsonStr(v));
+    }
+    void num(const std::string &k, double v) { field(k, jsonNum(v)); }
+    void
+    u64(const std::string &k, std::uint64_t v)
+    {
+        field(k, std::to_string(v));
+    }
+
+    std::string
+    render(int indent) const
+    {
+        std::string pad(static_cast<std::size_t>(indent), ' ');
+        std::string inner(static_cast<std::size_t>(indent) + 2, ' ');
+        std::string out = "{\n";
+        for (std::size_t i = 0; i < fields_.size(); ++i) {
+            out += inner + jsonStr(fields_[i].first) + ": " +
+                   fields_[i].second;
+            if (i + 1 < fields_.size())
+                out += ",";
+            out += "\n";
+        }
+        out += pad + "}";
+        return out;
+    }
+
+  private:
+    std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+JsonObject
+metricsObject(const Metrics &m, int indent)
+{
+    JsonObject o;
+    o.str("config", m.config);
+    o.str("workload", m.workload);
+    o.u64("insts", m.insts);
+    o.u64("cycles", m.cycles);
+    o.num("ipc", m.ipc);
+    o.num("cpi", m.cpi);
+    o.num("avgOutstanding", m.avgOutstanding);
+    o.num("avgLoadLatency", m.avgLoadLatency);
+    o.u64("dramReads", m.dramReads);
+    o.num("iqOcc", m.iqOcc);
+    o.num("robOcc", m.robOcc);
+    o.num("lqOcc", m.lqOcc);
+    o.num("sqOcc", m.sqOcc);
+    o.num("rfOcc", m.rfOcc);
+    o.num("ltpOcc", m.ltpOcc);
+    o.num("ltpRegsOcc", m.ltpRegsOcc);
+    o.num("ltpLoadsOcc", m.ltpLoadsOcc);
+    o.num("ltpStoresOcc", m.ltpStoresOcc);
+    o.num("ltpEnabledFrac", m.ltpEnabledFrac);
+    o.num("parkedFrac", m.parkedFrac);
+    o.u64("parked", m.parked);
+    o.u64("unparked", m.unparked);
+    o.u64("forcedUnparks", m.forcedUnparks);
+    o.u64("pressureUnparks", m.pressureUnparks);
+    o.num("llpredAccuracy", m.llpredAccuracy);
+    o.num("bpAccuracy", m.bpAccuracy);
+
+    JsonObject energy;
+    energy.num("iq", m.energy.iq);
+    energy.num("rf", m.energy.rf);
+    energy.num("ltp", m.energy.ltp);
+    o.field("energy", energy.render(indent + 2));
+
+    o.num("ed2p", m.ed2p);
+    o.num("edp", m.edp);
+    return o;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing: a minimal recursive-descent JSON reader for the dialect
+// this file emits (objects, strings, numbers).
+// ---------------------------------------------------------------------------
+
+struct JsonValue
+{
+    enum class Kind { String, Number, Object };
+
+    Kind kind = Kind::Number;
+    std::string str;
+    double num = 0.0;
+    std::map<std::string, JsonValue> object;
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = value();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw std::runtime_error("JSON parse error at offset " +
+                                 std::to_string(pos_) + ": " + why);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            pos_ += 1;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        pos_ += 1;
+    }
+
+    JsonValue
+    value()
+    {
+        char c = peek();
+        if (c == '{')
+            return objectValue();
+        if (c == '"')
+            return stringValue();
+        return numberValue();
+    }
+
+    JsonValue
+    objectValue()
+    {
+        expect('{');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        if (peek() == '}') {
+            pos_ += 1;
+            return v;
+        }
+        for (;;) {
+            JsonValue key = stringValue();
+            expect(':');
+            v.object[key.str] = value();
+            char c = peek();
+            pos_ += 1;
+            if (c == '}')
+                return v;
+            if (c != ',')
+                fail("expected ',' or '}'");
+        }
+    }
+
+    JsonValue
+    stringValue()
+    {
+        expect('"');
+        JsonValue v;
+        v.kind = JsonValue::Kind::String;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_];
+            if (c == '\\') {
+                pos_ += 1;
+                if (pos_ >= text_.size())
+                    fail("bad escape");
+                switch (text_[pos_]) {
+                  case '"': c = '"'; break;
+                  case '\\': c = '\\'; break;
+                  case 'n': c = '\n'; break;
+                  case 't': c = '\t'; break;
+                  default: fail("unsupported escape");
+                }
+            }
+            v.str += c;
+            pos_ += 1;
+        }
+        if (pos_ >= text_.size())
+            fail("unterminated string");
+        pos_ += 1; // closing quote
+        return v;
+    }
+
+    JsonValue
+    numberValue()
+    {
+        skipWs();
+        std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == 'n' ||
+                text_[pos_] == 'i' || text_[pos_] == 'f' ||
+                text_[pos_] == 'a'))
+            pos_ += 1;
+        if (pos_ == start)
+            fail("expected a number");
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        try {
+            v.num = std::stod(text_.substr(start, pos_ - start));
+        } catch (const std::exception &) {
+            fail("bad number '" + text_.substr(start, pos_ - start) + "'");
+        }
+        return v;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+double
+numAt(const JsonValue &obj, const std::string &key)
+{
+    auto it = obj.object.find(key);
+    return it != obj.object.end() ? it->second.num : 0.0;
+}
+
+std::uint64_t
+u64At(const JsonValue &obj, const std::string &key)
+{
+    return static_cast<std::uint64_t>(numAt(obj, key));
+}
+
+std::string
+strAt(const JsonValue &obj, const std::string &key)
+{
+    auto it = obj.object.find(key);
+    return it != obj.object.end() ? it->second.str : std::string();
+}
+
+} // namespace
+
+std::string
+metricsToJson(const Metrics &m, int indent)
+{
+    return metricsObject(m, indent).render(indent);
+}
+
+Metrics
+metricsFromJson(const std::string &json)
+{
+    JsonValue root = JsonParser(json).parse();
+    if (root.kind != JsonValue::Kind::Object)
+        throw std::runtime_error("metricsFromJson: not a JSON object");
+
+    Metrics m;
+    m.config = strAt(root, "config");
+    m.workload = strAt(root, "workload");
+    m.insts = u64At(root, "insts");
+    m.cycles = u64At(root, "cycles");
+    m.ipc = numAt(root, "ipc");
+    m.cpi = numAt(root, "cpi");
+    m.avgOutstanding = numAt(root, "avgOutstanding");
+    m.avgLoadLatency = numAt(root, "avgLoadLatency");
+    m.dramReads = u64At(root, "dramReads");
+    m.iqOcc = numAt(root, "iqOcc");
+    m.robOcc = numAt(root, "robOcc");
+    m.lqOcc = numAt(root, "lqOcc");
+    m.sqOcc = numAt(root, "sqOcc");
+    m.rfOcc = numAt(root, "rfOcc");
+    m.ltpOcc = numAt(root, "ltpOcc");
+    m.ltpRegsOcc = numAt(root, "ltpRegsOcc");
+    m.ltpLoadsOcc = numAt(root, "ltpLoadsOcc");
+    m.ltpStoresOcc = numAt(root, "ltpStoresOcc");
+    m.ltpEnabledFrac = numAt(root, "ltpEnabledFrac");
+    m.parkedFrac = numAt(root, "parkedFrac");
+    m.parked = u64At(root, "parked");
+    m.unparked = u64At(root, "unparked");
+    m.forcedUnparks = u64At(root, "forcedUnparks");
+    m.pressureUnparks = u64At(root, "pressureUnparks");
+    m.llpredAccuracy = numAt(root, "llpredAccuracy");
+    m.bpAccuracy = numAt(root, "bpAccuracy");
+
+    auto energy = root.object.find("energy");
+    if (energy != root.object.end()) {
+        m.energy.iq = numAt(energy->second, "iq");
+        m.energy.rf = numAt(energy->second, "rf");
+        m.energy.ltp = numAt(energy->second, "ltp");
+    }
+
+    m.ed2p = numAt(root, "ed2p");
+    m.edp = numAt(root, "edp");
+    return m;
+}
+
+std::string
+reportToJson(const SweepResult &result)
+{
+    std::string out = "{\n";
+    out += "  \"sweep\": " + jsonStr(result.name) + ",\n";
+    out += "  \"threads\": " + std::to_string(result.threads) + ",\n";
+    out += "  \"simulations\": " + std::to_string(result.simulations) +
+           ",\n";
+    out += "  \"wall_ms\": " +
+           strprintf("%.3f", result.wallMs) + ",\n";
+    out += "  \"results\": [\n";
+
+    bool first = true;
+    for (const std::string &row : result.grid.rows()) {
+        for (const std::string &series : result.grid.series(row)) {
+            if (!first)
+                out += ",\n";
+            first = false;
+            out += "    {\n";
+            out += "      \"row\": " + jsonStr(row) + ",\n";
+            out += "      \"series\": " + jsonStr(series) + ",\n";
+            out += "      \"metrics\": " +
+                   metricsToJson(result.grid.at(row, series), 6) + "\n";
+            out += "    }";
+        }
+    }
+    out += "\n  ]\n}\n";
+    return out;
+}
+
+namespace {
+
+/** RFC 4180 quoting for fields that contain a delimiter. */
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+std::string
+reportToCsv(const SweepResult &result)
+{
+    std::ostringstream out;
+    out << "row,series,config,workload,insts,cycles,ipc,cpi,"
+        << "avgOutstanding,avgLoadLatency,dramReads,iqOcc,rfOcc,ltpOcc,"
+        << "parkedFrac,ed2p,edp\n";
+    for (const std::string &row : result.grid.rows()) {
+        for (const std::string &series : result.grid.series(row)) {
+            const Metrics &m = result.grid.at(row, series);
+            out << csvField(row) << ',' << csvField(series) << ','
+                << csvField(m.config) << ',' << csvField(m.workload)
+                << ',' << m.insts << ',' << m.cycles << ','
+                << m.ipc << ',' << m.cpi << ',' << m.avgOutstanding << ','
+                << m.avgLoadLatency << ',' << m.dramReads << ','
+                << m.iqOcc << ',' << m.rfOcc << ',' << m.ltpOcc << ','
+                << m.parkedFrac << ',' << m.ed2p << ',' << m.edp << '\n';
+        }
+    }
+    return out.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open '%s' for writing", path.c_str());
+    out << text;
+}
+
+} // namespace ltp

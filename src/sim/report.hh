@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Result archiving for sweeps: JSON and CSV emission so benches and CI
+ * can persist a SweepResult (the BENCH_*.json perf trajectory), plus a
+ * Metrics JSON round-trip used when re-reading archived results.
+ *
+ * The JSON dialect is deliberately small — flat objects of numbers and
+ * strings, one nested object for the energy breakdown — parsed by a
+ * self-contained reader (no third-party dependency).
+ */
+
+#ifndef LTP_SIM_REPORT_HH
+#define LTP_SIM_REPORT_HH
+
+#include <string>
+
+#include "sim/metrics.hh"
+#include "sim/runner.hh"
+
+namespace ltp {
+
+/** Serialize one Metrics as a JSON object (round-trip exact). */
+std::string metricsToJson(const Metrics &m, int indent = 0);
+
+/**
+ * Parse a JSON object produced by metricsToJson.
+ * @throws std::runtime_error on malformed input.
+ */
+Metrics metricsFromJson(const std::string &json);
+
+/**
+ * Serialize a whole sweep: name, shard/thread counts, wall-clock, and
+ * every (row, series) cell's Metrics.
+ */
+std::string reportToJson(const SweepResult &result);
+
+/** Flat CSV: row, series, then one column per Metrics field. */
+std::string reportToCsv(const SweepResult &result);
+
+/** Write @p text to @p path; fatal() if the file cannot be opened. */
+void writeFile(const std::string &path, const std::string &text);
+
+} // namespace ltp
+
+#endif // LTP_SIM_REPORT_HH

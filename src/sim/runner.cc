@@ -1,0 +1,219 @@
+#include "sim/runner.hh"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "common/thread_pool.hh"
+
+namespace ltp {
+
+SweepSpec &
+SweepSpec::add(const std::string &row, const std::string &series,
+               const SimConfig &cfg, const std::string &kernel)
+{
+    jobs.push_back(SweepJob{row, series, cfg, {kernel}, kernel});
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::addGroup(const std::string &row, const std::string &series,
+                    const SimConfig &cfg,
+                    const std::vector<std::string> &kernels,
+                    const std::string &label)
+{
+    jobs.push_back(SweepJob{row, series, cfg, kernels, label});
+    return *this;
+}
+
+SweepSpec
+SweepSpec::cross(const std::string &name,
+                 const std::vector<SimConfig> &configs,
+                 const std::vector<std::string> &kernels,
+                 const RunLengths &lengths)
+{
+    SweepSpec spec;
+    spec.name = name;
+    spec.lengths = lengths;
+    for (const std::string &kernel : kernels)
+        for (const SimConfig &cfg : configs)
+            spec.add(kernel, cfg.name, cfg, kernel);
+    return spec;
+}
+
+std::size_t
+SweepSpec::simulationCount() const
+{
+    std::size_t n = 0;
+    for (const SweepJob &job : jobs)
+        n += job.kernels.size();
+    return n;
+}
+
+ResultGrid::ResultGrid(ResultGrid &&other) noexcept
+{
+    std::lock_guard<std::mutex> lock(other.mutex_);
+    grid_ = std::move(other.grid_);
+}
+
+ResultGrid &
+ResultGrid::operator=(ResultGrid &&other) noexcept
+{
+    if (this != &other) {
+        std::scoped_lock lock(mutex_, other.mutex_);
+        grid_ = std::move(other.grid_);
+    }
+    return *this;
+}
+
+void
+ResultGrid::put(const std::string &row, const std::string &series,
+                const Metrics &m)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    grid_[row][series] = m;
+}
+
+const Metrics &
+ResultGrid::at(const std::string &row, const std::string &series) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto r = grid_.find(row);
+    if (r == grid_.end())
+        throw std::out_of_range("ResultGrid: no results for row '" + row +
+                                "'");
+    auto c = r->second.find(series);
+    if (c == r->second.end())
+        throw std::out_of_range("ResultGrid: no results for series '" +
+                                series + "' in row '" + row + "'");
+    return c->second;
+}
+
+bool
+ResultGrid::has(const std::string &row, const std::string &series) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto r = grid_.find(row);
+    return r != grid_.end() && r->second.count(series) != 0;
+}
+
+std::vector<std::string>
+ResultGrid::rows() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(grid_.size());
+    for (const auto &[row, series] : grid_)
+        out.push_back(row);
+    return out;
+}
+
+std::vector<std::string>
+ResultGrid::series(const std::string &row) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    auto r = grid_.find(row);
+    if (r == grid_.end())
+        return out;
+    out.reserve(r->second.size());
+    for (const auto &[series, m] : r->second)
+        out.push_back(series);
+    return out;
+}
+
+std::size_t
+ResultGrid::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t n = 0;
+    for (const auto &[row, series] : grid_)
+        n += series.size();
+    return n;
+}
+
+Runner::Runner(int threads)
+    : threads_(threads > 0 ? threads : ThreadPool::defaultThreads())
+{
+}
+
+namespace {
+
+/**
+ * The unit of sharding: one (config, kernel) simulation.  Group jobs
+ * expand to one shard per kernel and reduce with averageMetrics in
+ * kernel order, so the average is bit-identical however the shards
+ * were scheduled.
+ */
+struct Shard
+{
+    std::size_t job;
+    std::size_t kernel;
+};
+
+Metrics
+runShard(const SweepSpec &spec, const Shard &shard)
+{
+    const SweepJob &job = spec.jobs[shard.job];
+    return Simulator::runOnce(job.cfg, job.kernels[shard.kernel],
+                              spec.lengths);
+}
+
+} // namespace
+
+SweepResult
+Runner::run(const SweepSpec &spec) const
+{
+    auto start = std::chrono::steady_clock::now();
+
+    std::vector<Shard> shards;
+    shards.reserve(spec.simulationCount());
+    for (std::size_t j = 0; j < spec.jobs.size(); ++j)
+        for (std::size_t k = 0; k < spec.jobs[j].kernels.size(); ++k)
+            shards.push_back(Shard{j, k});
+
+    // Per-shard Metrics, indexed like `shards` so reduction order is
+    // independent of completion order.
+    std::vector<Metrics> results(shards.size());
+
+    if (threads_ == 1) {
+        for (std::size_t i = 0; i < shards.size(); ++i)
+            results[i] = runShard(spec, shards[i]);
+    } else {
+        ThreadPool pool(threads_);
+        std::vector<std::future<Metrics>> futures;
+        futures.reserve(shards.size());
+        for (const Shard &shard : shards)
+            futures.push_back(pool.submit(
+                [&spec, shard]() { return runShard(spec, shard); }));
+        for (std::size_t i = 0; i < futures.size(); ++i)
+            results[i] = futures[i].get();
+    }
+
+    SweepResult out;
+    out.name = spec.name;
+    out.threads = threads_;
+    out.simulations = shards.size();
+
+    std::size_t next = 0;
+    for (const SweepJob &job : spec.jobs) {
+        if (job.kernels.size() == 1) {
+            out.grid.put(job.row, job.series, results[next]);
+            next += 1;
+        } else {
+            std::vector<Metrics> group(results.begin() + next,
+                                       results.begin() + next +
+                                           job.kernels.size());
+            out.grid.put(job.row, job.series,
+                         averageMetrics(group, job.label));
+            next += job.kernels.size();
+        }
+    }
+
+    out.wallMs = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+    return out;
+}
+
+} // namespace ltp

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Parallel, sharded experiment runner.
+ *
+ * The paper's evaluation is a cross-product of configurations × kernels
+ * (Table 1 baseline vs. proposal, the Figure 6 limit sweeps, the
+ * Figure 10/11 trade-offs).  A SweepSpec names every cell of such a
+ * study up front; the Runner shards the resulting jobs across a
+ * ThreadPool and collects them into a thread-safe ResultGrid.
+ *
+ * Determinism contract: a job's Metrics are a pure function of
+ * (config, kernel, lengths, seed).  Every Simulator owns its Rng,
+ * seeded deterministically per job (see SweepSpec::add), so a parallel
+ * run is bit-identical to a serial run of the same spec — asserted by
+ * tests/test_runner.cc.
+ */
+
+#ifndef LTP_SIM_RUNNER_HH
+#define LTP_SIM_RUNNER_HH
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hh"
+#include "sim/simulator.hh"
+
+namespace ltp {
+
+/**
+ * One cell of a sweep: run @p cfg over @p kernels (group-averaged when
+ * more than one) and file the result under (row, series).
+ */
+struct SweepJob
+{
+    std::string row;    ///< grid row key (e.g. a resource size)
+    std::string series; ///< grid series key (e.g. an LTP mode)
+    SimConfig cfg;
+    std::vector<std::string> kernels; ///< >1 => arithmetic group average
+    std::string label; ///< Metrics::workload for group averages
+};
+
+/** A named cross-product of simulations sharing one staging plan. */
+struct SweepSpec
+{
+    std::string name = "sweep";
+    RunLengths lengths;
+
+    std::vector<SweepJob> jobs;
+
+    /** Append a single-kernel job. */
+    SweepSpec &add(const std::string &row, const std::string &series,
+                   const SimConfig &cfg, const std::string &kernel);
+
+    /** Append a group-average job over @p kernels, labelled @p label. */
+    SweepSpec &addGroup(const std::string &row, const std::string &series,
+                        const SimConfig &cfg,
+                        const std::vector<std::string> &kernels,
+                        const std::string &label);
+
+    /**
+     * Full cross-product: one row per kernel, one series per config
+     * (keyed by SimConfig::name).
+     */
+    static SweepSpec cross(const std::string &name,
+                           const std::vector<SimConfig> &configs,
+                           const std::vector<std::string> &kernels,
+                           const RunLengths &lengths);
+
+    /** Total number of simulations (group jobs count one per kernel). */
+    std::size_t simulationCount() const;
+};
+
+/**
+ * Keyed result store for sweeps: results[row][series] = Metrics.
+ * Rows are typically resource sizes, series the LTP modes.  put() is
+ * safe to call concurrently from pool workers.
+ */
+class ResultGrid
+{
+  public:
+    ResultGrid() = default;
+    ResultGrid(ResultGrid &&other) noexcept;
+    ResultGrid &operator=(ResultGrid &&other) noexcept;
+
+    void put(const std::string &row, const std::string &series,
+             const Metrics &m);
+
+    /** @throws std::out_of_range naming the missing (row, series). */
+    const Metrics &at(const std::string &row,
+                      const std::string &series) const;
+
+    bool has(const std::string &row, const std::string &series) const;
+
+    /** Row keys in insertion-independent (sorted) order. */
+    std::vector<std::string> rows() const;
+
+    /** Series keys present in @p row, sorted. */
+    std::vector<std::string> series(const std::string &row) const;
+
+    std::size_t size() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::map<std::string, Metrics>> grid_;
+};
+
+/** Everything a sweep produced, plus how it was produced. */
+struct SweepResult
+{
+    std::string name;
+    int threads = 1;
+    std::size_t simulations = 0;
+    double wallMs = 0.0;
+    ResultGrid grid;
+};
+
+/**
+ * Shards a SweepSpec's jobs across a fixed-size thread pool.
+ * threads == 1 runs fully inline (the serial reference); threads <= 0
+ * selects the hardware concurrency.
+ */
+class Runner
+{
+  public:
+    explicit Runner(int threads = 0);
+
+    int threads() const { return threads_; }
+
+    /** Run every job; blocks until the grid is complete. */
+    SweepResult run(const SweepSpec &spec) const;
+
+  private:
+    int threads_;
+};
+
+} // namespace ltp
+
+#endif // LTP_SIM_RUNNER_HH

@@ -80,8 +80,9 @@ TEST(RegFile, ReadyBitLifecycle)
     rf.release(r, 1);
     std::int32_t r2 = rf.allocate(AllocPriority::Rename, 2);
     // Freshly allocated registers are never ready, even when recycled.
-    if (r2 == r)
+    if (r2 == r) {
         EXPECT_FALSE(rf.ready(r2));
+    }
 }
 
 TEST(RegFile, OccupancyIntegrates)

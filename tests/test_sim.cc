@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "sim/experiment.hh"
 #include "sim/mlp_class.hh"
 #include "sim/simulator.hh"
@@ -147,6 +149,31 @@ TEST(Experiment, ResultGridStoresAndFetches)
     EXPECT_TRUE(grid.has("64", "NoLTP"));
     EXPECT_FALSE(grid.has("64", "LTP"));
     EXPECT_DOUBLE_EQ(grid.at("64", "NoLTP").ipc, 1.5);
+}
+
+TEST(Experiment, ResultGridMissingKeyNamesTheKey)
+{
+    ResultGrid grid;
+    Metrics m;
+    grid.put("64", "NoLTP", m);
+
+    // Unknown row: the message names the row.
+    try {
+        grid.at("256", "NoLTP");
+        FAIL() << "expected std::out_of_range";
+    } catch (const std::out_of_range &e) {
+        EXPECT_NE(std::string(e.what()).find("row '256'"),
+                  std::string::npos);
+    }
+    // Known row, unknown series: the message names both.
+    try {
+        grid.at("64", "LTP (NR)");
+        FAIL() << "expected std::out_of_range";
+    } catch (const std::out_of_range &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("series 'LTP (NR)'"), std::string::npos);
+        EXPECT_NE(what.find("row '64'"), std::string::npos);
+    }
 }
 
 TEST(Experiment, SizeLabels)

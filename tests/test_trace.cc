@@ -103,8 +103,9 @@ TEST_P(KernelParam, SeedChangesAddresses)
     Addr s1 = addr_sum(1), s2 = addr_sum(2);
     if (GetParam() != "dense_compute" && GetParam() != "reduction" &&
         GetParam() != "cache_stream" && GetParam() != "fp_kernel" &&
-        GetParam() != "div_heavy")
+        GetParam() != "div_heavy") {
         EXPECT_NE(s1, s2);
+    }
 }
 
 TEST_P(KernelParam, WellFormedMicroOps)
@@ -117,17 +118,20 @@ TEST_P(KernelParam, WellFormedMicroOps)
             EXPECT_GT(op.memSize, 0) << op.toString();
             EXPECT_GE(op.effAddr, 0x10000000u) << op.toString();
         }
-        if (op.isLoad())
+        if (op.isLoad()) {
             EXPECT_TRUE(op.hasDst()) << op.toString();
-        if (op.isStore())
+        }
+        if (op.isStore()) {
             EXPECT_FALSE(op.hasDst()) << op.toString();
+        }
         if (op.isBranch()) {
             EXPECT_FALSE(op.hasDst()) << op.toString();
             EXPECT_NE(op.target, 0u) << op.toString();
         }
         for (const auto &s : op.srcs)
-            if (s.valid())
+            if (s.valid()) {
                 EXPECT_LT(s.idx, kArchRegsPerClass);
+            }
     }
 }
 
@@ -141,9 +145,10 @@ TEST_P(KernelParam, PcStreamConsistentWithBranches)
     MicroOp prev = w->next();
     for (int i = 0; i < 5000; ++i) {
         MicroOp cur = w->next();
-        if (prev.isBranch() && prev.taken)
+        if (prev.isBranch() && prev.taken) {
             EXPECT_EQ(cur.pc, prev.target)
                 << "taken branch target mismatch at inst " << i;
+        }
         prev = cur;
     }
 }

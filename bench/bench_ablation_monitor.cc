@@ -37,6 +37,8 @@ main(int argc, char **argv)
             addPanelJob(spec, panel, cfg.name, cfg, panels, panel);
         }
     }
+    if (maybeExportScenario(cli, spec))
+        return 0;
     SweepResult result = Runner(threads).run(spec);
 
     for (const std::string &panel : groups) {

@@ -41,6 +41,8 @@ main(int argc, char **argv)
             addPanelJob(spec, panel, label, cfg, panels, panel);
         }
     }
+    if (maybeExportScenario(cli, spec))
+        return 0;
     SweepResult result = Runner(threads).run(spec);
 
     for (const std::string &panel : groups) {

@@ -25,21 +25,22 @@
 #include "sim/mlp_class.hh"
 #include "sim/report.hh"
 #include "sim/runner.hh"
+#include "sim/scenario.hh"
 #include "sim/simulator.hh"
 #include "trace/suite.hh"
 
 namespace ltp {
 namespace bench {
 
-/** Default staging for bench runs (scaled Section 4.1 staging). */
+// Panels, panelKernels, panelNames, panelRow, and addPanelJob moved to
+// sim/scenario.hh so scenario files share them; they resolve here via
+// the enclosing ltp namespace.
+
+/** Default staging for bench runs (RunLengths::bench + overrides). */
 inline RunLengths
 benchLengths(const Cli &cli)
 {
-    RunLengths lengths;
-    lengths.funcWarm = cli.integer("warm", 60000);
-    lengths.pipeWarm = cli.integer("pipewarm", 5000);
-    lengths.detail = cli.integer("detail", 30000);
-    return lengths;
+    return stagingLengths(cli, RunLengths::bench());
 }
 
 /** Standard bench flags. */
@@ -47,7 +48,7 @@ inline std::set<std::string>
 benchFlags()
 {
     return {"warm", "pipewarm", "detail", "seed", "csv", "json",
-            "threads"};
+            "threads", "export-scenario"};
 }
 
 /** Worker count for the Runner: --threads=N, default all cores. */
@@ -57,22 +58,11 @@ benchThreads(const Cli &cli)
     return int(cli.integer("threads", 0));
 }
 
-/** The four panels of Figure 6/7: two marquee kernels + two groups. */
-struct Panels
-{
-    std::string astarLike = "graph_walk";
-    std::string milcLike = "indirect_stream_fp";
-    SuiteGroups groups;
-};
-
 /** Classify the suite with the runtime criteria and report the split. */
 inline Panels
 makePanels(const RunLengths &lengths, std::uint64_t seed, int threads = 0)
 {
-    Panels p;
-    RunLengths quick = lengths;
-    quick.detail = std::min<std::uint64_t>(lengths.detail, 20000);
-    p.groups = classifySuite(quick, seed, threads);
+    Panels p = classifyPanels(lengths, seed, threads);
 
     std::printf("Section 4.1 classification (IQ32 vs IQ256):\n");
     for (const auto &d : p.groups.details)
@@ -85,38 +75,24 @@ makePanels(const RunLengths &lengths, std::uint64_t seed, int threads = 0)
     return p;
 }
 
-/** The kernels behind a panel name (single kernel or a whole group). */
-inline std::vector<std::string>
-panelKernels(const Panels &panels, const std::string &panel)
+/**
+ * Scenario-export hook (flag --export-scenario=<path>; =1 writes
+ * SCENARIO_<sweep name>.json): write the bench's fully built SweepSpec
+ * as an explicit-jobs scenario file runnable by `ltp sweep`, and return
+ * true so the caller exits without simulating.
+ */
+inline bool
+maybeExportScenario(const Cli &cli, const SweepSpec &spec)
 {
-    if (panel == "mlp_sensitive")
-        return panels.groups.sensitive;
-    if (panel == "mlp_insensitive")
-        return panels.groups.insensitive;
-    return {panel};
-}
-
-/** Queue one (row, series) cell running @p cfg over @p panel. */
-inline void
-addPanelJob(SweepSpec &spec, const std::string &row,
-            const std::string &series, const SimConfig &cfg,
-            const Panels &panels, const std::string &panel)
-{
-    spec.addGroup(row, series, cfg, panelKernels(panels, panel), panel);
-}
-
-/** The four standard panel identifiers, in paper order. */
-inline std::vector<std::string>
-panelNames(const Panels &p)
-{
-    return {p.astarLike, p.milcLike, "mlp_sensitive", "mlp_insensitive"};
-}
-
-/** Grid key for a (panel, axis point) cell: "<panel>|<point>". */
-inline std::string
-panelRow(const std::string &panel, const std::string &point)
-{
-    return panel + "|" + point;
+    std::string path = cli.str("export-scenario", "");
+    if (path.empty())
+        return false;
+    std::string target =
+        path == "1" ? "SCENARIO_" + spec.name + ".json" : path;
+    writeFile(target, sweepSpecToJson(spec));
+    std::printf("scenario (%zu jobs) written to %s\n", spec.jobs.size(),
+                target.c_str());
+    return true;
 }
 
 /** Optionally dump a table as CSV (flag --csv=<path>). */
@@ -141,15 +117,8 @@ inline void
 maybeJson(const Cli &cli, const SweepResult &result)
 {
     std::string path = cli.str("json", "");
-    if (path.empty())
-        return;
-    std::string target =
-        path == "1" ? "BENCH_" + result.name + ".json" : path;
-    writeFile(target, reportToJson(result));
-    std::printf("json report (%zu sims, %d threads, %.0f ms) written "
-                "to %s\n",
-                result.simulations, result.threads, result.wallMs,
-                target.c_str());
+    if (!path.empty())
+        writeJsonReport(result, path);
 }
 
 } // namespace bench

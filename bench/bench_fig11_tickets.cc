@@ -49,6 +49,8 @@ main(int argc, char **argv)
                             .withSeed(seed),
                         panels, panel);
     }
+    if (maybeExportScenario(cli, spec))
+        return 0;
     SweepResult result = Runner(threads).run(spec);
 
     for (const std::string &panel : groups) {

@@ -54,6 +54,8 @@ main(int argc, char **argv)
     for (const std::string &group : groups)
         for (const SimConfig &cfg : {iq32, iq32_ltp, iq256})
             addPanelJob(spec, group, cfg.name, cfg, panels, group);
+    if (maybeExportScenario(cli, spec))
+        return 0;
     SweepResult result = Runner(threads).run(spec);
 
     Table ab({"group", "config", "CPI", "avg outstanding reqs"});

@@ -71,6 +71,8 @@ main(int argc, char **argv)
              tiny(SimConfig::baseline()).withName("traditional IQ:8"),
              "paper_loop");
     spec.add("paper_loop", "ltp", with_ltp, "paper_loop");
+    if (maybeExportScenario(cli, spec))
+        return 0;
     SweepResult result = Runner(threads).run(spec);
     const Metrics &no_ltp = result.grid.at("paper_loop", "traditional");
     const Metrics &ltp = result.grid.at("paper_loop", "ltp");

@@ -83,6 +83,8 @@ runFig6Row(int argc, char **argv, SweptResource res,
 
     SweepSpec spec = fig6Spec(panels, res, res_name, sizes,
                               baseline_size, seed, lengths);
+    if (maybeExportScenario(cli, spec))
+        return;
     SweepResult result = Runner(threads).run(spec);
 
     const std::vector<std::string> series = {"No LTP", "LTP (NR)",

@@ -43,6 +43,8 @@ main(int argc, char **argv)
                             .withRegs(96)
                             .withSeed(seed),
                         panels, panel);
+    if (maybeExportScenario(cli, spec))
+        return 0;
     SweepResult result = Runner(threads).run(spec);
 
     Table t({"panel", "mode", "insts in LTP", "regs in LTP",

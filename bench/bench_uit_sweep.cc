@@ -39,6 +39,8 @@ main(int argc, char **argv)
                         SimConfig::ltpProposal().withUit(n).withSeed(seed),
                         panels, panel);
     }
+    if (maybeExportScenario(cli, spec))
+        return 0;
     SweepResult result = Runner(threads).run(spec);
 
     for (const std::string &panel : groups) {

@@ -1,15 +1,36 @@
 #include "common/cli.hh"
 
+#include <cstdio>
 #include <cstdlib>
 
 #include "common/logging.hh"
 
 namespace ltp {
 
-Cli::Cli(int argc, char **argv, const std::set<std::string> &known)
+namespace {
+
+[[noreturn]] void
+printHelp(const char *prog, const std::set<std::string> &known,
+          const std::string &summary)
+{
+    if (!summary.empty())
+        std::printf("%s\n\n", summary.c_str());
+    std::printf("usage: %s [--flag[=value]]...\n", prog);
+    std::printf("known flags:\n");
+    for (const std::string &key : known)
+        std::printf("  --%s\n", key.c_str());
+    std::exit(0);
+}
+
+} // namespace
+
+Cli::Cli(int argc, char **argv, const std::set<std::string> &known,
+         const std::string &summary)
 {
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h")
+            printHelp(argv[0], known, summary);
         if (arg.rfind("--", 0) != 0)
             fatal("unexpected positional argument '%s'", arg.c_str());
         arg = arg.substr(2);
@@ -28,10 +49,19 @@ Cli::Cli(int argc, char **argv, const std::set<std::string> &known)
                 value = "1"; // boolean switch
             }
         }
+        if (key == "help")
+            printHelp(argv[0], known, summary);
         if (!known.count(key))
-            fatal("unknown flag --%s", key.c_str());
-        values_[key] = value;
+            fatal("unknown flag --%s (try --help)", key.c_str());
+        values_[key].push_back(value);
     }
+}
+
+const std::string *
+Cli::last(const std::string &key) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? nullptr : &it->second.back();
 }
 
 bool
@@ -43,33 +73,37 @@ Cli::has(const std::string &key) const
 std::string
 Cli::str(const std::string &key, const std::string &dflt) const
 {
-    auto it = values_.find(key);
-    return it == values_.end() ? dflt : it->second;
+    const std::string *v = last(key);
+    return v ? *v : dflt;
 }
 
 std::int64_t
 Cli::integer(const std::string &key, std::int64_t dflt) const
 {
-    auto it = values_.find(key);
-    return it == values_.end() ? dflt : std::strtoll(it->second.c_str(),
-                                                     nullptr, 0);
+    const std::string *v = last(key);
+    return v ? std::strtoll(v->c_str(), nullptr, 0) : dflt;
 }
 
 double
 Cli::real(const std::string &key, double dflt) const
 {
-    auto it = values_.find(key);
-    return it == values_.end() ? dflt : std::strtod(it->second.c_str(),
-                                                    nullptr);
+    const std::string *v = last(key);
+    return v ? std::strtod(v->c_str(), nullptr) : dflt;
 }
 
 bool
 Cli::flag(const std::string &key) const
 {
+    const std::string *v = last(key);
+    return v && *v != "0" && *v != "false";
+}
+
+std::vector<std::string>
+Cli::list(const std::string &key) const
+{
     auto it = values_.find(key);
-    if (it == values_.end())
-        return false;
-    return it->second != "0" && it->second != "false";
+    return it == values_.end() ? std::vector<std::string>{}
+                               : it->second;
 }
 
 } // namespace ltp

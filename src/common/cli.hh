@@ -1,10 +1,12 @@
 /**
  * @file
- * Minimal command-line flag parser for the bench and example binaries.
+ * Minimal command-line flag parser for the bench, tool, and example
+ * binaries.
  *
  * Supports `--key=value` and `--key value` forms plus boolean switches
- * (`--fast`).  Unknown flags are fatal so typos in experiment scripts
- * cannot silently fall back to defaults.
+ * (`--fast`).  `--help` (or `-h`) prints the known-flag set and exits
+ * with status 0; any other unknown flag is fatal so typos in experiment
+ * scripts cannot silently fall back to defaults.
  */
 
 #ifndef LTP_COMMON_CLI_HH
@@ -14,6 +16,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <vector>
 
 namespace ltp {
 
@@ -23,9 +26,11 @@ class Cli
   public:
     /**
      * Parse argv.  @p known lists every accepted flag name; passing a
-     * flag outside this set terminates with fatal().
+     * flag outside this set terminates with fatal(), except `--help`,
+     * which prints usage (plus @p summary when given) and exits 0.
      */
-    Cli(int argc, char **argv, const std::set<std::string> &known);
+    Cli(int argc, char **argv, const std::set<std::string> &known,
+        const std::string &summary = "");
 
     bool has(const std::string &key) const;
     std::string str(const std::string &key, const std::string &dflt) const;
@@ -33,8 +38,15 @@ class Cli
     double real(const std::string &key, double dflt) const;
     bool flag(const std::string &key) const;
 
+    /** Every value of a repeatable flag (e.g. `--set a=1 --set b=2`),
+     *  in command-line order; empty if absent. */
+    std::vector<std::string> list(const std::string &key) const;
+
   private:
-    std::map<std::string, std::string> values_;
+    /** Scalar accessors read the last occurrence of a flag. */
+    const std::string *last(const std::string &key) const;
+
+    std::map<std::string, std::vector<std::string>> values_;
 };
 
 } // namespace ltp

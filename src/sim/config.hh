@@ -19,7 +19,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "common/json.hh"
 #include "cpu/core.hh"
 #include "mem/mem_system.hh"
 
@@ -59,6 +61,52 @@ struct SimConfig
     SimConfig &withSeed(std::uint64_t s);
     /// @}
 };
+
+/// @name Serialization
+///
+/// Every core, memory, and LTP field of a SimConfig is reachable by a
+/// dotted path ("core.iq", "core.ltp.mode", "mem.l1d.sizeKB", ...).
+/// One field registry drives JSON emission, JSON application, and the
+/// command-line override setter, so the three can never disagree.
+/// @{
+
+/** Serialize @p cfg as a nested JSON object (round-trip exact). */
+std::string configToJson(const SimConfig &cfg, int indent = 0);
+
+/**
+ * Build a SimConfig from JSON: defaults, then every present key
+ * applied.  Partial objects are fine; unknown keys or wrong value
+ * types throw std::runtime_error naming the offending path.
+ */
+SimConfig configFromJson(const std::string &json);
+
+/**
+ * Apply a parsed (possibly partial) JSON object onto @p cfg.
+ * @param where  path prefix named in errors (e.g. "configs[2].set").
+ */
+void applyConfigJson(SimConfig &cfg, const JsonValue &v,
+                     const std::string &where = "");
+
+/**
+ * Set one field by dotted path from its string spelling, e.g.
+ * applyOverride(cfg, "core.iq", "32").  Sizes accept "inf"; enums
+ * accept their printed names (case-insensitive).
+ * @throws std::runtime_error naming the path on unknown paths or
+ *         unparseable values.
+ */
+void applyOverride(SimConfig &cfg, const std::string &path,
+                   const std::string &value);
+
+/** Every dotted path applyOverride accepts, in declaration order. */
+std::vector<std::string> configPaths();
+
+/**
+ * Parse an LtpMode name ("off" | "NU" | "NR" | "NR+NU",
+ * case-insensitive).  @throws std::runtime_error naming @p where.
+ */
+LtpMode parseLtpMode(const std::string &s, const std::string &where);
+
+/// @}
 
 } // namespace ltp
 

@@ -2,6 +2,16 @@
 
 namespace ltp {
 
+RunLengths
+stagingLengths(const Cli &cli, const RunLengths &dflt)
+{
+    RunLengths lengths = dflt;
+    lengths.funcWarm = cli.integer("warm", lengths.funcWarm);
+    lengths.pipeWarm = cli.integer("pipewarm", lengths.pipeWarm);
+    lengths.detail = cli.integer("detail", lengths.detail);
+    return lengths;
+}
+
 std::vector<Metrics>
 runSuite(const SimConfig &cfg, const std::vector<std::string> &kernels,
          const RunLengths &lengths, int threads)

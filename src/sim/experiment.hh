@@ -16,11 +16,16 @@
 #include <string>
 #include <vector>
 
+#include "common/cli.hh"
 #include "sim/metrics.hh"
 #include "sim/runner.hh"
 #include "sim/simulator.hh"
 
 namespace ltp {
+
+/** Apply the standard --warm/--pipewarm/--detail staging flags onto
+ *  @p dflt (shared by the bench harnesses and the ltp driver). */
+RunLengths stagingLengths(const Cli &cli, const RunLengths &dflt);
 
 /** Run @p cfg on every kernel in @p kernels, @p threads at a time. */
 std::vector<Metrics> runSuite(const SimConfig &cfg,

@@ -1,94 +1,25 @@
 #include "sim/report.hh"
 
-#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
-#include <map>
 #include <sstream>
 #include <stdexcept>
 
+#include "common/json.hh"
 #include "common/logging.hh"
 
 namespace ltp {
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Writing
-// ---------------------------------------------------------------------------
+// Writing uses the shared ordered builder (common/json.hh) so field
+// order matches the Metrics declaration rather than map order.
 
-/** Shortest representation that parses back to the identical double. */
-std::string
-jsonNum(double v)
-{
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    return buf;
-}
-
-std::string
-jsonStr(const std::string &s)
-{
-    std::string out = "\"";
-    for (char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default: out += c;
-        }
-    }
-    out += '"';
-    return out;
-}
-
-/** Flat key → JSON-fragment map keeping insertion order. */
-class JsonObject
-{
-  public:
-    void
-    field(const std::string &key, const std::string &fragment)
-    {
-        fields_.emplace_back(key, fragment);
-    }
-
-    void str(const std::string &k, const std::string &v)
-    {
-        field(k, jsonStr(v));
-    }
-    void num(const std::string &k, double v) { field(k, jsonNum(v)); }
-    void
-    u64(const std::string &k, std::uint64_t v)
-    {
-        field(k, std::to_string(v));
-    }
-
-    std::string
-    render(int indent) const
-    {
-        std::string pad(static_cast<std::size_t>(indent), ' ');
-        std::string inner(static_cast<std::size_t>(indent) + 2, ' ');
-        std::string out = "{\n";
-        for (std::size_t i = 0; i < fields_.size(); ++i) {
-            out += inner + jsonStr(fields_[i].first) + ": " +
-                   fields_[i].second;
-            if (i + 1 < fields_.size())
-                out += ",";
-            out += "\n";
-        }
-        out += pad + "}";
-        return out;
-    }
-
-  private:
-    std::vector<std::pair<std::string, std::string>> fields_;
-};
-
-JsonObject
+JsonObjectBuilder
 metricsObject(const Metrics &m, int indent)
 {
-    JsonObject o;
+    JsonObjectBuilder o;
     o.str("config", m.config);
     o.str("workload", m.workload);
     o.u64("insts", m.insts);
@@ -116,7 +47,7 @@ metricsObject(const Metrics &m, int indent)
     o.num("llpredAccuracy", m.llpredAccuracy);
     o.num("bpAccuracy", m.bpAccuracy);
 
-    JsonObject energy;
+    JsonObjectBuilder energy;
     energy.num("iq", m.energy.iq);
     energy.num("rf", m.energy.rf);
     energy.num("ltp", m.energy.ltp);
@@ -127,160 +58,8 @@ metricsObject(const Metrics &m, int indent)
     return o;
 }
 
-// ---------------------------------------------------------------------------
-// Parsing: a minimal recursive-descent JSON reader for the dialect
-// this file emits (objects, strings, numbers).
-// ---------------------------------------------------------------------------
-
-struct JsonValue
-{
-    enum class Kind { String, Number, Object };
-
-    Kind kind = Kind::Number;
-    std::string str;
-    double num = 0.0;
-    std::map<std::string, JsonValue> object;
-};
-
-class JsonParser
-{
-  public:
-    explicit JsonParser(const std::string &text) : text_(text) {}
-
-    JsonValue
-    parse()
-    {
-        JsonValue v = value();
-        skipWs();
-        if (pos_ != text_.size())
-            fail("trailing characters");
-        return v;
-    }
-
-  private:
-    [[noreturn]] void
-    fail(const std::string &why) const
-    {
-        throw std::runtime_error("JSON parse error at offset " +
-                                 std::to_string(pos_) + ": " + why);
-    }
-
-    void
-    skipWs()
-    {
-        while (pos_ < text_.size() &&
-               std::isspace(static_cast<unsigned char>(text_[pos_])))
-            pos_ += 1;
-    }
-
-    char
-    peek()
-    {
-        skipWs();
-        if (pos_ >= text_.size())
-            fail("unexpected end of input");
-        return text_[pos_];
-    }
-
-    void
-    expect(char c)
-    {
-        if (peek() != c)
-            fail(std::string("expected '") + c + "'");
-        pos_ += 1;
-    }
-
-    JsonValue
-    value()
-    {
-        char c = peek();
-        if (c == '{')
-            return objectValue();
-        if (c == '"')
-            return stringValue();
-        return numberValue();
-    }
-
-    JsonValue
-    objectValue()
-    {
-        expect('{');
-        JsonValue v;
-        v.kind = JsonValue::Kind::Object;
-        if (peek() == '}') {
-            pos_ += 1;
-            return v;
-        }
-        for (;;) {
-            JsonValue key = stringValue();
-            expect(':');
-            v.object[key.str] = value();
-            char c = peek();
-            pos_ += 1;
-            if (c == '}')
-                return v;
-            if (c != ',')
-                fail("expected ',' or '}'");
-        }
-    }
-
-    JsonValue
-    stringValue()
-    {
-        expect('"');
-        JsonValue v;
-        v.kind = JsonValue::Kind::String;
-        while (pos_ < text_.size() && text_[pos_] != '"') {
-            char c = text_[pos_];
-            if (c == '\\') {
-                pos_ += 1;
-                if (pos_ >= text_.size())
-                    fail("bad escape");
-                switch (text_[pos_]) {
-                  case '"': c = '"'; break;
-                  case '\\': c = '\\'; break;
-                  case 'n': c = '\n'; break;
-                  case 't': c = '\t'; break;
-                  default: fail("unsupported escape");
-                }
-            }
-            v.str += c;
-            pos_ += 1;
-        }
-        if (pos_ >= text_.size())
-            fail("unterminated string");
-        pos_ += 1; // closing quote
-        return v;
-    }
-
-    JsonValue
-    numberValue()
-    {
-        skipWs();
-        std::size_t start = pos_;
-        while (pos_ < text_.size() &&
-               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-                text_[pos_] == '-' || text_[pos_] == '+' ||
-                text_[pos_] == '.' || text_[pos_] == 'e' ||
-                text_[pos_] == 'E' || text_[pos_] == 'n' ||
-                text_[pos_] == 'i' || text_[pos_] == 'f' ||
-                text_[pos_] == 'a'))
-            pos_ += 1;
-        if (pos_ == start)
-            fail("expected a number");
-        JsonValue v;
-        v.kind = JsonValue::Kind::Number;
-        try {
-            v.num = std::stod(text_.substr(start, pos_ - start));
-        } catch (const std::exception &) {
-            fail("bad number '" + text_.substr(start, pos_ - start) + "'");
-        }
-        return v;
-    }
-
-    const std::string &text_;
-    std::size_t pos_ = 0;
-};
+// Parsing uses the shared reader (common/json.hh); missing keys keep
+// their zero defaults so old archives stay readable.
 
 double
 numAt(const JsonValue &obj, const std::string &key)
@@ -292,7 +71,15 @@ numAt(const JsonValue &obj, const std::string &key)
 std::uint64_t
 u64At(const JsonValue &obj, const std::string &key)
 {
-    return static_cast<std::uint64_t>(numAt(obj, key));
+    auto it = obj.object.find(key);
+    if (it == obj.object.end())
+        return 0;
+    // Prefer the source lexeme: exact for integers above 2^53.
+    const JsonValue &v = it->second;
+    std::uint64_t exact = 0;
+    if (v.isNumber() && u64FromLexeme(v.str, &exact))
+        return exact;
+    return static_cast<std::uint64_t>(v.num);
 }
 
 std::string
@@ -313,7 +100,7 @@ metricsToJson(const Metrics &m, int indent)
 Metrics
 metricsFromJson(const std::string &json)
 {
-    JsonValue root = JsonParser(json).parse();
+    JsonValue root = parseJson(json);
     if (root.kind != JsonValue::Kind::Object)
         throw std::runtime_error("metricsFromJson: not a JSON object");
 
@@ -361,7 +148,7 @@ std::string
 reportToJson(const SweepResult &result)
 {
     std::string out = "{\n";
-    out += "  \"sweep\": " + jsonStr(result.name) + ",\n";
+    out += "  \"sweep\": " + jsonQuote(result.name) + ",\n";
     out += "  \"threads\": " + std::to_string(result.threads) + ",\n";
     out += "  \"simulations\": " + std::to_string(result.simulations) +
            ",\n";
@@ -376,8 +163,8 @@ reportToJson(const SweepResult &result)
                 out += ",\n";
             first = false;
             out += "    {\n";
-            out += "      \"row\": " + jsonStr(row) + ",\n";
-            out += "      \"series\": " + jsonStr(series) + ",\n";
+            out += "      \"row\": " + jsonQuote(row) + ",\n";
+            out += "      \"series\": " + jsonQuote(series) + ",\n";
             out += "      \"metrics\": " +
                    metricsToJson(result.grid.at(row, series), 6) + "\n";
             out += "    }";
@@ -436,6 +223,29 @@ writeFile(const std::string &path, const std::string &text)
     if (!out)
         fatal("cannot open '%s' for writing", path.c_str());
     out << text;
+}
+
+std::string
+writeJsonReport(const SweepResult &result, const std::string &path)
+{
+    std::string target =
+        path == "1" ? "BENCH_" + result.name + ".json" : path;
+    writeFile(target, reportToJson(result));
+    std::printf("json report (%zu sims, %d threads, %.0f ms) written "
+                "to %s\n",
+                result.simulations, result.threads, result.wallMs,
+                target.c_str());
+    return target;
+}
+
+std::string
+writeCsvReport(const SweepResult &result, const std::string &path)
+{
+    std::string target =
+        path == "1" ? "BENCH_" + result.name + ".csv" : path;
+    writeFile(target, reportToCsv(result));
+    std::printf("csv written to %s\n", target.c_str());
+    return target;
 }
 
 } // namespace ltp

@@ -40,6 +40,18 @@ std::string reportToCsv(const SweepResult &result);
 /** Write @p text to @p path; fatal() if the file cannot be opened. */
 void writeFile(const std::string &path, const std::string &text);
 
+/**
+ * Archive the JSON report at @p path ("1" selects the conventional
+ * BENCH_<sweep name>.json) and print the summary line; shared by the
+ * bench harnesses and the ltp driver.  @return the path written.
+ */
+std::string writeJsonReport(const SweepResult &result,
+                            const std::string &path);
+
+/** CSV sibling of writeJsonReport ("1" → BENCH_<sweep name>.csv). */
+std::string writeCsvReport(const SweepResult &result,
+                           const std::string &path);
+
 } // namespace ltp
 
 #endif // LTP_SIM_REPORT_HH

@@ -1,0 +1,595 @@
+#include "sim/scenario.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "trace/suite.hh"
+
+namespace ltp {
+
+// ---------------------------------------------------------------------------
+// Panels
+// ---------------------------------------------------------------------------
+
+Panels
+classifyPanels(const RunLengths &lengths, std::uint64_t seed, int threads)
+{
+    Panels p;
+    RunLengths quick = lengths;
+    quick.detail = std::min<std::uint64_t>(lengths.detail, 20000);
+    p.groups = classifySuite(quick, seed, threads);
+    return p;
+}
+
+std::vector<std::string>
+panelKernels(const Panels &panels, const std::string &panel)
+{
+    if (panel == "mlp_sensitive")
+        return panels.groups.sensitive;
+    if (panel == "mlp_insensitive")
+        return panels.groups.insensitive;
+    return {panel};
+}
+
+std::vector<std::string>
+panelNames(const Panels &p)
+{
+    return {p.astarLike, p.milcLike, "mlp_sensitive", "mlp_insensitive"};
+}
+
+std::string
+panelRow(const std::string &panel, const std::string &point)
+{
+    return panel + "|" + point;
+}
+
+void
+addPanelJob(SweepSpec &spec, const std::string &row,
+            const std::string &series, const SimConfig &cfg,
+            const Panels &panels, const std::string &panel)
+{
+    spec.addGroup(row, series, cfg, panelKernels(panels, panel), panel);
+}
+
+// ---------------------------------------------------------------------------
+// Parsing helpers
+// ---------------------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void
+bad(const std::string &what)
+{
+    throw std::runtime_error("scenario: " + what);
+}
+
+[[noreturn]] void
+wrongKind(const JsonValue &v, const char *want, const std::string &path)
+{
+    bad(std::string("expected ") + want + " at " + path + ", got " +
+        JsonValue::kindName(v.kind));
+}
+
+/** Reject keys outside @p known, naming the offending path. */
+void
+checkKeys(const JsonValue &obj, const std::vector<std::string> &known,
+          const std::string &where)
+{
+    for (const auto &[key, val] : obj.object) {
+        (void)val;
+        if (std::find(known.begin(), known.end(), key) == known.end())
+            bad("unknown key '" +
+                (where.empty() ? key : where + "." + key) + "'");
+    }
+}
+
+const JsonValue *
+find(const JsonValue &obj, const char *key)
+{
+    auto it = obj.object.find(key);
+    return it == obj.object.end() ? nullptr : &it->second;
+}
+
+std::string
+strAt(const JsonValue &obj, const char *key, const std::string &where)
+{
+    const JsonValue *v = find(obj, key);
+    if (!v)
+        bad("missing required key '" + where + "." + key + "'");
+    if (!v->isString())
+        wrongKind(*v, "a string", where + "." + key);
+    return v->str;
+}
+
+/** Checked non-negative integer from a JSON number (via its lexeme,
+ *  so fractions and signs are rejected rather than truncated). */
+std::uint64_t
+u64FromJson(const JsonValue &v, const std::string &path)
+{
+    if (!v.isNumber())
+        wrongKind(v, "a number", path);
+    std::uint64_t out = 0;
+    if (!u64FromLexeme(v.str, &out))
+        bad("expected a non-negative integer at " + path + ", got '" +
+            v.str + "'");
+    return out;
+}
+
+/** A sweep value / axis label: a number lexeme or a plain string. */
+std::string
+scalarLexeme(const JsonValue &v, const std::string &path)
+{
+    if (v.isNumber())
+        return v.str;
+    if (v.isString())
+        return v.str;
+    wrongKind(v, "a number or string", path);
+}
+
+std::vector<std::string>
+stringList(const JsonValue &v, const std::string &path)
+{
+    if (!v.isArray())
+        wrongKind(v, "an array", path);
+    std::vector<std::string> out;
+    for (std::size_t i = 0; i < v.array.size(); ++i) {
+        const JsonValue &e = v.array[i];
+        if (!e.isString())
+            wrongKind(e, "a string",
+                      path + "[" + std::to_string(i) + "]");
+        out.push_back(e.str);
+    }
+    return out;
+}
+
+bool
+knownKernel(const std::string &name)
+{
+    for (const SuiteEntry &e : kernelSuite())
+        if (e.name == name)
+            return true;
+    return false;
+}
+
+void
+checkKernels(const std::vector<std::string> &names,
+             const std::string &where)
+{
+    for (std::size_t i = 0; i < names.size(); ++i)
+        if (!knownKernel(names[i]))
+            bad("unknown kernel '" + names[i] + "' at " + where + "[" +
+                std::to_string(i) + "]");
+}
+
+RunLengths
+parseLengths(const JsonValue &v, const std::string &where)
+{
+    if (v.isString()) {
+        if (v.str == "default")
+            return RunLengths{};
+        if (v.str == "quick")
+            return RunLengths::quick();
+        if (v.str == "bench")
+            return RunLengths::bench();
+        bad("unknown lengths preset '" + v.str + "' at " + where +
+            " (expected default|quick|bench or an object)");
+    }
+    if (!v.isObject())
+        wrongKind(v, "an object or preset name", where);
+    checkKeys(v, {"funcWarm", "pipeWarm", "detail"}, where);
+    RunLengths out;
+    auto u64At = [&](const char *key, std::uint64_t dflt) {
+        const JsonValue *f = find(v, key);
+        return f ? u64FromJson(*f, where + "." + key) : dflt;
+    };
+    out.funcWarm = u64At("funcWarm", out.funcWarm);
+    out.pipeWarm = u64At("pipeWarm", out.pipeWarm);
+    out.detail = u64At("detail", out.detail);
+    return out;
+}
+
+void
+parseWorkloads(Scenario &sc, const JsonValue &v)
+{
+    if (!v.isObject())
+        wrongKind(v, "an object", "workloads");
+    checkKeys(v, {"kernels", "panels", "groups"}, "workloads");
+    int forms = int(find(v, "kernels") != nullptr) +
+                int(find(v, "panels") != nullptr) +
+                int(find(v, "groups") != nullptr);
+    if (forms != 1)
+        bad("workloads needs exactly one of kernels|panels|groups");
+
+    if (const JsonValue *k = find(v, "kernels")) {
+        sc.workloadKind = Scenario::WorkloadKind::Kernels;
+        sc.kernels = stringList(*k, "workloads.kernels");
+        if (sc.kernels.empty())
+            bad("workloads.kernels must not be empty");
+        checkKernels(sc.kernels, "workloads.kernels");
+    } else if (const JsonValue *p = find(v, "panels")) {
+        sc.workloadKind = Scenario::WorkloadKind::Panels;
+        if (p->isBool() && p->boolean)
+            return; // all four paper panels
+        sc.panels = stringList(*p, "workloads.panels");
+        if (sc.panels.empty())
+            bad("workloads.panels must not be empty");
+        for (std::size_t i = 0; i < sc.panels.size(); ++i) {
+            const std::string &name = sc.panels[i];
+            if (name != "mlp_sensitive" && name != "mlp_insensitive" &&
+                !knownKernel(name))
+                bad("unknown panel '" + name + "' at workloads.panels[" +
+                    std::to_string(i) +
+                    "] (a kernel name, mlp_sensitive, or "
+                    "mlp_insensitive)");
+        }
+    } else if (const JsonValue *g = find(v, "groups")) {
+        sc.workloadKind = Scenario::WorkloadKind::Groups;
+        if (!g->isObject())
+            wrongKind(*g, "an object", "workloads.groups");
+        for (const auto &[label, list] : g->object) {
+            std::vector<std::string> ks =
+                stringList(list, "workloads.groups." + label);
+            if (ks.empty())
+                bad("workloads.groups." + label + " must not be empty");
+            checkKernels(ks, "workloads.groups." + label);
+            sc.groups.emplace_back(label, ks);
+        }
+        if (sc.groups.empty())
+            bad("workloads.groups must not be empty");
+    }
+}
+
+ScenarioConfig
+parseConfig(const JsonValue &v, std::size_t index)
+{
+    std::string where = "configs[" + std::to_string(index) + "]";
+    if (!v.isObject())
+        wrongKind(v, "an object", where);
+    checkKeys(v, {"series", "preset", "mode", "name", "set"}, where);
+
+    ScenarioConfig sc;
+    sc.where = where;
+    sc.series = strAt(v, "series", where);
+    if (const JsonValue *p = find(v, "preset")) {
+        if (!p->isString())
+            wrongKind(*p, "a string", where + ".preset");
+        sc.preset = p->str;
+        if (sc.preset != "baseline" && sc.preset != "ltpProposal" &&
+            sc.preset != "limitStudy")
+            bad("unknown preset '" + sc.preset + "' at " + where +
+                ".preset (expected baseline|ltpProposal|limitStudy)");
+    }
+    if (const JsonValue *m = find(v, "mode")) {
+        if (!m->isString())
+            wrongKind(*m, "a string", where + ".mode");
+        sc.mode = parseLtpMode(m->str, where + ".mode");
+        sc.hasMode = true;
+    }
+    if (sc.preset == "limitStudy" && !sc.hasMode)
+        bad("preset limitStudy requires a mode at " + where);
+    if (sc.preset == "baseline" && sc.hasMode)
+        bad("mode at " + where +
+            ".mode is only valid with preset ltpProposal or limitStudy "
+            "(use \"set\": {\"core.ltp.mode\": ...} to force it on the "
+            "baseline)");
+    if (const JsonValue *n = find(v, "name")) {
+        if (!n->isString())
+            wrongKind(*n, "a string", where + ".name");
+        sc.nameOverride = n->str;
+    }
+    if (const JsonValue *s = find(v, "set")) {
+        if (!s->isObject())
+            wrongKind(*s, "an object", where + ".set");
+        sc.set = *s;
+    }
+    return sc;
+}
+
+ScenarioSweep
+parseSweep(const JsonValue &v, const std::vector<ScenarioConfig> &configs)
+{
+    if (!v.isObject())
+        wrongKind(v, "an object", "sweep");
+    checkKeys(v, {"path", "values", "baseline"}, "sweep");
+
+    ScenarioSweep sw;
+    sw.path = strAt(v, "path", "sweep");
+    {
+        std::vector<std::string> paths = configPaths();
+        if (std::find(paths.begin(), paths.end(), sw.path) == paths.end())
+            bad("unknown config path '" + sw.path + "' at sweep.path");
+    }
+    const JsonValue *vals = find(v, "values");
+    if (!vals)
+        bad("missing required key 'sweep.values'");
+    if (!vals->isArray() || vals->array.empty())
+        bad("sweep.values must be a non-empty array");
+    for (std::size_t i = 0; i < vals->array.size(); ++i)
+        sw.values.push_back(scalarLexeme(
+            vals->array[i], "sweep.values[" + std::to_string(i) + "]"));
+
+    if (const JsonValue *b = find(v, "baseline")) {
+        if (!b->isObject())
+            wrongKind(*b, "an object", "sweep.baseline");
+        checkKeys(*b, {"series", "value"}, "sweep.baseline");
+        sw.hasBaseline = true;
+        sw.baselineSeries = strAt(*b, "series", "sweep.baseline");
+        const JsonValue *val = find(*b, "value");
+        if (!val)
+            bad("missing required key 'sweep.baseline.value'");
+        sw.baselineValue = scalarLexeme(*val, "sweep.baseline.value");
+        bool found = false;
+        for (const ScenarioConfig &c : configs)
+            found = found || c.series == sw.baselineSeries;
+        if (!found)
+            bad("sweep.baseline.series '" + sw.baselineSeries +
+                "' does not name any configs[].series");
+    }
+    return sw;
+}
+
+SweepJob
+parseJob(const JsonValue &v, std::size_t index)
+{
+    std::string where = "jobs[" + std::to_string(index) + "]";
+    if (!v.isObject())
+        wrongKind(v, "an object", where);
+    checkKeys(v, {"row", "series", "label", "kernels", "config"}, where);
+
+    SweepJob job;
+    job.row = strAt(v, "row", where);
+    job.series = strAt(v, "series", where);
+    const JsonValue *ks = find(v, "kernels");
+    if (!ks)
+        bad("missing required key '" + where + ".kernels'");
+    job.kernels = stringList(*ks, where + ".kernels");
+    if (job.kernels.empty())
+        bad(where + ".kernels must not be empty");
+    checkKernels(job.kernels, where + ".kernels");
+    if (const JsonValue *l = find(v, "label")) {
+        if (!l->isString())
+            wrongKind(*l, "a string", where + ".label");
+        job.label = l->str;
+    } else if (job.kernels.size() == 1) {
+        job.label = job.kernels[0];
+    } else {
+        bad("missing required key '" + where +
+            ".label' (required for multi-kernel jobs)");
+    }
+    const JsonValue *cfg = find(v, "config");
+    if (!cfg)
+        bad("missing required key '" + where + ".config'");
+    applyConfigJson(job.cfg, *cfg, where + ".config");
+    return job;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Scenario
+// ---------------------------------------------------------------------------
+
+SimConfig
+Scenario::buildConfig(const ScenarioConfig &sc) const
+{
+    SimConfig cfg;
+    if (sc.preset == "baseline")
+        cfg = SimConfig::baseline();
+    else if (sc.preset == "ltpProposal")
+        cfg = SimConfig::ltpProposal(sc.hasMode ? sc.mode : LtpMode::NU);
+    else
+        cfg = SimConfig::limitStudy(sc.mode);
+    cfg.seed = seed;
+    if (sc.set.isObject())
+        applyConfigJson(cfg, sc.set, sc.where + ".set");
+    if (!sc.nameOverride.empty())
+        cfg.name = sc.nameOverride;
+    return cfg;
+}
+
+SweepSpec
+Scenario::compile(int threads) const
+{
+    SweepSpec spec;
+    spec.name = name;
+    spec.lengths = lengths;
+
+    if (explicitJobs) {
+        spec.jobs = jobs;
+        // Exported jobs carry their own seeds; an explicit scenario or
+        // driver seed overrides them all.
+        if (hasSeed)
+            for (SweepJob &job : spec.jobs)
+                job.cfg.seed = seed;
+        return spec;
+    }
+
+    // Expand workloads into (label, kernel list) pairs, paper order.
+    std::vector<std::pair<std::string, std::vector<std::string>>> work;
+    switch (workloadKind) {
+      case WorkloadKind::Kernels:
+        for (const std::string &k : kernels)
+            work.emplace_back(k, std::vector<std::string>{k});
+        break;
+      case WorkloadKind::Groups:
+        for (const auto &[label, ks] : groups)
+            work.emplace_back(label, ks);
+        break;
+      case WorkloadKind::Panels: {
+        Panels p = classifyPanels(lengths, seed, threads);
+        std::vector<std::string> ids =
+            panels.empty() ? panelNames(p) : panels;
+        for (const std::string &id : ids)
+            work.emplace_back(id, panelKernels(p, id));
+        break;
+      }
+      case WorkloadKind::None:
+        bad("no workloads to compile");
+    }
+
+    auto withValue = [&](const ScenarioConfig &sc,
+                         const std::string &value) {
+        SimConfig cfg = buildConfig(sc);
+        applyOverride(cfg, sweep.path, value);
+        return cfg;
+    };
+
+    for (const auto &[label, ks] : work) {
+        if (hasSweep && sweep.hasBaseline) {
+            for (const ScenarioConfig &sc : configs)
+                if (sc.series == sweep.baselineSeries)
+                    spec.addGroup(panelRow(label, "base"), sc.series,
+                                  withValue(sc, sweep.baselineValue), ks,
+                                  label);
+        }
+        if (!hasSweep) {
+            for (const ScenarioConfig &sc : configs)
+                spec.addGroup(label, sc.series, buildConfig(sc), ks,
+                              label);
+            continue;
+        }
+        for (const std::string &value : sweep.values)
+            for (const ScenarioConfig &sc : configs)
+                spec.addGroup(panelRow(label, value), sc.series,
+                              withValue(sc, value), ks, label);
+    }
+    return spec;
+}
+
+Scenario
+scenarioFromJson(const std::string &text)
+{
+    JsonValue root = parseJson(text);
+    if (!root.isObject())
+        wrongKind(root, "an object", "<top level>");
+    checkKeys(root,
+              {"name", "lengths", "seed", "workloads", "configs", "sweep",
+               "jobs"},
+              "");
+
+    Scenario sc;
+    sc.name = strAt(root, "name", "<top level>");
+    if (const JsonValue *l = find(root, "lengths"))
+        sc.lengths = parseLengths(*l, "lengths");
+    if (const JsonValue *s = find(root, "seed")) {
+        sc.seed = u64FromJson(*s, "seed");
+        sc.hasSeed = true;
+    }
+
+    if (const JsonValue *jobs = find(root, "jobs")) {
+        for (const char *key : {"workloads", "configs", "sweep"})
+            if (find(root, key))
+                bad(std::string("'jobs' and '") + key +
+                    "' are mutually exclusive");
+        if (!jobs->isArray() || jobs->array.empty())
+            bad("jobs must be a non-empty array");
+        sc.explicitJobs = true;
+        for (std::size_t i = 0; i < jobs->array.size(); ++i)
+            sc.jobs.push_back(parseJob(jobs->array[i], i));
+        return sc;
+    }
+
+    const JsonValue *w = find(root, "workloads");
+    if (!w)
+        bad("missing required key 'workloads' (or an explicit 'jobs' "
+            "array)");
+    parseWorkloads(sc, *w);
+
+    const JsonValue *configs = find(root, "configs");
+    if (!configs)
+        bad("missing required key 'configs'");
+    if (!configs->isArray() || configs->array.empty())
+        bad("configs must be a non-empty array");
+    for (std::size_t i = 0; i < configs->array.size(); ++i) {
+        ScenarioConfig c = parseConfig(configs->array[i], i);
+        for (const ScenarioConfig &prev : sc.configs)
+            if (prev.series == c.series)
+                bad("duplicate series '" + c.series + "' at " + c.where);
+        sc.configs.push_back(std::move(c));
+    }
+
+    if (const JsonValue *sweep = find(root, "sweep")) {
+        sc.hasSweep = true;
+        sc.sweep = parseSweep(*sweep, sc.configs);
+    }
+
+    // Validate every config template and sweep value eagerly so errors
+    // surface at parse time, naming their path, not mid-run.
+    for (const ScenarioConfig &c : sc.configs) {
+        SimConfig cfg = sc.buildConfig(c);
+        if (sc.hasSweep)
+            for (const std::string &v : sc.sweep.values) {
+                try {
+                    applyOverride(cfg, sc.sweep.path, v);
+                } catch (const std::runtime_error &e) {
+                    throw std::runtime_error(std::string(e.what()) +
+                                             " (in sweep.values)");
+                }
+            }
+    }
+    if (sc.hasSweep && sc.sweep.hasBaseline) {
+        SimConfig cfg = sc.buildConfig(sc.configs.front());
+        try {
+            applyOverride(cfg, sc.sweep.path, sc.sweep.baselineValue);
+        } catch (const std::runtime_error &e) {
+            throw std::runtime_error(std::string(e.what()) +
+                                     " (in sweep.baseline.value)");
+        }
+    }
+    return sc;
+}
+
+Scenario
+loadScenarioFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("scenario: cannot open '" + path + "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+        return scenarioFromJson(text.str());
+    } catch (const std::runtime_error &e) {
+        throw std::runtime_error(path + ": " + e.what());
+    }
+}
+
+std::string
+sweepSpecToJson(const SweepSpec &spec)
+{
+    std::string out = "{\n";
+    out += "  \"name\": " + jsonQuote(spec.name) + ",\n";
+    out += "  \"lengths\": {\"funcWarm\": " +
+           std::to_string(spec.lengths.funcWarm) +
+           ", \"pipeWarm\": " + std::to_string(spec.lengths.pipeWarm) +
+           ", \"detail\": " + std::to_string(spec.lengths.detail) +
+           "},\n";
+    out += "  \"jobs\": [\n";
+    for (std::size_t i = 0; i < spec.jobs.size(); ++i) {
+        const SweepJob &job = spec.jobs[i];
+        out += "    {\n";
+        out += "      \"row\": " + jsonQuote(job.row) + ",\n";
+        out += "      \"series\": " + jsonQuote(job.series) + ",\n";
+        out += "      \"label\": " + jsonQuote(job.label) + ",\n";
+        out += "      \"kernels\": [";
+        for (std::size_t k = 0; k < job.kernels.size(); ++k) {
+            if (k)
+                out += ", ";
+            out += jsonQuote(job.kernels[k]);
+        }
+        out += "],\n";
+        out += "      \"config\": " + configToJson(job.cfg, 6) + "\n";
+        out += "    }";
+        if (i + 1 < spec.jobs.size())
+            out += ",";
+        out += "\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+} // namespace ltp

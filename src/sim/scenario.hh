@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Declarative experiment scenarios: a JSON schema describing presets +
+ * overrides, kernel lists / panel groups, run lengths, seeds, and the
+ * row×series sweep shape, compiled into the Runner's SweepSpec — so new
+ * experiments ship as files under scenarios/ instead of bench
+ * binaries.
+ *
+ * Two forms:
+ *
+ *  - **Declarative** — `workloads` (kernels | panels | groups) crossed
+ *    with `configs` (preset + mode + dotted `set` overrides), optionally
+ *    swept along one config path per row (`sweep`), reproducing the
+ *    paper-shaped studies (e.g. the Figure 6 limit rows) bit-identically
+ *    to their bench binaries.
+ *  - **Explicit** — a `jobs` array of (row, series, kernels, full
+ *    config); what `sweepSpecToJson` exports, so any in-C++ SweepSpec
+ *    round-trips through a file (the benches' `--export-scenario` hook).
+ *
+ * Malformed scenarios throw std::runtime_error naming the offending
+ * JSON path ("configs[2].set.core.iqq", ...).  README.md documents the
+ * full schema.
+ */
+
+#ifndef LTP_SIM_SCENARIO_HH
+#define LTP_SIM_SCENARIO_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.hh"
+#include "sim/config.hh"
+#include "sim/mlp_class.hh"
+#include "sim/runner.hh"
+
+namespace ltp {
+
+// ---------------------------------------------------------------------------
+// Panels: the paper's four reporting units (two marquee kernels + the
+// two runtime-classified groups), shared by benches and scenarios.
+// ---------------------------------------------------------------------------
+
+/** The four panels of Figure 6/7: two marquee kernels + two groups. */
+struct Panels
+{
+    std::string astarLike = "graph_walk";
+    std::string milcLike = "indirect_stream_fp";
+    SuiteGroups groups;
+};
+
+/**
+ * Classify the registered suite with the Section 4.1 runtime criteria
+ * (detail capped at 20k instructions, as all panel consumers do).
+ */
+Panels classifyPanels(const RunLengths &lengths, std::uint64_t seed,
+                      int threads = 0);
+
+/** The kernels behind a panel name (single kernel or a whole group). */
+std::vector<std::string> panelKernels(const Panels &panels,
+                                      const std::string &panel);
+
+/** The four standard panel identifiers, in paper order. */
+std::vector<std::string> panelNames(const Panels &p);
+
+/** Grid key for a (panel, axis point) cell: "<panel>|<point>". */
+std::string panelRow(const std::string &panel, const std::string &point);
+
+/** Queue one (row, series) cell running @p cfg over @p panel. */
+void addPanelJob(SweepSpec &spec, const std::string &row,
+                 const std::string &series, const SimConfig &cfg,
+                 const Panels &panels, const std::string &panel);
+
+// ---------------------------------------------------------------------------
+// Scenario
+// ---------------------------------------------------------------------------
+
+/** One series of a declarative scenario: a config template. */
+struct ScenarioConfig
+{
+    std::string series;            ///< grid series key
+    std::string preset = "baseline"; ///< baseline | ltpProposal | limitStudy
+    bool hasMode = false;
+    LtpMode mode = LtpMode::NU;    ///< preset factory argument
+    std::string nameOverride;      ///< optional SimConfig::name override
+    JsonValue set;                 ///< partial config JSON (dotted or nested)
+    std::string where;             ///< error-path prefix ("configs[2]")
+};
+
+/** Optional row axis: one config path swept over values. */
+struct ScenarioSweep
+{
+    std::string path;              ///< e.g. "core.iq"
+    std::vector<std::string> values; ///< "inf" or number lexemes, in order
+    bool hasBaseline = false;      ///< extra "<workload>|base" row
+    std::string baselineSeries;
+    std::string baselineValue;
+};
+
+/** A parsed, validated scenario file. */
+struct Scenario
+{
+    std::string name = "scenario";
+    RunLengths lengths;
+    std::uint64_t seed = 1;
+    /** True when the file (or a driver flag) set the seed explicitly —
+     *  only then does it override the per-job seeds of an
+     *  explicit-jobs scenario. */
+    bool hasSeed = false;
+
+    enum class WorkloadKind { None, Kernels, Panels, Groups };
+    WorkloadKind workloadKind = WorkloadKind::None;
+    std::vector<std::string> kernels;  ///< WorkloadKind::Kernels
+    std::vector<std::string> panels;   ///< Panels; empty = all four
+    std::vector<std::pair<std::string, std::vector<std::string>>> groups;
+
+    std::vector<ScenarioConfig> configs;
+    bool hasSweep = false;
+    ScenarioSweep sweep;
+
+    bool explicitJobs = false;
+    std::vector<SweepJob> jobs;
+
+    /**
+     * Compile to a runnable SweepSpec.  Panels scenarios classify the
+     * suite first, sharded over @p threads workers (grouping is
+     * thread-count independent).
+     */
+    SweepSpec compile(int threads = 1) const;
+
+    /** Materialize one series config: preset(mode) + seed + overrides. */
+    SimConfig buildConfig(const ScenarioConfig &sc) const;
+};
+
+/**
+ * Parse and validate scenario JSON.
+ * @throws std::runtime_error naming the offending path on unknown
+ *         keys, bad types, unknown kernels/presets/config paths.
+ */
+Scenario scenarioFromJson(const std::string &text);
+
+/** Read and parse @p path; errors are prefixed with the file name. */
+Scenario loadScenarioFile(const std::string &path);
+
+/** Export a SweepSpec as an explicit-jobs scenario file (round-trips
+ *  through scenarioFromJson + compile). */
+std::string sweepSpecToJson(const SweepSpec &spec);
+
+} // namespace ltp
+
+#endif // LTP_SIM_SCENARIO_HH

@@ -37,6 +37,13 @@ struct RunLengths
     {
         return RunLengths{30000, 4000, 20000};
     }
+
+    /** Default staging of the bench binaries (scaled Section 4.1). */
+    static RunLengths
+    bench()
+    {
+        return RunLengths{60000, 5000, 30000};
+    }
 };
 
 /** Ring-buffered trace window with random access (squash rewind). */

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "common/cli.hh"
 #include "common/random.hh"
 #include "common/stats.hh"
@@ -179,6 +182,38 @@ TEST(Cli, ParsesForms)
     EXPECT_TRUE(cli.flag("gamma"));
     EXPECT_EQ(cli.integer("missing", 9), 9);
     EXPECT_FALSE(cli.has("missing"));
+}
+
+TEST(Cli, RepeatedFlagsCollectInOrder)
+{
+    const char *argv[] = {"prog", "--set=a=1", "--set", "b=2",
+                          "--set=c=3"};
+    Cli cli(5, const_cast<char **>(argv), {"set"});
+    EXPECT_EQ(cli.list("set"),
+              (std::vector<std::string>{"a=1", "b=2", "c=3"}));
+    // The scalar accessor sees the last occurrence.
+    EXPECT_EQ(cli.str("set", ""), "c=3");
+    EXPECT_TRUE(cli.list("missing").empty());
+}
+
+TEST(CliDeathTest, HelpPrintsKnownFlagsAndExitsZero)
+{
+    const char *argv[] = {"prog", "--help"};
+    EXPECT_EXIT(
+        {
+            Cli cli(2, const_cast<char **>(argv), {"alpha", "beta"});
+        },
+        ::testing::ExitedWithCode(0), "");
+}
+
+TEST(CliDeathTest, UnknownFlagStaysFatal)
+{
+    const char *argv[] = {"prog", "--alhpa=3"};
+    EXPECT_EXIT(
+        {
+            Cli cli(2, const_cast<char **>(argv), {"alpha"});
+        },
+        ::testing::ExitedWithCode(1), "unknown flag --alhpa");
 }
 
 TEST(Logging, Strprintf)

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Tests for the scenario layer: parse errors naming the offending JSON
+ * path, declarative compilation onto SweepSpec, the explicit-jobs
+ * export round trip, and the golden equivalence of
+ * scenarios/fig6_iq_quick.json with the in-C++ Figure 6 IQ SweepSpec —
+ * including bit-identical Metrics for every (row, series) cell with
+ * the scenario side sharded across threads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "bench_fig6_common.hh"
+#include "sim/report.hh"
+#include "sim/runner.hh"
+#include "sim/scenario.hh"
+
+#ifndef LTP_SCENARIO_DIR
+#define LTP_SCENARIO_DIR "scenarios"
+#endif
+
+namespace ltp {
+namespace {
+
+template <typename Fn>
+std::string
+messageOf(Fn &&fn)
+{
+    try {
+        fn();
+    } catch (const std::runtime_error &e) {
+        return e.what();
+    }
+    return "";
+}
+
+void
+expectParseErrorContains(const std::string &json,
+                         const std::string &needle)
+{
+    std::string msg = messageOf([&]() { (void)scenarioFromJson(json); });
+    EXPECT_FALSE(msg.empty()) << "no error for: " << json;
+    EXPECT_NE(msg.find(needle), std::string::npos)
+        << "error '" << msg << "' does not mention '" << needle << "'";
+}
+
+/** Structural equality of two specs: equality of every job's keys,
+ *  kernels, and full config dump, plus name and staging. */
+void
+expectSpecsIdentical(const SweepSpec &a, const SweepSpec &b)
+{
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.lengths.funcWarm, b.lengths.funcWarm);
+    EXPECT_EQ(a.lengths.pipeWarm, b.lengths.pipeWarm);
+    EXPECT_EQ(a.lengths.detail, b.lengths.detail);
+    ASSERT_EQ(a.jobs.size(), b.jobs.size());
+    for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+        const SweepJob &ja = a.jobs[i];
+        const SweepJob &jb = b.jobs[i];
+        EXPECT_EQ(ja.row, jb.row) << "job " << i;
+        EXPECT_EQ(ja.series, jb.series) << "job " << i;
+        EXPECT_EQ(ja.label, jb.label) << "job " << i;
+        EXPECT_EQ(ja.kernels, jb.kernels) << "job " << i;
+        EXPECT_EQ(configToJson(ja.cfg), configToJson(jb.cfg))
+            << "job " << i << " (" << ja.row << ", " << ja.series << ")";
+    }
+}
+
+/** Bit-identity of two grids, via the exact Metrics JSON dump. */
+void
+expectGridsIdentical(const ResultGrid &a, const ResultGrid &b)
+{
+    ASSERT_EQ(a.rows(), b.rows());
+    for (const std::string &row : a.rows()) {
+        ASSERT_EQ(a.series(row), b.series(row)) << row;
+        for (const std::string &series : a.series(row))
+            EXPECT_EQ(metricsToJson(a.at(row, series)),
+                      metricsToJson(b.at(row, series)))
+                << "(" << row << ", " << series << ")";
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parse errors name the offending path
+// ---------------------------------------------------------------------------
+
+TEST(Scenario, UnknownKeysNameTheirPath)
+{
+    expectParseErrorContains("{\"name\": \"x\", \"frobnicate\": 1}",
+                             "frobnicate");
+    expectParseErrorContains(
+        "{\"name\": \"x\", \"workloads\": {\"kernel\": []}}",
+        "workloads.kernel");
+    expectParseErrorContains(
+        "{\"name\": \"x\", \"workloads\": {\"kernels\": "
+        "[\"graph_walk\"]}, \"configs\": [{\"series\": \"a\", "
+        "\"spreset\": \"b\"}]}",
+        "configs[0].spreset");
+    expectParseErrorContains(
+        "{\"name\": \"x\", \"workloads\": {\"kernels\": "
+        "[\"graph_walk\"]}, \"configs\": [{\"series\": \"a\", "
+        "\"set\": {\"core\": {\"iqq\": 1}}}]}",
+        "configs[0].set.core.iqq");
+}
+
+TEST(Scenario, WrongTypesNameTheirPath)
+{
+    expectParseErrorContains("[1]", "<top level>");
+    expectParseErrorContains("{\"name\": 3}", "name");
+    expectParseErrorContains(
+        "{\"name\": \"x\", \"lengths\": {\"detail\": \"long\"}}",
+        "lengths.detail");
+    expectParseErrorContains(
+        "{\"name\": \"x\", \"workloads\": {\"kernels\": [7]}}",
+        "workloads.kernels[0]");
+    expectParseErrorContains(
+        "{\"name\": \"x\", \"lengths\": {\"detail\": -1}}",
+        "lengths.detail");
+    expectParseErrorContains("{\"name\": \"x\", \"seed\": 1.5}",
+                             "seed");
+    expectParseErrorContains(
+        "{\"name\": \"x\", \"workloads\": {\"kernels\": "
+        "[\"graph_walk\"]}, \"configs\": [{\"series\": \"a\", "
+        "\"set\": {\"core.iq\": true}}]}",
+        "configs[0].set.core.iq");
+}
+
+TEST(Scenario, SemanticErrorsAreDescriptive)
+{
+    expectParseErrorContains(
+        "{\"name\": \"x\", \"workloads\": {\"kernels\": "
+        "[\"graph_walk\", \"no_such_kernel\"]}}",
+        "workloads.kernels[1]");
+    expectParseErrorContains(
+        "{\"name\": \"x\", \"lengths\": \"fastish\"}", "fastish");
+    expectParseErrorContains(
+        "{\"name\": \"x\", \"workloads\": {\"kernels\": "
+        "[\"graph_walk\"]}, \"configs\": [{\"series\": \"a\", "
+        "\"preset\": \"turbo\"}]}",
+        "configs[0].preset");
+    expectParseErrorContains(
+        "{\"name\": \"x\", \"workloads\": {\"kernels\": "
+        "[\"graph_walk\"]}, \"configs\": [{\"series\": \"a\", "
+        "\"preset\": \"limitStudy\"}]}",
+        "requires a mode");
+    // A mode on the baseline preset would be silently ignored.
+    expectParseErrorContains(
+        "{\"name\": \"x\", \"workloads\": {\"kernels\": "
+        "[\"graph_walk\"]}, \"configs\": [{\"series\": \"a\", "
+        "\"mode\": \"NR\"}]}",
+        "configs[0].mode");
+    expectParseErrorContains(
+        "{\"name\": \"x\", \"workloads\": {\"kernels\": "
+        "[\"graph_walk\"]}, \"configs\": [{\"series\": \"a\"}], "
+        "\"sweep\": {\"path\": \"core.iqq\", \"values\": [1]}}",
+        "sweep.path");
+    expectParseErrorContains(
+        "{\"name\": \"x\", \"workloads\": {\"kernels\": "
+        "[\"graph_walk\"]}, \"configs\": [{\"series\": \"a\"}, "
+        "{\"series\": \"a\"}]}",
+        "duplicate series");
+    expectParseErrorContains(
+        "{\"name\": \"x\", \"jobs\": [], \"configs\": []}",
+        "mutually exclusive");
+    expectParseErrorContains(
+        "{\"name\": \"x\", \"workloads\": {\"kernels\": "
+        "[\"graph_walk\"]}, \"configs\": [{\"series\": \"a\"}], "
+        "\"sweep\": {\"path\": \"core.iq\", \"values\": [1], "
+        "\"baseline\": {\"series\": \"nope\", \"value\": 2}}}",
+        "sweep.baseline.series");
+}
+
+// ---------------------------------------------------------------------------
+// Declarative compilation
+// ---------------------------------------------------------------------------
+
+TEST(Scenario, DeclarativeCompileMatchesHandBuiltSpec)
+{
+    Scenario sc = scenarioFromJson(
+        "{\"name\": \"mini\","
+        " \"lengths\": \"quick\","
+        " \"seed\": 7,"
+        " \"workloads\": {\"kernels\": [\"graph_walk\", "
+        "\"dense_compute\"]},"
+        " \"configs\": ["
+        "   {\"series\": \"no-LTP\", \"preset\": \"baseline\"},"
+        "   {\"series\": \"LTP\", \"preset\": \"ltpProposal\","
+        "    \"mode\": \"NU\", \"set\": {\"core.ltp.entries\": 64}}],"
+        " \"sweep\": {\"path\": \"core.iq\", \"values\": [16, 32]}}");
+    SweepSpec got = sc.compile(1);
+
+    SweepSpec want;
+    want.name = "mini";
+    want.lengths = RunLengths::quick();
+    for (const std::string k : {"graph_walk", "dense_compute"})
+        for (int iq : {16, 32}) {
+            want.addGroup(k + "|" + std::to_string(iq), "no-LTP",
+                          SimConfig::baseline().withSeed(7).withIq(iq),
+                          {k}, k);
+            want.addGroup(k + "|" + std::to_string(iq), "LTP",
+                          SimConfig::ltpProposal(LtpMode::NU)
+                              .withSeed(7)
+                              .withLtp(LtpMode::NU, 64, 4)
+                              .withIq(iq),
+                          {k}, k);
+        }
+    // Hand-built order is per-kernel, per-size, per-series; the
+    // compiler emits per-kernel, per-size, per-series too.
+    expectSpecsIdentical(got, want);
+}
+
+TEST(Scenario, GroupWorkloadsAverageLikeAddGroup)
+{
+    Scenario sc = scenarioFromJson(
+        "{\"name\": \"groups\","
+        " \"lengths\": \"quick\","
+        " \"workloads\": {\"groups\": {\"ilp\": [\"dense_compute\", "
+        "\"reduction\"]}},"
+        " \"configs\": [{\"series\": \"base\", \"preset\": "
+        "\"baseline\"}]}");
+    SweepSpec spec = sc.compile(1);
+    ASSERT_EQ(spec.jobs.size(), 1u);
+    EXPECT_EQ(spec.jobs[0].row, "ilp");
+    EXPECT_EQ(spec.jobs[0].label, "ilp");
+    EXPECT_EQ(spec.jobs[0].kernels,
+              (std::vector<std::string>{"dense_compute", "reduction"}));
+    EXPECT_EQ(spec.simulationCount(), 2u);
+}
+
+TEST(Scenario, NameOverrideAndSeedPropagate)
+{
+    Scenario sc = scenarioFromJson(
+        "{\"name\": \"n\", \"seed\": 99,"
+        " \"workloads\": {\"kernels\": [\"graph_walk\"]},"
+        " \"configs\": [{\"series\": \"s\", \"preset\": \"baseline\","
+        "   \"name\": \"relabelled\"}]}");
+    SweepSpec spec = sc.compile(1);
+    ASSERT_EQ(spec.jobs.size(), 1u);
+    EXPECT_EQ(spec.jobs[0].cfg.name, "relabelled");
+    EXPECT_EQ(spec.jobs[0].cfg.seed, 99u);
+}
+
+// ---------------------------------------------------------------------------
+// Explicit-jobs export round trip
+// ---------------------------------------------------------------------------
+
+TEST(Scenario, SweepSpecExportRoundTripsAndRunsIdentically)
+{
+    std::vector<SimConfig> configs = {
+        SimConfig::baseline().withSeed(3).withName("base"),
+        SimConfig::ltpProposal().withSeed(3).withName("ltp")};
+    SweepSpec spec = SweepSpec::cross(
+        "export", configs, {"paper_loop", "hash_probe"},
+        RunLengths{4000, 800, 2000});
+    spec.addGroup("grp", "base", configs[0],
+                  {"dense_compute", "reduction"}, "grp");
+
+    Scenario sc = scenarioFromJson(sweepSpecToJson(spec));
+    EXPECT_TRUE(sc.explicitJobs);
+    SweepSpec back = sc.compile(1);
+    expectSpecsIdentical(spec, back);
+
+    // Exported jobs keep their own seeds unless one is forced, in
+    // which case it overrides every job (the `ltp sweep --seed` path).
+    EXPECT_FALSE(sc.hasSeed);
+    sc.seed = 99;
+    sc.hasSeed = true;
+    for (const SweepJob &job : sc.compile(1).jobs)
+        EXPECT_EQ(job.cfg.seed, 99u);
+
+    SweepResult direct = Runner(1).run(spec);
+    SweepResult loaded = Runner(2).run(back);
+    expectGridsIdentical(direct.grid, loaded.grid);
+}
+
+// ---------------------------------------------------------------------------
+// Golden scenarios shipped in scenarios/
+// ---------------------------------------------------------------------------
+
+TEST(Scenario, GoldenFig6IqQuickMatchesBenchSpec)
+{
+    Scenario sc =
+        loadScenarioFile(std::string(LTP_SCENARIO_DIR) +
+                         "/fig6_iq_quick.json");
+    EXPECT_EQ(sc.name, "fig6_IQ");
+    EXPECT_EQ(sc.lengths.funcWarm, 6000u);
+    EXPECT_EQ(sc.lengths.pipeWarm, 1000u);
+    EXPECT_EQ(sc.lengths.detail, 3000u);
+    EXPECT_EQ(sc.seed, 1u);
+
+    SweepSpec from_json = sc.compile(1);
+
+    // The equivalent spec, built exactly as bench_fig6_limit_iq does.
+    Panels panels = classifyPanels(sc.lengths, sc.seed, 1);
+    SweepSpec from_cpp = bench::fig6Spec(
+        panels, bench::SweptResource::Iq, "IQ",
+        {kInfiniteSize, 128, 64, 32, 16}, 64, sc.seed, sc.lengths);
+
+    expectSpecsIdentical(from_json, from_cpp);
+
+    // Same configs, lengths, and seeds => bit-identical Metrics for
+    // every (row, series) cell; run at reduced staging to keep the
+    // full-grid comparison fast, with the scenario side sharded.
+    from_json.lengths = RunLengths{2000, 400, 1000};
+    from_cpp.lengths = from_json.lengths;
+    SweepResult json_run = Runner(2).run(from_json);
+    SweepResult cpp_run = Runner(1).run(from_cpp);
+    expectGridsIdentical(json_run.grid, cpp_run.grid);
+}
+
+TEST(Scenario, GoldenTable1CompareUsesTheExactPresets)
+{
+    Scenario sc =
+        loadScenarioFile(std::string(LTP_SCENARIO_DIR) +
+                         "/table1_compare.json");
+    EXPECT_EQ(sc.workloadKind, Scenario::WorkloadKind::Panels);
+    EXPECT_EQ(sc.lengths.funcWarm, RunLengths::bench().funcWarm);
+    ASSERT_EQ(sc.configs.size(), 2u);
+    EXPECT_EQ(configToJson(sc.buildConfig(sc.configs[0])),
+              configToJson(SimConfig::baseline().withSeed(sc.seed)));
+    EXPECT_EQ(configToJson(sc.buildConfig(sc.configs[1])),
+              configToJson(
+                  SimConfig::ltpProposal(LtpMode::NU).withSeed(sc.seed)));
+}
+
+TEST(Scenario, GoldenIqSweepExampleParses)
+{
+    Scenario sc =
+        loadScenarioFile(std::string(LTP_SCENARIO_DIR) +
+                         "/iq_sweep_example.json");
+    EXPECT_EQ(sc.workloadKind, Scenario::WorkloadKind::Kernels);
+    SweepSpec spec = sc.compile(1);
+    // 2 kernels x 4 sizes x 2 configs.
+    EXPECT_EQ(spec.jobs.size(), 16u);
+    EXPECT_EQ(spec.simulationCount(), 16u);
+}
+
+} // namespace
+} // namespace ltp

@@ -1,0 +1,426 @@
+/**
+ * @file
+ * `ltp` — the unified experiment driver.  Experiments are data: any
+ * cell of the paper's design space is reachable from the command line
+ * (presets + dotted --set overrides), and whole studies ship as JSON
+ * scenario files compiled onto the sharded Runner.
+ *
+ *   ltp run [--preset=... --mode=... --kernel=a,b --set core.iq=32 ...]
+ *   ltp sweep <scenario.json> [--threads=N --json=... --csv=...]
+ *   ltp list-kernels
+ *   ltp classify [--seed=N --threads=N ...]
+ *   ltp print-config <preset> [--mode=... --set k=v ...] | --paths
+ *
+ * All simulation commands take --warm/--pipewarm/--detail staging
+ * overrides, --seed, --threads=N (0 = all cores), --json=… and --csv=…
+ * result archiving, and --help.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "sim/config.hh"
+#include "sim/experiment.hh"
+#include "sim/report.hh"
+#include "sim/runner.hh"
+#include "sim/scenario.hh"
+#include "trace/suite.hh"
+
+using namespace ltp;
+
+namespace {
+
+int
+usage(int status)
+{
+    std::printf(
+        "ltp — declarative LTP experiment driver\n"
+        "\n"
+        "usage: ltp <command> [args] [--flags]\n"
+        "\n"
+        "commands:\n"
+        "  run            simulate one config over one or more kernels\n"
+        "  sweep <file>   compile and run a JSON scenario file\n"
+        "  list-kernels   print the registered kernel suite\n"
+        "  classify       Section 4.1 MLP-sensitivity classification\n"
+        "  print-config <preset>   print a preset's config as JSON\n"
+        "\n"
+        "every command accepts --help; simulation commands accept\n"
+        "--warm/--pipewarm/--detail, --seed, --threads, --json, --csv,\n"
+        "and repeatable --set <dotted.path>=<value> config overrides\n"
+        "(see `ltp print-config --paths` for the full path list)\n");
+    return status;
+}
+
+/** Apply every --set key=value onto @p cfg; fatal on bad paths. */
+void
+applySets(SimConfig &cfg, const Cli &cli)
+{
+    for (const std::string &kv : cli.list("set")) {
+        auto eq = kv.find('=');
+        if (eq == std::string::npos)
+            fatal("--set needs <dotted.path>=<value>, got '%s'",
+                  kv.c_str());
+        try {
+            applyOverride(cfg, kv.substr(0, eq), kv.substr(eq + 1));
+        } catch (const std::runtime_error &e) {
+            fatal("%s", e.what());
+        }
+    }
+}
+
+/** Build a preset by name, with optional --mode. */
+SimConfig
+presetConfig(const std::string &preset, const Cli &cli)
+{
+    bool has_mode = cli.has("mode");
+    LtpMode mode = LtpMode::NU;
+    if (has_mode) {
+        try {
+            mode = parseLtpMode(cli.str("mode", ""), "--mode");
+        } catch (const std::runtime_error &e) {
+            fatal("%s", e.what());
+        }
+    }
+    if (preset == "baseline")
+        return SimConfig::baseline();
+    if (preset == "ltpProposal")
+        return SimConfig::ltpProposal(mode);
+    if (preset == "limitStudy") {
+        if (!has_mode)
+            fatal("preset limitStudy requires --mode=off|NU|NR|NR+NU");
+        return SimConfig::limitStudy(mode);
+    }
+    fatal("unknown preset '%s' (expected "
+          "baseline|ltpProposal|limitStudy)",
+          preset.c_str());
+}
+
+void
+maybeArchive(const Cli &cli, const SweepResult &result)
+{
+    std::string json = cli.str("json", "");
+    if (!json.empty())
+        writeJsonReport(result, json);
+    std::string csv = cli.str("csv", "");
+    if (!csv.empty())
+        writeCsvReport(result, csv);
+}
+
+/** The shared "--flag=1 means the conventional BENCH_ name" rule for
+ *  artifacts that are not a SweepResult report. */
+std::string
+archiveTarget(const std::string &path, const std::string &dflt)
+{
+    return path == "1" ? dflt : path;
+}
+
+/** Generic grid rendering: rows × series, IPC per cell. */
+void
+printGrid(const SweepResult &result)
+{
+    // Column set: union of series across rows (usually identical).
+    std::vector<std::string> series;
+    for (const std::string &row : result.grid.rows())
+        for (const std::string &s : result.grid.series(row))
+            if (std::find(series.begin(), series.end(), s) ==
+                series.end())
+                series.push_back(s);
+
+    std::vector<std::string> header = {"row"};
+    header.insert(header.end(), series.begin(), series.end());
+    Table t(header);
+    for (const std::string &row : result.grid.rows()) {
+        std::vector<std::string> cells = {row};
+        for (const std::string &s : series)
+            cells.push_back(result.grid.has(row, s)
+                                ? Table::num(result.grid.at(row, s).ipc,
+                                             4)
+                                : "-");
+        t.addRow(std::move(cells));
+    }
+    t.print(strprintf("%s: IPC by (row, series) — %zu sims, %d "
+                      "threads, %.0f ms",
+                      result.name.c_str(), result.simulations,
+                      result.threads, result.wallMs));
+}
+
+/** Commands without a positional must not silently swallow one. */
+void
+rejectPositional(const std::string &cmd, const std::string &positional)
+{
+    if (!positional.empty())
+        fatal("ltp %s takes no positional argument, got '%s'",
+              cmd.c_str(), positional.c_str());
+}
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        std::size_t comma = s.find(',', pos);
+        if (comma == std::string::npos)
+            comma = s.size();
+        if (comma > pos)
+            out.push_back(s.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Commands
+// ---------------------------------------------------------------------------
+
+int
+cmdRun(const Cli &cli)
+{
+    SimConfig cfg = presetConfig(cli.str("preset", "baseline"), cli);
+    cfg.seed = cli.integer("seed", 1);
+    applySets(cfg, cli);
+
+    std::vector<std::string> kernels =
+        splitCommas(cli.str("kernel", "paper_loop"));
+    if (kernels.empty())
+        fatal("--kernel needs at least one kernel name");
+
+    SweepSpec spec;
+    spec.name = "run:" + cfg.name;
+    spec.lengths = stagingLengths(cli, RunLengths::bench());
+    for (const std::string &k : kernels)
+        spec.add(k, cfg.name, cfg, k);
+
+    SweepResult result =
+        Runner(int(cli.integer("threads", 0))).run(spec);
+
+    Table t({"kernel", "IPC", "CPI", "cycles", "parked", "LTP occ"});
+    for (const std::string &k : kernels) {
+        const Metrics &m = result.grid.at(k, cfg.name);
+        t.addRow({k, Table::num(m.ipc, 4), Table::num(m.cpi, 4),
+                  std::to_string(m.cycles),
+                  Table::num(100.0 * m.parkedFrac, 1) + "%",
+                  Table::num(m.ltpOcc, 1)});
+    }
+    t.print(strprintf("config %s (seed %llu)", cfg.name.c_str(),
+                      static_cast<unsigned long long>(cfg.seed)));
+    maybeArchive(cli, result);
+    return 0;
+}
+
+int
+cmdSweep(const std::string &path, const Cli &cli)
+{
+    Scenario scenario;
+    try {
+        scenario = loadScenarioFile(path);
+    } catch (const std::runtime_error &e) {
+        fatal("%s", e.what());
+    }
+    scenario.lengths = stagingLengths(cli, scenario.lengths);
+    // Overrides the file's seed before compile, so it also reseeds the
+    // panel classification (unlike --set seed=N, which applies after).
+    if (cli.has("seed")) {
+        scenario.seed = cli.integer("seed", scenario.seed);
+        scenario.hasSeed = true;
+    }
+
+    int threads = int(cli.integer("threads", 0));
+    SweepSpec spec;
+    try {
+        spec = scenario.compile(threads);
+    } catch (const std::runtime_error &e) {
+        fatal("%s", e.what());
+    }
+
+    // --set overrides apply to every job of the compiled spec.
+    for (SweepJob &job : spec.jobs)
+        applySets(job.cfg, cli);
+
+    std::printf("scenario %s: %zu jobs, %zu simulations\n",
+                spec.name.c_str(), spec.jobs.size(),
+                spec.simulationCount());
+    SweepResult result = Runner(threads).run(spec);
+    printGrid(result);
+    maybeArchive(cli, result);
+    return 0;
+}
+
+int
+cmdListKernels()
+{
+    Table t({"kernel", "intent"});
+    for (const SuiteEntry &e : kernelSuite()) {
+        const char *intent =
+            e.intent == MlpIntent::Sensitive
+                ? "mlp-sensitive"
+                : e.intent == MlpIntent::Insensitive ? "mlp-insensitive"
+                                                     : "example";
+        t.addRow({e.name, intent});
+    }
+    t.print("registered kernel suite");
+    return 0;
+}
+
+int
+cmdClassify(const Cli &cli)
+{
+    RunLengths lengths = stagingLengths(cli, RunLengths::bench());
+    std::uint64_t seed = cli.integer("seed", 1);
+    int threads = int(cli.integer("threads", 0));
+
+    Panels p = classifyPanels(lengths, seed, threads);
+    Table t({"kernel", "class", "speedup", "outstanding x",
+             "avg load lat"});
+    for (const auto &d : p.groups.details)
+        t.addRow({d.kernel, d.sensitive ? "SENSITIVE" : "insensitive",
+                  Table::num(d.speedup, 2),
+                  Table::num(d.outstandingRatio, 2),
+                  Table::num(d.avgLoadLatency, 1)});
+    t.print("Section 4.1 classification (IQ32 vs IQ256)");
+
+    std::string csv = cli.str("csv", "");
+    if (!csv.empty()) {
+        std::string target = archiveTarget(csv, "BENCH_classify.csv");
+        writeFile(target, t.toCsv());
+        std::printf("csv written to %s\n", target.c_str());
+    }
+    std::string json = cli.str("json", "");
+    if (!json.empty()) {
+        std::string out = "[\n";
+        for (std::size_t i = 0; i < p.groups.details.size(); ++i) {
+            const MlpClassification &d = p.groups.details[i];
+            JsonObjectBuilder o;
+            o.str("kernel", d.kernel);
+            o.boolean("sensitive", d.sensitive);
+            o.num("speedup", d.speedup);
+            o.num("outstandingRatio", d.outstandingRatio);
+            o.num("avgLoadLatency", d.avgLoadLatency);
+            out += "  " + o.render(2);
+            if (i + 1 < p.groups.details.size())
+                out += ",";
+            out += "\n";
+        }
+        out += "]\n";
+        std::string target = archiveTarget(json, "BENCH_classify.json");
+        writeFile(target, out);
+        std::printf("json written to %s\n", target.c_str());
+    }
+    return 0;
+}
+
+int
+cmdPrintConfig(const std::string &preset, const Cli &cli)
+{
+    if (cli.flag("paths")) {
+        for (const std::string &p : configPaths())
+            std::printf("%s\n", p.c_str());
+        return 0;
+    }
+    if (preset.empty())
+        fatal("print-config needs a preset "
+              "(baseline|ltpProposal|limitStudy) or --paths");
+    SimConfig cfg = presetConfig(preset, cli);
+    applySets(cfg, cli);
+    std::printf("%s\n", configToJson(cfg).c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(1);
+    std::string cmd = argv[1];
+    if (cmd == "--help" || cmd == "-h" || cmd == "help")
+        return usage(0);
+
+    // Extract at most one positional argument, applying the same
+    // `--key value` consumption rule Cli uses so a bare token after a
+    // valueless flag is read as that flag's value, not the positional.
+    std::string positional;
+    std::vector<char *> args;
+    std::string prog = std::string(argv[0]) + " " + cmd;
+    args.push_back(prog.data());
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) == 0 || arg == "-h") {
+            args.push_back(argv[i]);
+            // `--key value`: the next bare token belongs to the flag.
+            if (arg.rfind('=') == std::string::npos && arg != "-h" &&
+                i + 1 < argc &&
+                std::string(argv[i + 1]).rfind("--", 0) != 0)
+                args.push_back(argv[++i]);
+            continue;
+        }
+        if (!positional.empty()) {
+            std::fprintf(stderr,
+                         "ltp %s: unexpected extra argument '%s' "
+                         "(already got '%s')\n",
+                         cmd.c_str(), argv[i], positional.c_str());
+            return 1;
+        }
+        positional = arg;
+    }
+    int nargs = static_cast<int>(args.size());
+
+    const std::set<std::string> staging = {"warm", "pipewarm", "detail"};
+    auto flags = [&](std::set<std::string> extra) {
+        extra.insert(staging.begin(), staging.end());
+        return extra;
+    };
+
+    if (cmd == "run") {
+        Cli cli(nargs, args.data(),
+                flags({"preset", "mode", "kernel", "set", "seed",
+                       "threads", "json", "csv"}),
+                "ltp run — simulate one config over kernels");
+        rejectPositional(cmd, positional);
+        return cmdRun(cli);
+    }
+    if (cmd == "sweep") {
+        Cli cli(nargs, args.data(),
+                flags({"seed", "threads", "set", "json", "csv"}),
+                "ltp sweep <scenario.json> — compile and run a "
+                "scenario file");
+        if (positional.empty())
+            fatal("sweep needs a scenario file: ltp sweep "
+                  "<scenario.json>");
+        return cmdSweep(positional, cli);
+    }
+    if (cmd == "list-kernels") {
+        Cli cli(nargs, args.data(), {},
+                "ltp list-kernels — print the registered kernel suite");
+        rejectPositional(cmd, positional);
+        return cmdListKernels();
+    }
+    if (cmd == "classify") {
+        Cli cli(nargs, args.data(),
+                flags({"seed", "threads", "json", "csv"}),
+                "ltp classify — Section 4.1 MLP-sensitivity "
+                "classification");
+        rejectPositional(cmd, positional);
+        return cmdClassify(cli);
+    }
+    if (cmd == "print-config") {
+        Cli cli(nargs, args.data(),
+                flags({"mode", "set", "paths"}),
+                "ltp print-config <preset> — print a preset's config "
+                "as JSON");
+        return cmdPrintConfig(positional, cli);
+    }
+
+    std::fprintf(stderr, "ltp: unknown command '%s'\n\n", cmd.c_str());
+    return usage(1);
+}

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "trace/suite.hh"
+#include "trace/trace_workload.hh"
 
 namespace ltp {
 
@@ -155,14 +156,45 @@ knownKernel(const std::string &name)
     return false;
 }
 
-void
-checkKernels(const std::vector<std::string> &names,
-             const std::string &where)
+/** Resolve a (possibly relative) path against the scenario file dir. */
+std::string
+resolvePath(const std::string &baseDir, const std::string &path)
 {
-    for (std::size_t i = 0; i < names.size(); ++i)
-        if (!knownKernel(names[i]))
-            bad("unknown kernel '" + names[i] + "' at " + where + "[" +
-                std::to_string(i) + "]");
+    if (baseDir.empty() || path.empty() || path[0] == '/')
+        return path;
+    return baseDir + "/" + path;
+}
+
+/** Validate (and cache) one `.lttr` file, naming @p where on errors. */
+void
+checkTraceFile(const std::string &path, const std::string &where)
+{
+    try {
+        loadTraceCached(path);
+    } catch (const std::runtime_error &e) {
+        bad(std::string(e.what()) + " (at " + where + ")");
+    }
+}
+
+/**
+ * Validate a workload-name list: registered kernels, or `trace:<path>`
+ * replays, whose relative paths are resolved in place against
+ * @p baseDir and whose files must load.
+ */
+void
+checkKernels(std::vector<std::string> &names, const std::string &where,
+             const std::string &baseDir)
+{
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        std::string at = where + "[" + std::to_string(i) + "]";
+        if (isTraceName(names[i])) {
+            names[i] =
+                traceName(resolvePath(baseDir, tracePath(names[i])));
+            checkTraceFile(tracePath(names[i]), at);
+        } else if (!knownKernel(names[i])) {
+            bad("unknown kernel '" + names[i] + "' at " + at);
+        }
+    }
 }
 
 RunLengths
@@ -193,23 +225,37 @@ parseLengths(const JsonValue &v, const std::string &where)
 }
 
 void
-parseWorkloads(Scenario &sc, const JsonValue &v)
+parseWorkloads(Scenario &sc, const JsonValue &v,
+               const std::string &baseDir)
 {
     if (!v.isObject())
         wrongKind(v, "an object", "workloads");
-    checkKeys(v, {"kernels", "panels", "groups"}, "workloads");
+    checkKeys(v, {"kernels", "panels", "groups", "traces"}, "workloads");
     int forms = int(find(v, "kernels") != nullptr) +
                 int(find(v, "panels") != nullptr) +
-                int(find(v, "groups") != nullptr);
+                int(find(v, "groups") != nullptr) +
+                int(find(v, "traces") != nullptr);
     if (forms != 1)
-        bad("workloads needs exactly one of kernels|panels|groups");
+        bad("workloads needs exactly one of kernels|panels|groups|"
+            "traces");
 
     if (const JsonValue *k = find(v, "kernels")) {
         sc.workloadKind = Scenario::WorkloadKind::Kernels;
         sc.kernels = stringList(*k, "workloads.kernels");
         if (sc.kernels.empty())
             bad("workloads.kernels must not be empty");
-        checkKernels(sc.kernels, "workloads.kernels");
+        checkKernels(sc.kernels, "workloads.kernels", baseDir);
+    } else if (const JsonValue *t = find(v, "traces")) {
+        sc.workloadKind = Scenario::WorkloadKind::Traces;
+        sc.traces = stringList(*t, "workloads.traces");
+        if (sc.traces.empty())
+            bad("workloads.traces must not be empty");
+        for (std::size_t i = 0; i < sc.traces.size(); ++i) {
+            sc.traces[i] =
+                resolvePath(baseDir, tracePath(sc.traces[i]));
+            checkTraceFile(sc.traces[i], "workloads.traces[" +
+                                             std::to_string(i) + "]");
+        }
     } else if (const JsonValue *p = find(v, "panels")) {
         sc.workloadKind = Scenario::WorkloadKind::Panels;
         if (p->isBool() && p->boolean)
@@ -235,7 +281,7 @@ parseWorkloads(Scenario &sc, const JsonValue &v)
                 stringList(list, "workloads.groups." + label);
             if (ks.empty())
                 bad("workloads.groups." + label + " must not be empty");
-            checkKernels(ks, "workloads.groups." + label);
+            checkKernels(ks, "workloads.groups." + label, baseDir);
             sc.groups.emplace_back(label, ks);
         }
         if (sc.groups.empty())
@@ -333,7 +379,8 @@ parseSweep(const JsonValue &v, const std::vector<ScenarioConfig> &configs)
 }
 
 SweepJob
-parseJob(const JsonValue &v, std::size_t index)
+parseJob(const JsonValue &v, std::size_t index,
+         const std::string &baseDir)
 {
     std::string where = "jobs[" + std::to_string(index) + "]";
     if (!v.isObject())
@@ -349,7 +396,7 @@ parseJob(const JsonValue &v, std::size_t index)
     job.kernels = stringList(*ks, where + ".kernels");
     if (job.kernels.empty())
         bad(where + ".kernels must not be empty");
-    checkKernels(job.kernels, where + ".kernels");
+    checkKernels(job.kernels, where + ".kernels", baseDir);
     if (const JsonValue *l = find(v, "label")) {
         if (!l->isString())
             wrongKind(*l, "a string", where + ".label");
@@ -413,7 +460,14 @@ Scenario::compile(int threads) const
     switch (workloadKind) {
       case WorkloadKind::Kernels:
         for (const std::string &k : kernels)
-            work.emplace_back(k, std::vector<std::string>{k});
+            work.emplace_back(isTraceName(k) ? traceLabel(tracePath(k))
+                                             : k,
+                              std::vector<std::string>{k});
+        break;
+      case WorkloadKind::Traces:
+        for (const std::string &path : traces)
+            work.emplace_back(traceLabel(path),
+                              std::vector<std::string>{traceName(path)});
         break;
       case WorkloadKind::Groups:
         for (const auto &[label, ks] : groups)
@@ -430,6 +484,15 @@ Scenario::compile(int threads) const
       case WorkloadKind::None:
         bad("no workloads to compile");
     }
+
+    // Row labels key the ResultGrid; a duplicate (e.g. two trace files
+    // with the same stem) would silently overwrite cells.
+    for (std::size_t i = 0; i < work.size(); ++i)
+        for (std::size_t j = i + 1; j < work.size(); ++j)
+            if (work[i].first == work[j].first)
+                bad("duplicate workload row label '" + work[i].first +
+                    "' (rename one of the colliding trace files or "
+                    "kernels)");
 
     auto withValue = [&](const ScenarioConfig &sc,
                          const std::string &value) {
@@ -461,7 +524,7 @@ Scenario::compile(int threads) const
 }
 
 Scenario
-scenarioFromJson(const std::string &text)
+scenarioFromJson(const std::string &text, const std::string &baseDir)
 {
     JsonValue root = parseJson(text);
     if (!root.isObject())
@@ -489,7 +552,7 @@ scenarioFromJson(const std::string &text)
             bad("jobs must be a non-empty array");
         sc.explicitJobs = true;
         for (std::size_t i = 0; i < jobs->array.size(); ++i)
-            sc.jobs.push_back(parseJob(jobs->array[i], i));
+            sc.jobs.push_back(parseJob(jobs->array[i], i, baseDir));
         return sc;
     }
 
@@ -497,7 +560,7 @@ scenarioFromJson(const std::string &text)
     if (!w)
         bad("missing required key 'workloads' (or an explicit 'jobs' "
             "array)");
-    parseWorkloads(sc, *w);
+    parseWorkloads(sc, *w, baseDir);
 
     const JsonValue *configs = find(root, "configs");
     if (!configs)
@@ -551,8 +614,12 @@ loadScenarioFile(const std::string &path)
         throw std::runtime_error("scenario: cannot open '" + path + "'");
     std::ostringstream text;
     text << in.rdbuf();
+    // Trace paths inside the file resolve relative to the file itself.
+    std::size_t slash = path.find_last_of("/\\");
+    std::string base_dir =
+        slash == std::string::npos ? "" : path.substr(0, slash);
     try {
-        return scenarioFromJson(text.str());
+        return scenarioFromJson(text.str(), base_dir);
     } catch (const std::runtime_error &e) {
         throw std::runtime_error(path + ": " + e.what());
     }

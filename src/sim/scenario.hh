@@ -8,11 +8,14 @@
  *
  * Two forms:
  *
- *  - **Declarative** — `workloads` (kernels | panels | groups) crossed
- *    with `configs` (preset + mode + dotted `set` overrides), optionally
- *    swept along one config path per row (`sweep`), reproducing the
- *    paper-shaped studies (e.g. the Figure 6 limit rows) bit-identically
- *    to their bench binaries.
+ *  - **Declarative** — `workloads` (kernels | panels | groups | traces)
+ *    crossed with `configs` (preset + mode + dotted `set` overrides),
+ *    optionally swept along one config path per row (`sweep`),
+ *    reproducing the paper-shaped studies (e.g. the Figure 6 limit
+ *    rows) bit-identically to their bench binaries.  `traces` rows
+ *    replay recorded `.lttr` files (paths relative to the scenario
+ *    file); `trace:<path>` names are also accepted anywhere a kernel
+ *    name is.
  *  - **Explicit** — a `jobs` array of (row, series, kernels, full
  *    config); what `sweepSpecToJson` exports, so any in-C++ SweepSpec
  *    round-trips through a file (the benches' `--export-scenario` hook).
@@ -109,11 +112,12 @@ struct Scenario
      *  explicit-jobs scenario. */
     bool hasSeed = false;
 
-    enum class WorkloadKind { None, Kernels, Panels, Groups };
+    enum class WorkloadKind { None, Kernels, Panels, Groups, Traces };
     WorkloadKind workloadKind = WorkloadKind::None;
     std::vector<std::string> kernels;  ///< WorkloadKind::Kernels
     std::vector<std::string> panels;   ///< Panels; empty = all four
     std::vector<std::pair<std::string, std::vector<std::string>>> groups;
+    std::vector<std::string> traces;   ///< Traces: resolved .lttr paths
 
     std::vector<ScenarioConfig> configs;
     bool hasSweep = false;
@@ -134,11 +138,15 @@ struct Scenario
 };
 
 /**
- * Parse and validate scenario JSON.
+ * Parse and validate scenario JSON.  Relative `.lttr` trace paths are
+ * resolved against @p baseDir (empty = the working directory) and the
+ * files validated (header/CRC) eagerly.
  * @throws std::runtime_error naming the offending path on unknown
- *         keys, bad types, unknown kernels/presets/config paths.
+ *         keys, bad types, unknown kernels/presets/config paths, and
+ *         missing or corrupt trace files.
  */
-Scenario scenarioFromJson(const std::string &text);
+Scenario scenarioFromJson(const std::string &text,
+                          const std::string &baseDir = "");
 
 /** Read and parse @p path; errors are prefixed with the file name. */
 Scenario loadScenarioFile(const std::string &path);

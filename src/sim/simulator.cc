@@ -2,12 +2,13 @@
 
 #include "ltp/oracle.hh"
 #include "trace/suite.hh"
+#include "trace/trace_file.hh"
 
 namespace ltp {
 
 Simulator::Simulator(const SimConfig &cfg, const std::string &kernel,
                      const RunLengths &lengths)
-    : cfg_(cfg), kernel_(kernel), lengths_(lengths)
+    : cfg_(cfg), lengths_(lengths)
 {
     workload_ = makeKernel(kernel);
 
@@ -17,7 +18,7 @@ Simulator::Simulator(const SimConfig &cfg, const std::string &kernel,
         cfg_.core.ltp.classifier == ClassifierKind::Oracle) {
         WorkloadPtr oracle_wl = makeKernel(kernel);
         std::uint64_t n = lengths_.funcWarm + lengths_.pipeWarm +
-                          lengths_.detail + 16384;
+                          lengths_.detail + kTraceFetchSlack;
         oracle_ = oracleClassify(*oracle_wl, cfg_.seed, n, cfg_.mem);
         oracle_.setBase(lengths_.funcWarm);
     }
@@ -70,7 +71,10 @@ Simulator::extractMetrics(Cycle detail_cycles)
     Cycle now = core.cycle();
 
     m.config = cfg_.name;
-    m.workload = kernel_;
+    // The workload's own name, not the lookup key: a `trace:<path>`
+    // replay reports the source kernel name embedded in the trace, so
+    // its Metrics are bit-identical to the execute-mode run.
+    m.workload = workload_->name();
     m.insts = cs.committed.value();
     m.cycles = detail_cycles;
     m.ipc = safeDiv(double(m.insts), double(m.cycles));

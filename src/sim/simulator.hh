@@ -104,7 +104,6 @@ class Simulator
     Metrics extractMetrics(Cycle detail_cycles);
 
     SimConfig cfg_;
-    std::string kernel_;
     RunLengths lengths_;
     WorkloadPtr workload_;
     OracleClassification oracle_;

@@ -1,7 +1,10 @@
 #include "trace/suite.hh"
 
+#include <stdexcept>
+
 #include "common/logging.hh"
 #include "trace/kernels.hh"
+#include "trace/trace_workload.hh"
 
 namespace ltp {
 
@@ -33,6 +36,15 @@ kernelSuite()
 WorkloadPtr
 makeKernel(const std::string &name)
 {
+    // `trace:<path>` replays a recorded .lttr trace (trace_workload.hh)
+    // through the same front-end as any DSL kernel.
+    if (isTraceName(name)) {
+        try {
+            return makeTraceWorkload(name);
+        } catch (const std::runtime_error &e) {
+            fatal("%s", e.what());
+        }
+    }
     for (const auto &e : kernelSuite())
         if (e.name == name)
             return e.factory();

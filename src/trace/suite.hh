@@ -32,7 +32,12 @@ struct SuiteEntry
 /** The full registered suite (paper_loop + 7 sensitive + 7 insensitive). */
 const std::vector<SuiteEntry> &kernelSuite();
 
-/** Instantiate a kernel by name; fatal() on unknown names. */
+/**
+ * Instantiate a workload by name; fatal() on unknown names.  Besides
+ * registered kernels, `trace:<path>` names replay a recorded `.lttr`
+ * trace (src/trace/trace_workload.hh), so traces participate in every
+ * string-keyed surface (SweepSpec kernels, scenario files) unchanged.
+ */
 WorkloadPtr makeKernel(const std::string &name);
 
 /** Names of all kernels with the given intent. */

@@ -1,0 +1,92 @@
+#include "trace/trace_workload.hh"
+
+#include <map>
+#include <mutex>
+
+#include "common/logging.hh"
+
+namespace ltp {
+
+bool
+isTraceName(const std::string &name)
+{
+    return name.rfind(kTraceNamePrefix, 0) == 0;
+}
+
+std::string
+traceName(const std::string &path)
+{
+    return kTraceNamePrefix + path;
+}
+
+std::string
+tracePath(const std::string &name)
+{
+    return isTraceName(name)
+               ? name.substr(std::string(kTraceNamePrefix).size())
+               : name;
+}
+
+std::string
+traceLabel(const std::string &path)
+{
+    std::size_t slash = path.find_last_of("/\\");
+    std::string base =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    std::size_t dot = base.find_last_of('.');
+    return dot == std::string::npos || dot == 0 ? base
+                                                : base.substr(0, dot);
+}
+
+std::shared_ptr<const TraceReader>
+loadTraceCached(const std::string &path)
+{
+    static std::mutex mutex;
+    static std::map<std::string, std::shared_ptr<const TraceReader>>
+        cache;
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = cache.find(path);
+    if (it != cache.end())
+        return it->second;
+    auto trace = std::make_shared<const TraceReader>(loadTraceFile(path));
+    cache.emplace(path, trace);
+    return trace;
+}
+
+void
+TraceWorkload::reset(std::uint64_t seed)
+{
+    const TraceInfo &info = trace_->info();
+    if (seed != info.seed)
+        warn("trace '%s' was recorded with seed %llu; replay cannot "
+             "re-seed to %llu (the recorded stream is replayed as is)",
+             info.kernel.c_str(),
+             static_cast<unsigned long long>(info.seed),
+             static_cast<unsigned long long>(seed));
+    pos_ = 0;
+}
+
+MicroOp
+TraceWorkload::next()
+{
+    const TraceInfo &info = trace_->info();
+    if (pos_ >= info.count)
+        fatal("trace '%s' exhausted after %llu records; re-record with "
+              "a staging plan at least as long as the replay run "
+              "(recorded funcWarm=%llu pipeWarm=%llu detail=%llu)",
+              info.kernel.c_str(),
+              static_cast<unsigned long long>(info.count),
+              static_cast<unsigned long long>(info.funcWarm),
+              static_cast<unsigned long long>(info.pipeWarm),
+              static_cast<unsigned long long>(info.detail));
+    return trace_->record(pos_++);
+}
+
+WorkloadPtr
+makeTraceWorkload(const std::string &nameOrPath)
+{
+    return std::make_unique<TraceWorkload>(
+        loadTraceCached(tracePath(nameOrPath)));
+}
+
+} // namespace ltp

@@ -1,13 +1,16 @@
 /**
  * @file
- * Unit tests for the common substrate: stats, RNG, tables, CLI, types.
+ * Unit tests for the common substrate: stats, RNG, tables, CLI, types,
+ * binary I/O.
  */
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "common/binio.hh"
 #include "common/cli.hh"
 #include "common/random.hh"
 #include "common/stats.hh"
@@ -16,6 +19,51 @@
 
 namespace ltp {
 namespace {
+
+TEST(BinIo, LittleEndianRoundTrip)
+{
+    std::string b;
+    putU8(b, 0xab);
+    putU16le(b, 0x1234);
+    putU32le(b, 0xdeadbeefu);
+    putU64le(b, 0x0123456789abcdefull);
+    ASSERT_EQ(b.size(), 1u + 2 + 4 + 8);
+    // Explicit little-endian byte order on the wire.
+    EXPECT_EQ(static_cast<unsigned char>(b[1]), 0x34);
+    EXPECT_EQ(static_cast<unsigned char>(b[2]), 0x12);
+    ByteReader r(b);
+    EXPECT_EQ(r.u8(), 0xab);
+    EXPECT_EQ(r.u16(), 0x1234);
+    EXPECT_EQ(r.u32(), 0xdeadbeefu);
+    EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+    EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(BinIo, ReaderBoundsChecked)
+{
+    std::string b = "abc";
+    EXPECT_THROW((void)ByteReader(b).u32(), std::runtime_error);
+    ByteReader r(b);
+    r.skip(3);
+    EXPECT_THROW((void)r.u8(), std::runtime_error);
+    // A construction offset past the end must not wrap the check.
+    ByteReader past(b, b.size() + 1);
+    EXPECT_EQ(past.remaining(), 0u);
+    EXPECT_THROW((void)past.u8(), std::runtime_error);
+    EXPECT_THROW((void)ByteReader(b, 2).raw(2), std::runtime_error);
+}
+
+TEST(BinIo, Crc32KnownVectors)
+{
+    // The classic check value for "123456789" (IEEE 802.3).
+    EXPECT_EQ(crc32("123456789"), 0xcbf43926u);
+    EXPECT_EQ(crc32(""), 0x00000000u);
+    // Incremental == one-shot.
+    Crc32 inc;
+    inc.update("1234");
+    inc.update("56789");
+    EXPECT_EQ(inc.value(), 0xcbf43926u);
+}
 
 TEST(Types, BlockAlign)
 {

@@ -128,6 +128,65 @@ TEST(Scenario, WrongTypesNameTheirPath)
         "configs[0].set.core.iq");
 }
 
+TEST(Scenario, TruncatedAndMalformedJsonFailsLoudly)
+{
+    // Truncated mid-object / mid-string / mid-array: the JSON reader
+    // itself must reject these rather than silently defaulting.
+    for (const std::string &text :
+         {std::string("{\"name\": \"x\", \"workloads\": {"),
+          std::string("{\"name\": \"tru"),
+          std::string("{\"name\": \"x\", \"configs\": [{\"series\": "
+                      "\"a\"}"),
+          std::string("{\"name\": \"x\","), std::string("{"),
+          std::string("")}) {
+        std::string msg =
+            messageOf([&]() { (void)scenarioFromJson(text); });
+        EXPECT_FALSE(msg.empty()) << "no error for: '" << text << "'";
+    }
+}
+
+TEST(Scenario, UnknownSweepKeysNameTheirPath)
+{
+    expectParseErrorContains(
+        "{\"name\": \"x\", \"workloads\": {\"kernels\": "
+        "[\"graph_walk\"]}, \"configs\": [{\"series\": \"a\"}], "
+        "\"sweep\": {\"path\": \"core.iq\", \"values\": [1], "
+        "\"valuess\": [2]}}",
+        "sweep.valuess");
+    expectParseErrorContains(
+        "{\"name\": \"x\", \"workloads\": {\"kernels\": "
+        "[\"graph_walk\"]}, \"configs\": [{\"series\": \"a\"}], "
+        "\"sweep\": {\"path\": \"core.iq\", \"values\": [1], "
+        "\"baseline\": {\"series\": \"a\", \"value\": 1, "
+        "\"vlaue\": 2}}}",
+        "sweep.baseline.vlaue");
+}
+
+TEST(Scenario, TraceWorkloadErrorsNameTheirPath)
+{
+    // Exactly one workload form.
+    expectParseErrorContains(
+        "{\"name\": \"x\", \"workloads\": {\"kernels\": "
+        "[\"graph_walk\"], \"traces\": [\"a.lttr\"]}}",
+        "exactly one of");
+    expectParseErrorContains(
+        "{\"name\": \"x\", \"workloads\": {\"traces\": []}}",
+        "workloads.traces must not be empty");
+    expectParseErrorContains(
+        "{\"name\": \"x\", \"workloads\": {\"traces\": [42]}}",
+        "workloads.traces[0]");
+    // A missing file is caught eagerly, naming the entry.
+    expectParseErrorContains(
+        "{\"name\": \"x\", \"workloads\": {\"traces\": "
+        "[\"/nonexistent/missing.lttr\"]}}",
+        "workloads.traces[0]");
+    // `trace:` names inside kernel lists are validated the same way.
+    expectParseErrorContains(
+        "{\"name\": \"x\", \"workloads\": {\"kernels\": "
+        "[\"trace:/nonexistent/missing.lttr\"]}}",
+        "workloads.kernels[0]");
+}
+
 TEST(Scenario, SemanticErrorsAreDescriptive)
 {
     expectParseErrorContains(

@@ -7,6 +7,8 @@
  *
  *   ltp run [--preset=... --mode=... --kernel=a,b --set core.iq=32 ...]
  *   ltp sweep <scenario.json> [--threads=N --json=... --csv=...]
+ *   ltp record <kernel|scenario.json|all> --out=dir [--seed=N ...]
+ *   ltp replay <trace.lttr|dir> [--verify --preset=... --set ...]
  *   ltp list-kernels
  *   ltp classify [--seed=N --threads=N ...]
  *   ltp print-config <preset> [--mode=... --set k=v ...] | --paths
@@ -19,6 +21,9 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <memory>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -33,6 +38,8 @@
 #include "sim/runner.hh"
 #include "sim/scenario.hh"
 #include "trace/suite.hh"
+#include "trace/trace_file.hh"
+#include "trace/trace_workload.hh"
 
 using namespace ltp;
 
@@ -49,6 +56,10 @@ usage(int status)
         "commands:\n"
         "  run            simulate one config over one or more kernels\n"
         "  sweep <file>   compile and run a JSON scenario file\n"
+        "  record <what>  record .lttr traces (a kernel list, a\n"
+        "                 scenario file, or 'all') into --out=<dir>\n"
+        "  replay <path>  replay .lttr traces (a file or directory);\n"
+        "                 --verify re-executes and diffs the Metrics\n"
         "  list-kernels   print the registered kernel suite\n"
         "  classify       Section 4.1 MLP-sensitivity classification\n"
         "  print-config <preset>   print a preset's config as JSON\n"
@@ -255,6 +266,214 @@ cmdSweep(const std::string &path, const Cli &cli)
     return 0;
 }
 
+/** The DSL kernels a `record` target names: a kernel list, 'all', or
+ *  every (non-trace) kernel a scenario file's compiled spec touches. */
+std::vector<std::string>
+recordTargets(const std::string &what, const Cli &cli,
+              RunLengths &lengths, std::uint64_t &seed)
+{
+    if (what == "all") {
+        std::vector<std::string> kernels;
+        for (const SuiteEntry &e : kernelSuite())
+            kernels.push_back(e.name);
+        return kernels;
+    }
+    if (what.size() > 5 && what.compare(what.size() - 5, 5, ".json") == 0) {
+        Scenario scenario;
+        try {
+            scenario = loadScenarioFile(what);
+        } catch (const std::runtime_error &e) {
+            // A scenario that replays traces validates them eagerly —
+            // which cannot succeed before they exist.  Point at the
+            // bootstrap path instead of just echoing the parse error.
+            if (std::string(e.what()).find(".lttr") != std::string::npos)
+                fatal("%s\n(`ltp record <scenario>` records the DSL "
+                      "kernels a scenario touches; it cannot bootstrap "
+                      "a scenario that replays traces — record their "
+                      "source kernels directly: ltp record "
+                      "<kernel,...> --out=<dir>)",
+                      e.what());
+            fatal("%s", e.what());
+        }
+        // The scenario's own staging/seed become the recording defaults
+        // (still overridable by the standard flags).
+        lengths = stagingLengths(cli, scenario.lengths);
+        if (!cli.has("seed"))
+            seed = scenario.seed;
+        SweepSpec spec;
+        try {
+            spec = scenario.compile(int(cli.integer("threads", 0)));
+        } catch (const std::runtime_error &e) {
+            fatal("%s", e.what());
+        }
+        std::set<std::string> uniq;
+        for (const SweepJob &job : spec.jobs)
+            for (const std::string &k : job.kernels)
+                if (!isTraceName(k))
+                    uniq.insert(k);
+        if (uniq.empty())
+            fatal("scenario '%s' references no DSL kernels to record",
+                  what.c_str());
+        return std::vector<std::string>(uniq.begin(), uniq.end());
+    }
+    return splitCommas(what);
+}
+
+int
+cmdRecord(const std::string &what, const Cli &cli)
+{
+    if (what.empty())
+        fatal("record needs a target: ltp record "
+              "<kernel[,kernel...]|scenario.json|all> --out=<dir>");
+    std::string out_dir = cli.str("out", "");
+    if (out_dir.empty())
+        fatal("record needs --out=<dir> for the .lttr files");
+
+    RunLengths lengths = stagingLengths(cli, RunLengths::bench());
+    std::uint64_t seed = cli.integer("seed", 1);
+    std::vector<std::string> kernels =
+        recordTargets(what, cli, lengths, seed);
+
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    if (ec)
+        fatal("cannot create '%s': %s", out_dir.c_str(),
+              ec.message().c_str());
+
+    Table t({"kernel", "file", "records", "bytes"});
+    for (const std::string &kernel : kernels) {
+        TraceInfo info;
+        info.kernel = kernel;
+        info.seed = seed;
+        info.funcWarm = lengths.funcWarm;
+        info.pipeWarm = lengths.pipeWarm;
+        info.detail = lengths.detail;
+        std::string path = out_dir + "/" + kernel + ".lttr";
+        try {
+            std::string bytes = recordTrace(info);
+            writeTraceFile(path, bytes);
+            t.addRow({kernel, path, std::to_string(info.recordLength()),
+                      std::to_string(bytes.size())});
+        } catch (const std::runtime_error &e) {
+            fatal("%s", e.what());
+        }
+    }
+    t.print(strprintf("recorded %zu trace(s), seed %llu, staging "
+                      "%llu/%llu/%llu (+%llu slack)",
+                      kernels.size(),
+                      static_cast<unsigned long long>(seed),
+                      static_cast<unsigned long long>(lengths.funcWarm),
+                      static_cast<unsigned long long>(lengths.pipeWarm),
+                      static_cast<unsigned long long>(lengths.detail),
+                      static_cast<unsigned long long>(kTraceFetchSlack)));
+    return 0;
+}
+
+int
+cmdReplay(const std::string &what, const Cli &cli)
+{
+    namespace fs = std::filesystem;
+    if (what.empty())
+        fatal("replay needs a trace: ltp replay <trace.lttr|dir>");
+
+    std::vector<std::string> paths;
+    if (fs::is_directory(what)) {
+        for (const auto &entry : fs::directory_iterator(what))
+            if (entry.path().extension() == ".lttr")
+                paths.push_back(entry.path().string());
+        std::sort(paths.begin(), paths.end());
+        if (paths.empty())
+            fatal("no .lttr files under '%s'", what.c_str());
+    } else {
+        paths.push_back(what);
+    }
+
+    bool verify = cli.flag("verify");
+    SimConfig base_cfg = presetConfig(cli.str("preset", "baseline"), cli);
+    applySets(base_cfg, cli);
+    // Like --seed below, `--set seed=N` cannot re-seed a recorded
+    // stream; reject it instead of silently mislabelling results.
+    for (const std::string &kv : cli.list("set"))
+        if (kv.rfind("seed=", 0) == 0)
+            fatal("replay cannot re-seed a recorded stream; drop "
+                  "'--set %s' (re-record with the desired seed)",
+                  kv.c_str());
+
+    std::vector<std::string> header = {"trace", "kernel", "IPC",
+                                       "cycles", "parked"};
+    if (verify)
+        header.push_back("verify");
+    Table t(header);
+
+    int failures = 0;
+    for (const std::string &path : paths) {
+        std::shared_ptr<const TraceReader> trace;
+        try {
+            trace = loadTraceCached(path);
+        } catch (const std::runtime_error &e) {
+            fatal("%s", e.what());
+        }
+        const TraceInfo &info = trace->info();
+
+        // Defaults reproduce the recording run exactly: the recorded
+        // staging plan and seed, unless explicitly overridden.
+        RunLengths recorded;
+        recorded.funcWarm = info.funcWarm;
+        recorded.pipeWarm = info.pipeWarm;
+        recorded.detail = info.detail;
+        RunLengths lengths = stagingLengths(cli, recorded);
+        SimConfig cfg = base_cfg;
+        cfg.seed = info.seed;
+        // The recorded stream cannot be re-seeded, so a conflicting
+        // --seed could only mislabel results (and with --verify would
+        // compare against a differently-seeded execute run — a
+        // guaranteed false mismatch).  Reject it outright.
+        if (cli.has("seed") &&
+            std::uint64_t(cli.integer("seed", 1)) != info.seed)
+            fatal("--seed=%llu conflicts with the seed %llu recorded "
+                  "in '%s'; re-record with the desired seed",
+                  static_cast<unsigned long long>(
+                      cli.integer("seed", 1)),
+                  static_cast<unsigned long long>(info.seed),
+                  path.c_str());
+
+        Metrics replayed =
+            Simulator::runOnce(cfg, traceName(path), lengths);
+        std::vector<std::string> row = {
+            traceLabel(path), info.kernel, Table::num(replayed.ipc, 4),
+            std::to_string(replayed.cycles),
+            Table::num(100.0 * replayed.parkedFrac, 1) + "%"};
+        if (verify) {
+            Metrics executed =
+                Simulator::runOnce(cfg, info.kernel, lengths);
+            bool ok =
+                metricsToJson(replayed) == metricsToJson(executed);
+            row.push_back(ok ? "OK" : "MISMATCH");
+            if (!ok) {
+                failures += 1;
+                std::fprintf(stderr,
+                             "replay mismatch for %s:\n"
+                             "--- replayed ---\n%s\n"
+                             "--- executed ---\n%s\n",
+                             path.c_str(),
+                             metricsToJson(replayed).c_str(),
+                             metricsToJson(executed).c_str());
+            }
+        }
+        t.addRow(std::move(row));
+    }
+    t.print(strprintf("replay of %zu trace(s), config %s%s",
+                      paths.size(), base_cfg.name.c_str(),
+                      verify ? " (verified against execute mode)" : ""));
+    if (failures) {
+        std::fprintf(stderr,
+                     "replay: %d trace(s) diverged from execute mode\n",
+                     failures);
+        return 1;
+    }
+    return 0;
+}
+
 int
 cmdListKernels()
 {
@@ -349,6 +568,9 @@ main(int argc, char **argv)
     // Extract at most one positional argument, applying the same
     // `--key value` consumption rule Cli uses so a bare token after a
     // valueless flag is read as that flag's value, not the positional.
+    // Boolean switches never take a value, so a bare token after one
+    // (e.g. `ltp replay --verify traces/`) stays the positional.
+    const std::set<std::string> boolean_flags = {"--verify", "--paths"};
     std::string positional;
     std::vector<char *> args;
     std::string prog = std::string(argv[0]) + " " + cmd;
@@ -359,7 +581,7 @@ main(int argc, char **argv)
             args.push_back(argv[i]);
             // `--key value`: the next bare token belongs to the flag.
             if (arg.rfind('=') == std::string::npos && arg != "-h" &&
-                i + 1 < argc &&
+                !boolean_flags.count(arg) && i + 1 < argc &&
                 std::string(argv[i + 1]).rfind("--", 0) != 0)
                 args.push_back(argv[++i]);
             continue;
@@ -398,6 +620,20 @@ main(int argc, char **argv)
             fatal("sweep needs a scenario file: ltp sweep "
                   "<scenario.json>");
         return cmdSweep(positional, cli);
+    }
+    if (cmd == "record") {
+        Cli cli(nargs, args.data(),
+                flags({"out", "seed", "threads"}),
+                "ltp record <kernel[,kernel...]|scenario.json|all> "
+                "--out=<dir> — record .lttr micro-op traces");
+        return cmdRecord(positional, cli);
+    }
+    if (cmd == "replay") {
+        Cli cli(nargs, args.data(),
+                flags({"preset", "mode", "set", "seed", "verify"}),
+                "ltp replay <trace.lttr|dir> — replay recorded traces; "
+                "--verify diffs the Metrics against execute mode");
+        return cmdReplay(positional, cli);
     }
     if (cmd == "list-kernels") {
         Cli cli(nargs, args.data(), {},

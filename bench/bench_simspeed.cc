@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Standalone simulator-throughput benchmark: simulated kilo-
+ * instructions per wall-clock second over representative kernels and
+ * scenario sweeps (the same measurement `ltp bench` runs), writing
+ * BENCH_simspeed.json.  Seeds and tracks the perf trajectory the
+ * ROADMAP's "as fast as the hardware allows" goal needs.
+ *
+ *   bench_simspeed [--quick] [--seed=N] [--scenario=file.json ...]
+ *                  [--json=BENCH_simspeed.json]
+ *                  [--baseline=bench/simspeed_baseline.json --check]
+ */
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "sim/experiment.hh"
+#include "sim/report.hh"
+#include "sim/simspeed.hh"
+
+using namespace ltp;
+
+int
+main(int argc, char **argv)
+{
+    Cli cli(argc, argv,
+            {"quick", "seed", "scenario", "json", "baseline", "check",
+             "warm", "pipewarm", "detail"},
+            "bench_simspeed — simulated-kIPS throughput benchmark");
+
+    SimSpeedOptions opts;
+    opts.quick = cli.flag("quick");
+    opts.seed = cli.integer("seed", 1);
+    opts.lengths = stagingLengths(
+        cli, opts.quick ? RunLengths::quick() : RunLengths::bench());
+
+    std::vector<std::string> scenarios = cli.list("scenario");
+    if (scenarios.empty())
+        scenarios.push_back("scenarios/fig6_iq_quick.json");
+    for (const std::string &path : scenarios) {
+        if (!std::filesystem::exists(path))
+            fatal("scenario not found: '%s' (run from the repo root "
+                  "or pass --scenario=<path>)",
+                  path.c_str());
+        opts.scenarios.push_back(path);
+    }
+
+    std::string baseline = cli.str("baseline", "");
+    SimSpeedReport report;
+    try {
+        report = runSimSpeedBench(opts);
+        if (!baseline.empty())
+            report.referenceKips = loadReferenceKips(baseline);
+    } catch (const std::runtime_error &e) {
+        fatal("%s", e.what());
+    }
+
+    Table t({"cell", "config", "sims", "insts", "wall ms", "kIPS"});
+    for (const auto *cells : {&report.kernelCells, &report.scenarioCells})
+        for (const SimSpeedCell &c : *cells)
+            t.addRow({c.label, c.config, std::to_string(c.simulations),
+                      std::to_string(c.detailedInsts),
+                      Table::num(c.wallMs, 1), Table::num(c.kips, 1)});
+    t.print(strprintf("simulator throughput (%s): %.1f kIPS total",
+                      report.quick ? "quick" : "full",
+                      report.totalKips));
+
+    std::string json = cli.str("json", "BENCH_simspeed.json");
+    writeFile(json, report.toJson());
+    std::printf("json written to %s\n", json.c_str());
+
+    if (cli.flag("check")) {
+        if (baseline.empty())
+            fatal("--check needs --baseline=<file>");
+        try {
+            if (!checkSimSpeedBaseline(report, baseline))
+                return 1;
+        } catch (const std::runtime_error &e) {
+            fatal("%s", e.what());
+        }
+    }
+    return 0;
+}

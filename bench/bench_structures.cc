@@ -45,16 +45,15 @@ BM_IqInsertScanRemove(benchmark::State &state)
     IssueQueue iq(capacity);
     auto insts = makeInsts(capacity);
     for (auto _ : state) {
-        Cycle now = 0;
         for (auto &inst : insts) {
             inst.inIq = false;
-            iq.insert(&inst, now);
+            iq.insert(&inst);
         }
         int scanned = 0;
         iq.forEachInOrder([&](DynInst *) { scanned++; });
         benchmark::DoNotOptimize(scanned);
         for (auto &inst : insts)
-            iq.remove(&inst, now);
+            iq.remove(&inst);
     }
     state.SetItemsProcessed(state.iterations() * capacity);
 }
@@ -67,13 +66,13 @@ BM_LtpQueuePushPop(benchmark::State &state)
     LtpQueue q(capacity, capacity, capacity);
     auto insts = makeInsts(capacity);
     for (auto _ : state) {
-        q.beginCycle(0);
+        q.beginCycle();
         for (auto &inst : insts) {
             inst.inLtp = false;
-            q.push(&inst, 0);
+            q.push(&inst);
         }
         while (!q.empty())
-            q.popFront(0);
+            q.popFront();
     }
     state.SetItemsProcessed(state.iterations() * capacity);
 }

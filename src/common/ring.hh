@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Fixed-stride ring buffer for the simulator's hot FIFO structures.
+ *
+ * The cycle kernel used to funnel its per-cycle traffic (fetch queue,
+ * ROB, trace window) through std::deque, whose segmented storage costs
+ * an indirection per access and an allocation every few dozen pushes.
+ * Ring is a power-of-two circular array: push/pop at either end are a
+ * mask and an increment, and operator[] is one indexed load.
+ *
+ * Capacity grows by doubling when exhausted (amortized O(1)), so
+ * "infinite" limit-study structures still work; callers with a known
+ * bound pass it to the constructor so steady state never reallocates.
+ */
+
+#ifndef LTP_COMMON_RING_HH
+#define LTP_COMMON_RING_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace ltp {
+
+/** Power-of-two circular buffer with deque-style ends. */
+template <typename T>
+class Ring
+{
+  public:
+    /** @param capacity_hint expected peak size (rounded up to 2^k). */
+    explicit Ring(std::size_t capacity_hint = 16)
+        : buf_(roundUpPow2(capacity_hint < 2 ? 2 : capacity_hint))
+    {
+    }
+
+    std::size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    std::size_t capacity() const { return buf_.size(); }
+
+    T &front() { return buf_[head_]; }
+    const T &front() const { return buf_[head_]; }
+    T &back() { return buf_[wrap(head_ + count_ - 1)]; }
+    const T &back() const { return buf_[wrap(head_ + count_ - 1)]; }
+
+    /** @p i counts from the front (0 = oldest). */
+    T &operator[](std::size_t i) { return buf_[wrap(head_ + i)]; }
+    const T &operator[](std::size_t i) const
+    {
+        return buf_[wrap(head_ + i)];
+    }
+
+    void
+    push_back(T v)
+    {
+        if (count_ == buf_.size())
+            grow();
+        buf_[wrap(head_ + count_)] = std::move(v);
+        count_ += 1;
+    }
+
+    void
+    push_front(T v)
+    {
+        if (count_ == buf_.size())
+            grow();
+        head_ = wrap(head_ + buf_.size() - 1);
+        buf_[head_] = std::move(v);
+        count_ += 1;
+    }
+
+    void
+    pop_front()
+    {
+        sim_assert(count_ > 0);
+        buf_[head_] = T{}; // drop payload references eagerly
+        head_ = wrap(head_ + 1);
+        count_ -= 1;
+    }
+
+    void
+    pop_back()
+    {
+        sim_assert(count_ > 0);
+        buf_[wrap(head_ + count_ - 1)] = T{};
+        count_ -= 1;
+    }
+
+    void
+    clear()
+    {
+        while (count_ > 0)
+            pop_back();
+        head_ = 0;
+    }
+
+  private:
+    static std::size_t
+    roundUpPow2(std::size_t n)
+    {
+        std::size_t p = 1;
+        while (p < n)
+            p <<= 1;
+        return p;
+    }
+
+    std::size_t wrap(std::size_t i) const { return i & (buf_.size() - 1); }
+
+    void
+    grow()
+    {
+        std::vector<T> bigger(buf_.size() * 2);
+        for (std::size_t i = 0; i < count_; ++i)
+            bigger[i] = std::move(buf_[wrap(head_ + i)]);
+        buf_ = std::move(bigger);
+        head_ = 0;
+    }
+
+    std::vector<T> buf_; ///< size always a power of two
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+};
+
+} // namespace ltp
+
+#endif // LTP_COMMON_RING_HH

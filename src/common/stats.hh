@@ -66,9 +66,18 @@ class Average
 /**
  * Time-weighted occupancy integrator.
  *
- * Call set(level, now) whenever the occupancy changes (or add/sub for
- * deltas); mean(now) returns the per-cycle average over the measured
- * window.  Integration is exact: level * elapsed cycles.
+ * Two usage styles, exactly equivalent when every change within a cycle
+ * happens at the same timestamp:
+ *
+ *  - Timed: call set(level, now) whenever the occupancy changes; each
+ *    call integrates the old level over the elapsed cycles.
+ *  - Sampled: call the untimed set/add/sub mutators freely, and call
+ *    advanceTo(now) once at the start of every cycle *before* any
+ *    mutation (the core hoists this into Core::tick() so structure
+ *    code never threads `now` through its mutators).
+ *
+ * mean(now) returns the per-cycle average over the measured window.
+ * Integration is exact either way: level * elapsed cycles.
  */
 class OccupancyStat
 {
@@ -83,6 +92,21 @@ class OccupancyStat
 
     void add(std::int64_t d, Cycle now) { set(level_ + d, now); }
     void sub(std::int64_t d, Cycle now) { set(level_ - d, now); }
+
+    /// @name Sampled style: untimed mutators + one advanceTo per cycle
+    /// @{
+
+    /**
+     * Integrate the current level up to @p now.  Must run before any
+     * untimed mutation in the cycle @p now (Core::tick() does this for
+     * every core-structure stat in one place).
+     */
+    void advanceTo(Cycle now) { accumulate(now); }
+
+    void set(std::int64_t level) { level_ = level; }
+    void add(std::int64_t d) { level_ += d; }
+    void sub(std::int64_t d) { level_ -= d; }
+    /// @}
 
     std::int64_t level() const { return level_; }
 

@@ -9,8 +9,9 @@ namespace ltp {
 namespace {
 
 /** In-flight instruction pool size: must exceed ROB + front end + SQ
- *  drain backlog by a wide margin so slots are never live on reuse. */
-constexpr std::size_t kPoolSize = 8192;
+ *  drain backlog by a wide margin so slots are never live on reuse.
+ *  Shared with the IQ's seq-indexed ready bitmask (kInstWindow). */
+constexpr std::size_t kPoolSize = kInstWindow;
 
 } // namespace
 
@@ -39,6 +40,7 @@ Core::Core(const CoreConfig &cfg, MemSystem &mem, InstSource &source,
       source_(source),
       oracle_(oracle),
       bpred_(cfg.bpTableBits, cfg.btbEntries),
+      front_queue_(std::size_t(std::min(cfg.fetchQueueCap, 512))),
       ltp_rat_(4 * (std::min(cfg.ltp.entries, cfg.robSize) + cfg.robSize)),
       int_regs_(cfg.intRegs,
                 cfg.ltp.mode != LtpMode::Off ? cfg.ltp.reservedRegs : 0),
@@ -141,7 +143,7 @@ Core::completeInst(DynInst *inst)
     stats_.wbWrites++;
 
     if (inst->dstPhys >= 0) {
-        regs(inst->dstClass()).setReady(inst->dstPhys);
+        wakeDependents(regs(inst->dstClass()), inst->dstPhys);
         stats_.rfWrites++;
     }
 
@@ -181,6 +183,57 @@ Core::writeback()
 }
 
 // ---------------------------------------------------------------------
+// Event-driven scheduling: dependents-list wakeup + ready-list insert
+
+/**
+ * Writeback broadcast for one destination register: mark it ready and
+ * wake exactly the consumers linked on it.  Stale links (squashed and
+ * possibly refetched consumers) are filtered by pool generation; a
+ * consumer whose last outstanding source this was moves onto the IQ
+ * ready list.
+ */
+void
+Core::wakeDependents(PhysRegFile &rf, std::int32_t phys)
+{
+    rf.setReady(phys);
+    for (const RegDependent &d : rf.dependents(phys)) {
+        DynInst *consumer = d.inst;
+        if (pool_gen_[consumer->seq % kPoolSize] != d.gen ||
+            !consumer->inIq)
+            continue;
+        sim_assert(consumer->pendingSrcs > 0);
+        consumer->pendingSrcs -= 1;
+        if (consumer->pendingSrcs == 0)
+            iq_.markReady(consumer);
+    }
+    rf.clearDependents(phys);
+}
+
+/**
+ * IQ insert with wakeup subscription: count the not-yet-ready physical
+ * sources and link this instruction onto each one's dependents list.
+ * An instruction arriving with every source ready goes straight onto
+ * the ready list.
+ */
+void
+Core::enqueueIq(DynInst *inst, bool emergency)
+{
+    iq_.insert(inst, emergency);
+    int pending = 0;
+    for (const auto &src : inst->srcs) {
+        sim_assert(!src.isLtp()); // resolved before dispatch, always
+        if (src.isPhys() && !regs(src.cls).ready(src.phys)) {
+            regs(src.cls).addDependent(
+                src.phys, inst, pool_gen_[inst->seq % kPoolSize]);
+            pending += 1;
+        }
+    }
+    inst->pendingSrcs = pending;
+    if (pending == 0)
+        iq_.markReady(inst);
+}
+
+// ---------------------------------------------------------------------
 // Commit
 
 void
@@ -208,12 +261,12 @@ Core::commit()
         // Free the previous mapping of the destination register.
         switch (head->prevMap.kind) {
           case PrevMapping::Kind::Phys:
-            regs(head->dstClass()).release(head->prevMap.idx, now_);
+            regs(head->dstClass()).release(head->prevMap.idx);
             break;
           case PrevMapping::Kind::Ltp: {
             std::int32_t phys = ltp_rat_.lookup(head->prevMap.idx);
             sim_assert(phys >= 0);
-            regs(head->dstClass()).release(phys, now_);
+            regs(head->dstClass()).release(phys);
             ltp_rat_.release(head->prevMap.idx);
             break;
           }
@@ -236,10 +289,10 @@ Core::commit()
         }
 
         if (head->op.isLoad() && head->inLq)
-            lsq_.removeLoad(head, now_);
+            lsq_.removeLoad(head);
 
         head->committed = true;
-        rob_.popHead(now_);
+        rob_.popHead();
         stats_.committed++;
         source_.retire(head->seq);
     }
@@ -290,8 +343,7 @@ Core::tryUnpark(DynInst *inst, bool forced)
     if (inst->hasDst()) {
         dst = regs(inst->dstClass())
                   .allocate(forced ? AllocPriority::Forced
-                                   : AllocPriority::Unpark,
-                            now_);
+                                   : AllocPriority::Unpark);
         if (dst < 0)
             return false;
     }
@@ -302,7 +354,7 @@ Core::tryUnpark(DynInst *inst, bool forced)
     if ((need_lq && !lsq_.lqHasSpace(true)) ||
         (need_sq && !lsq_.sqHasSpace(true))) {
         if (dst >= 0)
-            regs(inst->dstClass()).release(dst, now_);
+            regs(inst->dstClass()).release(dst);
         return false;
     }
 
@@ -327,13 +379,13 @@ Core::tryUnpark(DynInst *inst, bool forced)
             e.parked = false;
     }
     if (need_lq)
-        lsq_.insertLoad(inst, now_);
+        lsq_.insertLoad(inst);
     if (need_sq) {
         lsq_.removeShadowStore(inst);
-        lsq_.insertStore(inst, now_);
+        lsq_.insertStore(inst);
     }
 
-    iq_.insert(inst, now_, forced && !iq_.hasSpace());
+    enqueueIq(inst, forced && !iq_.hasSpace());
     inst->earliestIssue = now_ + 1;
     inst->unparkCycle = now_;
     stats_.unparked++;
@@ -352,7 +404,7 @@ Core::ltpWakeup()
     if (head && head->inLtp) {
         sim_assert(ltp_.front() == head);
         if (ltp_.canExtract() && tryUnpark(head, /*forced=*/true)) {
-            ltp_.popFront(now_);
+            ltp_.popFront();
             stats_.forcedUnparks++;
         }
     }
@@ -363,7 +415,7 @@ Core::ltpWakeup()
     if (rename_pressure_ && !ltp_.empty() && ltp_.canExtract()) {
         DynInst *front = ltp_.front();
         if (tryUnpark(front, /*forced=*/false)) {
-            ltp_.popFront(now_);
+            ltp_.popFront();
             stats_.pressureUnparks++;
         }
     }
@@ -382,7 +434,7 @@ Core::ltpWakeup()
                 break;
             if (!tryUnpark(front, false))
                 break;
-            ltp_.popFront(now_);
+            ltp_.popFront();
             stats_.boundaryUnparks++;
         }
         return;
@@ -417,7 +469,7 @@ Core::ltpWakeup()
         if (!ltp_.canExtract())
             break;
         if (tryUnpark(inst, false)) {
-            ltp_.remove(inst, now_);
+            ltp_.remove(inst);
             if (!tickets_.liveSubset(inst->tickets).any() &&
                 inst->nonReady)
                 stats_.ticketUnparks++;
@@ -637,8 +689,7 @@ Core::renameOne(DynInst *inst)
             e.parked = true;
         } else {
             inst->dstPhys =
-                regs(inst->dstClass()).allocate(AllocPriority::Rename,
-                                                now_);
+                regs(inst->dstClass()).allocate(AllocPriority::Rename);
             sim_assert(inst->dstPhys >= 0);
             e.map = PrevMapping{PrevMapping::Kind::Phys, inst->dstPhys};
             e.parked = false;
@@ -647,20 +698,20 @@ Core::renameOne(DynInst *inst)
         e.tickets = dst_tickets;
     }
 
-    rob_.push(inst, now_);
+    rob_.push(inst);
     if (need_lq)
-        lsq_.insertLoad(inst, now_);
+        lsq_.insertLoad(inst);
     if (need_sq)
-        lsq_.insertStore(inst, now_);
+        lsq_.insertStore(inst);
     if (park && delay && op.isStore())
         lsq_.addShadowStore(inst);
 
     if (park) {
-        ltp_.push(inst, now_);
+        ltp_.push(inst);
         inst->parked = true;
         stats_.parked++;
     } else {
-        iq_.insert(inst, now_);
+        enqueueIq(inst, false);
     }
 
     if (inst->predictedLL)
@@ -703,8 +754,7 @@ Core::srcsReady(const DynInst *inst) const
         if (src.isLtp())
             panic("unresolved LTP source in the IQ (seq %llu)",
                   static_cast<unsigned long long>(inst->seq));
-        if (src.isPhys() &&
-            !const_cast<Core *>(this)->regs(src.cls).ready(src.phys))
+        if (src.isPhys() && !regs(src.cls).ready(src.phys))
             return false;
     }
     return true;
@@ -763,15 +813,16 @@ Core::execute()
             executeLoad(inst, now_);
     }
 
+    // Select walks only the ready list (oldest first) — readiness was
+    // established by the dependents-list wakeup at writeback, so the
+    // per-cycle srcsReady poll over the whole window is gone.
     int budget = cfg_.issueWidth;
     scratch_select_.clear();
     auto &selected = scratch_select_;
-    iq_.forEachInOrder([&](DynInst *inst) {
+    iq_.forEachReady([&](DynInst *inst) {
         if (budget <= 0)
             return;
         if (inst->earliestIssue > now_)
-            return;
-        if (!srcsReady(inst))
             return;
         if (!fu_.canIssue(inst->op.opc, now_))
             return;
@@ -781,7 +832,7 @@ Core::execute()
     });
 
     for (DynInst *inst : selected) {
-        iq_.remove(inst, now_);
+        iq_.remove(inst);
         inst->issued = true;
         inst->issueCycle = now_;
         stats_.iqIssued++;
@@ -821,7 +872,7 @@ Core::drainStores()
         auto res = mem_.access(st->op.pc, st->op.effAddr, true, now_);
         if (!res)
             break; // MSHRs full: retry next cycle
-        lsq_.removeStore(st, now_);
+        lsq_.removeStore(st);
     }
 }
 
@@ -879,7 +930,7 @@ Core::squashAfter(SeqNum keep)
 {
     stats_.squashes++;
 
-    rob_.squashYoungerThan(keep, now_, [&](DynInst *inst) {
+    rob_.squashYoungerThan(keep, [&](DynInst *inst) {
         if (inst->hasDst()) {
             RatEntry &e = rat_[inst->op.dst];
             e.map = inst->prevMap;
@@ -887,7 +938,7 @@ Core::squashAfter(SeqNum keep)
             e.parked = inst->prevParkedBit;
             e.tickets = inst->prevTickets;
             if (inst->dstPhys >= 0)
-                regs(inst->dstClass()).release(inst->dstPhys, now_);
+                regs(inst->dstClass()).release(inst->dstPhys);
             if (inst->ltpId >= 0)
                 ltp_rat_.release(inst->ltpId);
         }
@@ -899,9 +950,9 @@ Core::squashAfter(SeqNum keep)
         inst->squashed = true;
     });
 
-    iq_.squashYoungerThan(keep, now_);
-    lsq_.squashYoungerThan(keep, now_);
-    ltp_.squashYoungerThan(keep, now_);
+    iq_.squashYoungerThan(keep);
+    lsq_.squashYoungerThan(keep);
+    ltp_.squashYoungerThan(keep);
 
     while (!front_queue_.empty() &&
            front_queue_.back().inst->seq > keep) {
@@ -925,8 +976,9 @@ void
 Core::tick()
 {
     now_ += 1;
+    advanceOccupancyStats();
     fu_.beginCycle();
-    ltp_.beginCycle(now_);
+    ltp_.beginCycle();
 
     processTicketEvents();
     writeback();
@@ -972,6 +1024,27 @@ Core::drain()
             panic("drain did not converge");
     }
     fetch_enabled_ = true;
+}
+
+/**
+ * The one place per-cycle occupancy sampling happens: integrate every
+ * core-structure occupancy stat up to the new cycle *before* any stage
+ * mutates a level.  Structure mutators are untimed — they no longer
+ * thread `now` through every call (see OccupancyStat's sampled style).
+ */
+void
+Core::advanceOccupancyStats()
+{
+    iq_.occupancy.advanceTo(now_);
+    rob_.occupancy.advanceTo(now_);
+    lsq_.lqOccupancy.advanceTo(now_);
+    lsq_.sqOccupancy.advanceTo(now_);
+    ltp_.occupancy.advanceTo(now_);
+    ltp_.parkedWithDest.advanceTo(now_);
+    ltp_.parkedLoads.advanceTo(now_);
+    ltp_.parkedStores.advanceTo(now_);
+    int_regs_.occupancy.advanceTo(now_);
+    fp_regs_.occupancy.advanceTo(now_);
 }
 
 void

@@ -27,6 +27,7 @@
 #include <set>
 #include <vector>
 
+#include "common/ring.hh"
 #include "common/stats.hh"
 #include "cpu/branch_pred.hh"
 #include "cpu/dyn_inst.hh"
@@ -190,6 +191,14 @@ class Core
     /** Inspect the rename table (tests, classification inspector). */
     const RatEntry &ratEntry(RegId r) const { return rat_[r]; }
 
+    /**
+     * Brute-force source-readiness scan.  The scheduler no longer polls
+     * this per cycle — wakeup is event-driven via the register
+     * dependents lists — but it remains the reference predicate the
+     * property tests validate the ready list against.
+     */
+    bool srcsReady(const DynInst *inst) const;
+
     Cycle cycle() const { return now_; }
     std::uint64_t committedInsts() const { return stats_.committed.value(); }
 
@@ -209,6 +218,10 @@ class Core
     LtpMonitor &monitor() { return monitor_; }
     BranchPredictor &branchPred() { return bpred_; }
     PhysRegFile &regs(RegClass cls)
+    {
+        return cls == RegClass::Int ? int_regs_ : fp_regs_;
+    }
+    const PhysRegFile &regs(RegClass cls) const
     {
         return cls == RegClass::Int ? int_regs_ : fp_regs_;
     }
@@ -243,8 +256,10 @@ class Core
 
     bool renameOne(DynInst *inst);
     SrcRef readSrc(RegId reg) const;
-    bool srcsReady(const DynInst *inst) const;
     bool tryUnpark(DynInst *inst, bool forced);
+    void enqueueIq(DynInst *inst, bool emergency);
+    void wakeDependents(PhysRegFile &rf, std::int32_t phys);
+    void advanceOccupancyStats();
     SeqNum nuWakeupBoundary() const;
     void executeLoad(DynInst *inst, Cycle now);
     void scheduleCompletion(DynInst *inst, Cycle when);
@@ -268,7 +283,7 @@ class Core
         DynInst *inst;
         Cycle readyAt;
     };
-    std::deque<FrontEntry> front_queue_;
+    Ring<FrontEntry> front_queue_;
     SeqNum next_fetch_seq_ = 0;
     SeqNum fetch_blocked_on_ = kSeqNone; ///< unresolved mispredict
     Cycle fetch_resume_at_ = 0;

@@ -26,6 +26,14 @@
 namespace ltp {
 
 /**
+ * In-flight sequence-number window: live instructions always span less
+ * than this many sequence numbers (the core's instruction pool is this
+ * size and asserts slots are dead on reuse), so seq % kInstWindow is a
+ * collision-free index for per-inflight-instruction bitmasks.
+ */
+inline constexpr std::size_t kInstWindow = 8192;
+
+/**
  * A renamed source operand.  Exactly one of three states:
  *  - none:   no register source (slot unused)
  *  - phys:   resolved physical register
@@ -93,6 +101,15 @@ struct DynInst
     bool inIq = false;
     bool inLq = false;
     bool inSq = false;
+    /// @}
+
+    /// @name Scheduler linkage (event-driven IQ)
+    /// @{
+    DynInst *iqPrev = nullptr;    ///< seq-ordered IQ list
+    DynInst *iqNext = nullptr;
+    DynInst *readyPrev = nullptr; ///< seq-ordered ready list
+    DynInst *readyNext = nullptr;
+    int pendingSrcs = 0; ///< physical sources not yet ready
     /// @}
 
     /// @name Status

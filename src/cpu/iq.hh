@@ -1,10 +1,20 @@
 /**
  * @file
- * Issue Queue: out-of-order scheduling window.
+ * Issue Queue: out-of-order scheduling window, event-driven.
  *
  * Entries are allocated at dispatch and freed at issue (Figure 4) —
  * this early deallocation is why Non-Ready instructions waiting on
  * misses are what actually fills the IQ, the observation LTP builds on.
+ *
+ * Structure: entries live on an intrusive doubly-linked list kept in
+ * sequence order (DynInst::iqPrev/iqNext), so insert is O(1) amortized
+ * — dispatch arrives in program order and appends at the tail; only a
+ * late unpark walks backwards.  Ready entries additionally sit on a
+ * second seq-ordered intrusive list (readyPrev/readyNext) mirrored by a
+ * seq-indexed ready bitmask.  Wakeup (the core's dependents-list walk)
+ * calls markReady() exactly once per instruction when its last source
+ * turns ready; select then pops oldest-ready directly off the ready
+ * list instead of polling every entry's scoreboard bits each cycle.
  *
  * Select policy: oldest-first among ready entries, bounded by issue
  * width and functional-unit availability (checked by the core via the
@@ -16,6 +26,7 @@
 #ifndef LTP_CPU_IQ_HH
 #define LTP_CPU_IQ_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "common/stats.hh"
@@ -27,78 +38,191 @@ namespace ltp {
 class IssueQueue
 {
   public:
-    explicit IssueQueue(int capacity) : capacity_(capacity) {}
+    explicit IssueQueue(int capacity)
+        : capacity_(capacity), ready_bits_(kInstWindow / 64, 0)
+    {
+    }
 
     /** Space for a normal dispatch? */
-    bool hasSpace() const { return size() < capacity_; }
+    bool hasSpace() const { return size_ < capacity_; }
 
     /** Space for a forced unpark (may use the emergency slot)? */
-    bool hasEmergencySpace() const { return size() < capacity_ + 1; }
+    bool hasEmergencySpace() const { return size_ < capacity_ + 1; }
 
-    int size() const { return static_cast<int>(entries_.size()); }
+    int size() const { return size_; }
     int capacity() const { return capacity_; }
-    bool empty() const { return entries_.empty(); }
+    bool empty() const { return size_ == 0; }
 
     /** Insert in sequence order (unparked entries arrive "late"). */
     void
-    insert(DynInst *inst, Cycle now, bool emergency = false)
+    insert(DynInst *inst, bool emergency = false)
     {
         sim_assert(emergency ? hasEmergencySpace() : hasSpace());
         sim_assert(!inst->inIq);
-        auto it = entries_.end();
-        while (it != entries_.begin() && (*(it - 1))->seq > inst->seq)
-            --it;
-        entries_.insert(it, inst);
+        DynInst *after = tail_;
+        while (after && after->seq > inst->seq)
+            after = after->iqPrev;
+        linkAfter(inst, after);
         inst->inIq = true;
+        size_ += 1;
         inserts++;
-        occupancy.add(1, now);
+        occupancy.add(1);
+    }
+
+    /**
+     * The wakeup notification: @p inst's last outstanding source turned
+     * ready.  Must fire exactly once per residency — waking an entry
+     * twice is a scheduling bug, caught by the bitmask assert.
+     */
+    void
+    markReady(DynInst *inst)
+    {
+        sim_assert(inst->inIq);
+        sim_assert(!testReadyBit(inst->seq));
+        setReadyBit(inst->seq);
+        DynInst *after = ready_tail_;
+        while (after && after->seq > inst->seq)
+            after = after->readyPrev;
+        linkReadyAfter(inst, after);
+    }
+
+    /** Is @p inst on the ready list? */
+    bool
+    isReady(const DynInst *inst) const
+    {
+        return inst->inIq && testReadyBit(inst->seq);
     }
 
     /** Remove at issue (frees the entry, per Figure 4). */
     void
-    remove(DynInst *inst, Cycle now)
+    remove(DynInst *inst)
     {
-        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-            if (*it == inst) {
-                entries_.erase(it);
-                inst->inIq = false;
-                occupancy.sub(1, now);
-                return;
-            }
+        sim_assert(inst->inIq);
+        unlink(inst);
+        if (testReadyBit(inst->seq)) {
+            clearReadyBit(inst->seq);
+            unlinkReady(inst);
         }
-        panic("IQ remove: instruction not present");
+        inst->inIq = false;
+        size_ -= 1;
+        occupancy.sub(1);
     }
 
-    /** Visit entries oldest-first (select scan). */
+    /** Visit all entries oldest-first (validation, introspection). */
     template <typename Fn>
     void
     forEachInOrder(Fn &&fn) const
     {
-        for (DynInst *inst : entries_)
+        for (DynInst *inst = head_; inst; inst = inst->iqNext)
+            fn(inst);
+    }
+
+    /** Visit ready entries oldest-first (the select scan). */
+    template <typename Fn>
+    void
+    forEachReady(Fn &&fn) const
+    {
+        for (DynInst *inst = ready_head_; inst; inst = inst->readyNext)
             fn(inst);
     }
 
     void
-    squashYoungerThan(SeqNum keep, Cycle now)
+    squashYoungerThan(SeqNum keep)
     {
-        std::size_t kept = 0;
-        for (DynInst *inst : entries_) {
-            if (inst->seq <= keep) {
-                entries_[kept++] = inst;
-            } else {
-                inst->inIq = false;
-                occupancy.sub(1, now);
-            }
-        }
-        entries_.resize(kept);
+        while (tail_ && tail_->seq > keep)
+            remove(tail_);
     }
 
     Counter inserts;
     OccupancyStat occupancy;
 
   private:
+    void
+    linkAfter(DynInst *inst, DynInst *after)
+    {
+        inst->iqPrev = after;
+        inst->iqNext = after ? after->iqNext : head_;
+        if (inst->iqNext)
+            inst->iqNext->iqPrev = inst;
+        else
+            tail_ = inst;
+        if (after)
+            after->iqNext = inst;
+        else
+            head_ = inst;
+    }
+
+    void
+    unlink(DynInst *inst)
+    {
+        if (inst->iqPrev)
+            inst->iqPrev->iqNext = inst->iqNext;
+        else
+            head_ = inst->iqNext;
+        if (inst->iqNext)
+            inst->iqNext->iqPrev = inst->iqPrev;
+        else
+            tail_ = inst->iqPrev;
+        inst->iqPrev = inst->iqNext = nullptr;
+    }
+
+    void
+    linkReadyAfter(DynInst *inst, DynInst *after)
+    {
+        inst->readyPrev = after;
+        inst->readyNext = after ? after->readyNext : ready_head_;
+        if (inst->readyNext)
+            inst->readyNext->readyPrev = inst;
+        else
+            ready_tail_ = inst;
+        if (after)
+            after->readyNext = inst;
+        else
+            ready_head_ = inst;
+    }
+
+    void
+    unlinkReady(DynInst *inst)
+    {
+        if (inst->readyPrev)
+            inst->readyPrev->readyNext = inst->readyNext;
+        else
+            ready_head_ = inst->readyNext;
+        if (inst->readyNext)
+            inst->readyNext->readyPrev = inst->readyPrev;
+        else
+            ready_tail_ = inst->readyPrev;
+        inst->readyPrev = inst->readyNext = nullptr;
+    }
+
+    // The bitmask is indexed by seq modulo the in-flight window; the
+    // instruction pool guarantees live sequence numbers never collide
+    // within kInstWindow slots.
+    std::size_t bitWord(SeqNum seq) const
+    {
+        return (seq & (kInstWindow - 1)) >> 6;
+    }
+    std::uint64_t bitMask(SeqNum seq) const
+    {
+        return std::uint64_t(1) << (seq & 63);
+    }
+    bool testReadyBit(SeqNum seq) const
+    {
+        return ready_bits_[bitWord(seq)] & bitMask(seq);
+    }
+    void setReadyBit(SeqNum seq) { ready_bits_[bitWord(seq)] |= bitMask(seq); }
+    void clearReadyBit(SeqNum seq)
+    {
+        ready_bits_[bitWord(seq)] &= ~bitMask(seq);
+    }
+
     int capacity_;
-    std::vector<DynInst *> entries_; ///< sorted by seq
+    int size_ = 0;
+    DynInst *head_ = nullptr; ///< oldest entry
+    DynInst *tail_ = nullptr; ///< youngest entry
+    DynInst *ready_head_ = nullptr; ///< oldest ready entry
+    DynInst *ready_tail_ = nullptr; ///< youngest ready entry
+    std::vector<std::uint64_t> ready_bits_; ///< seq-indexed ready mask
 };
 
 } // namespace ltp

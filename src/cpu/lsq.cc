@@ -54,39 +54,39 @@ Lsq::sqHasSpace(bool from_reserve) const
 }
 
 void
-Lsq::insertLoad(DynInst *inst, Cycle now)
+Lsq::insertLoad(DynInst *inst)
 {
     sim_assert(!inst->inLq);
     insertSorted(lq_, inst);
     inst->inLq = true;
-    lqOccupancy.add(1, now);
+    lqOccupancy.add(1);
 }
 
 void
-Lsq::insertStore(DynInst *inst, Cycle now)
+Lsq::insertStore(DynInst *inst)
 {
     sim_assert(!inst->inSq);
     insertSorted(sq_, inst);
     inst->inSq = true;
-    sqOccupancy.add(1, now);
+    sqOccupancy.add(1);
 }
 
 void
-Lsq::removeLoad(DynInst *inst, Cycle now)
+Lsq::removeLoad(DynInst *inst)
 {
     sim_assert(inst->inLq);
     eraseFrom(lq_, inst, "LQ remove");
     inst->inLq = false;
-    lqOccupancy.sub(1, now);
+    lqOccupancy.sub(1);
 }
 
 void
-Lsq::removeStore(DynInst *inst, Cycle now)
+Lsq::removeStore(DynInst *inst)
 {
     sim_assert(inst->inSq);
     eraseFrom(sq_, inst, "SQ remove");
     inst->inSq = false;
-    sqOccupancy.sub(1, now);
+    sqOccupancy.sub(1);
 }
 
 DynInst *
@@ -146,17 +146,17 @@ Lsq::collectLoadsWaitingOn(SeqNum store_seq,
 }
 
 void
-Lsq::squashYoungerThan(SeqNum keep, Cycle now)
+Lsq::squashYoungerThan(SeqNum keep)
 {
     while (!lq_.empty() && lq_.back()->seq > keep) {
         lq_.back()->inLq = false;
         lq_.pop_back();
-        lqOccupancy.sub(1, now);
+        lqOccupancy.sub(1);
     }
     while (!sq_.empty() && sq_.back()->seq > keep) {
         sq_.back()->inSq = false;
         sq_.pop_back();
-        sqOccupancy.sub(1, now);
+        sqOccupancy.sub(1);
     }
     while (!shadow_stores_.empty() && shadow_stores_.back()->seq > keep)
         shadow_stores_.pop_back();

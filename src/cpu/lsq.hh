@@ -40,14 +40,14 @@ class Lsq
     bool sqHasSpace(bool from_reserve) const;
     /// @}
 
-    void insertLoad(DynInst *inst, Cycle now);
-    void insertStore(DynInst *inst, Cycle now);
+    void insertLoad(DynInst *inst);
+    void insertStore(DynInst *inst);
 
     /** Free the LQ entry at commit. */
-    void removeLoad(DynInst *inst, Cycle now);
+    void removeLoad(DynInst *inst);
 
     /** Free the SQ entry after the post-commit drain. */
-    void removeStore(DynInst *inst, Cycle now);
+    void removeStore(DynInst *inst);
 
     /** Oldest committed store still occupying the SQ, or nullptr. */
     DynInst *oldestDrainableStore() const;
@@ -67,7 +67,7 @@ class Lsq
     void collectLoadsWaitingOn(SeqNum store_seq,
                                std::vector<DynInst *> &out) const;
 
-    void squashYoungerThan(SeqNum keep, Cycle now);
+    void squashYoungerThan(SeqNum keep);
 
     int lqSize() const { return static_cast<int>(lq_.size()); }
     int sqSize() const { return static_cast<int>(sq_.size()); }

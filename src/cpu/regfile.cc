@@ -30,7 +30,7 @@ PhysRegFile::freeFor(AllocPriority prio) const
 }
 
 std::int32_t
-PhysRegFile::allocate(AllocPriority prio, Cycle now)
+PhysRegFile::allocate(AllocPriority prio)
 {
     if (freeFor(prio) <= 0)
         return -1;
@@ -38,7 +38,8 @@ PhysRegFile::allocate(AllocPriority prio, Cycle now)
     free_list_.pop_back();
     free_count_ -= 1;
     ready_[phys] = false;
-    occupancy.set(allocatedCount(), now);
+    clearDependents(phys); // stale squashed consumers, if any
+    occupancy.set(allocatedCount());
     allocations++;
     if (prio != AllocPriority::Rename)
         reserveAllocations++;
@@ -46,14 +47,14 @@ PhysRegFile::allocate(AllocPriority prio, Cycle now)
 }
 
 void
-PhysRegFile::release(std::int32_t phys, Cycle now)
+PhysRegFile::release(std::int32_t phys)
 {
     sim_assert(phys >= 0 && phys < capacity_);
     sim_assert(free_count_ < capacity_);
     free_list_.push_back(phys);
     free_count_ += 1;
     ready_[phys] = false;
-    occupancy.set(allocatedCount(), now);
+    occupancy.set(allocatedCount());
 }
 
 void

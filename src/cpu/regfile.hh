@@ -1,12 +1,20 @@
 /**
  * @file
- * Physical register file: per-class free lists, ready scoreboard, and
- * the LTP register reserve.
+ * Physical register file: per-class free lists, ready scoreboard, the
+ * LTP register reserve, and the event-driven wakeup dependents lists.
  *
  * Table 1 footnote semantics: the configured size is the number of
  * *available* (renameable) registers; the architectural base copies are
  * implicit.  The free list therefore starts with exactly `size`
  * entries.
+ *
+ * Wakeup: instead of the scheduler polling every waiting instruction's
+ * ready bits each cycle, each physical register carries a list of the
+ * consumers waiting on it.  Writeback marks the register ready and the
+ * core walks exactly that list (dependency-linked wakeup).  Entries are
+ * (instruction, pool generation) pairs: squashed consumers are never
+ * unlinked eagerly, they are filtered by generation when the register
+ * finally becomes ready — and cleared wholesale when it is reallocated.
  *
  * Deadlock avoidance (Section 5.4): a configurable number of registers
  * is reserved for instructions leaving the LTP — normal rename may not
@@ -25,6 +33,8 @@
 
 namespace ltp {
 
+struct DynInst;
+
 /**
  * Allocation priority levels (Section 5.4 deadlock avoidance):
  *  - Rename: normal front-end rename; may not dip into the reserve.
@@ -34,6 +44,13 @@ namespace ltp {
  *    last free register, guaranteeing forward progress.
  */
 enum class AllocPriority { Rename, Unpark, Forced };
+
+/** One consumer waiting in the scheduler for a register to turn ready. */
+struct RegDependent
+{
+    DynInst *inst;
+    std::uint64_t gen; ///< instruction-pool generation (stale guard)
+};
 
 /** One register class's physical file. */
 class PhysRegFile
@@ -49,16 +66,45 @@ class PhysRegFile
     int freeFor(AllocPriority prio) const;
 
     /**
-     * Allocate a register at the given priority.
+     * Allocate a register at the given priority.  Clears the ready bit
+     * and any stale dependents left by squashed consumers.
      * @return physical index, or -1 if none available to this path.
      */
-    std::int32_t allocate(AllocPriority prio, Cycle now);
+    std::int32_t allocate(AllocPriority prio);
 
     /** Return a register to the free list. */
-    void release(std::int32_t phys, Cycle now);
+    void release(std::int32_t phys);
 
     bool ready(std::int32_t phys) const { return ready_[phys]; }
     void setReady(std::int32_t phys) { ready_[phys] = true; }
+
+    /** Link a waiting consumer onto @p phys (event-driven wakeup). */
+    void
+    addDependent(std::int32_t phys, DynInst *inst, std::uint64_t gen)
+    {
+        depsSlot(phys).push_back(RegDependent{inst, gen});
+    }
+
+    /**
+     * The consumers registered on @p phys.  The caller (writeback)
+     * walks the list and then calls clearDependents(); the walk never
+     * re-registers on the same register, so iteration is safe.
+     */
+    const std::vector<RegDependent> &
+    dependents(std::int32_t phys) const
+    {
+        static const std::vector<RegDependent> kNone;
+        return std::size_t(phys) < dependents_.size()
+                   ? dependents_[phys]
+                   : kNone;
+    }
+
+    void
+    clearDependents(std::int32_t phys)
+    {
+        if (std::size_t(phys) < dependents_.size())
+            dependents_[phys].clear();
+    }
 
     int capacity() const { return capacity_; }
     int allocatedCount() const { return capacity_ - free_count_; }
@@ -72,11 +118,27 @@ class PhysRegFile
     void resetStats(Cycle now);
 
   private:
+    /**
+     * Dependents slot for @p phys, grown on demand.  The free list
+     * hands out low indices first, so even an "infinite" limit-study
+     * file (kInfiniteSize) only ever touches a dense prefix bounded by
+     * peak concurrent allocations — sizing eagerly to capacity would
+     * memset megabytes per Simulator construction.
+     */
+    std::vector<RegDependent> &
+    depsSlot(std::int32_t phys)
+    {
+        if (std::size_t(phys) >= dependents_.size())
+            dependents_.resize(std::size_t(phys) + 1);
+        return dependents_[phys];
+    }
+
     int capacity_;
     int reserve_;
     int free_count_;
     std::vector<std::int32_t> free_list_;
     std::vector<bool> ready_;
+    std::vector<std::vector<RegDependent>> dependents_;
 };
 
 } // namespace ltp

@@ -6,13 +6,17 @@
  * is guaranteed, Section 3), so the ROB bounds the total of IQ + LTP +
  * executing instructions.  The paper never scales the ROB (256 across
  * all experiments).
+ *
+ * Backed by a ring buffer: push/pop at both ends are index arithmetic,
+ * no per-segment allocation (this is per-instruction hot-path work).
  */
 
 #ifndef LTP_CPU_ROB_HH
 #define LTP_CPU_ROB_HH
 
-#include <deque>
+#include <algorithm>
 
+#include "common/ring.hh"
 #include "common/stats.hh"
 #include "cpu/dyn_inst.hh"
 
@@ -22,7 +26,11 @@ namespace ltp {
 class Rob
 {
   public:
-    explicit Rob(int capacity) : capacity_(capacity) {}
+    explicit Rob(int capacity)
+        : capacity_(capacity),
+          entries_(std::size_t(std::min(capacity, 512)))
+    {
+    }
 
     bool full() const { return size() >= capacity_; }
     bool empty() const { return entries_.empty(); }
@@ -33,43 +41,39 @@ class Rob
     DynInst *tail() const { return entries_.empty() ? nullptr : entries_.back(); }
 
     void
-    push(DynInst *inst, Cycle now)
+    push(DynInst *inst)
     {
         sim_assert(!full());
         sim_assert(entries_.empty() || entries_.back()->seq < inst->seq);
         entries_.push_back(inst);
-        occupancy.add(1, now);
+        occupancy.add(1);
     }
 
     void
-    popHead(Cycle now)
+    popHead()
     {
         sim_assert(!entries_.empty());
         entries_.pop_front();
-        occupancy.sub(1, now);
+        occupancy.sub(1);
     }
 
     /** Squash support: visit tail..head while seq > keep, then drop. */
     template <typename Fn>
     void
-    squashYoungerThan(SeqNum keep, Cycle now, Fn &&undo)
+    squashYoungerThan(SeqNum keep, Fn &&undo)
     {
         while (!entries_.empty() && entries_.back()->seq > keep) {
             undo(entries_.back());
             entries_.pop_back();
-            occupancy.sub(1, now);
+            occupancy.sub(1);
         }
     }
-
-    /** Iterate oldest-first. */
-    auto begin() const { return entries_.begin(); }
-    auto end() const { return entries_.end(); }
 
     OccupancyStat occupancy;
 
   private:
     int capacity_;
-    std::deque<DynInst *> entries_;
+    Ring<DynInst *> entries_;
 };
 
 } // namespace ltp

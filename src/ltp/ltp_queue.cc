@@ -15,9 +15,8 @@ LtpQueue::LtpQueue(int entries, int insert_ports, int extract_ports)
 }
 
 void
-LtpQueue::beginCycle(Cycle now)
+LtpQueue::beginCycle()
 {
-    (void)now;
     inserts_left_ = insert_ports_;
     extracts_left_ = extract_ports_;
 }
@@ -29,7 +28,7 @@ LtpQueue::canInsert() const
 }
 
 void
-LtpQueue::push(DynInst *inst, Cycle now)
+LtpQueue::push(DynInst *inst)
 {
     sim_assert(canInsert());
     sim_assert(entries_.empty() || entries_.back()->seq < inst->seq);
@@ -37,13 +36,13 @@ LtpQueue::push(DynInst *inst, Cycle now)
     entries_.push_back(inst);
     inst->inLtp = true;
     pushes++;
-    occupancy.add(1, now);
+    occupancy.add(1);
     if (inst->hasDst())
-        parkedWithDest.add(1, now);
+        parkedWithDest.add(1);
     if (inst->op.isLoad())
-        parkedLoads.add(1, now);
+        parkedLoads.add(1);
     if (inst->op.isStore())
-        parkedStores.add(1, now);
+        parkedStores.add(1);
 }
 
 bool
@@ -59,47 +58,47 @@ LtpQueue::front() const
 }
 
 void
-LtpQueue::accountRemove(DynInst *inst, Cycle now)
+LtpQueue::accountRemove(DynInst *inst)
 {
     inst->inLtp = false;
-    occupancy.sub(1, now);
+    occupancy.sub(1);
     if (inst->hasDst())
-        parkedWithDest.sub(1, now);
+        parkedWithDest.sub(1);
     if (inst->op.isLoad())
-        parkedLoads.sub(1, now);
+        parkedLoads.sub(1);
     if (inst->op.isStore())
-        parkedStores.sub(1, now);
+        parkedStores.sub(1);
 }
 
 void
-LtpQueue::popFront(Cycle now)
+LtpQueue::popFront()
 {
     sim_assert(!entries_.empty() && extracts_left_ > 0);
     extracts_left_ -= 1;
     DynInst *inst = entries_.front();
     entries_.pop_front();
-    accountRemove(inst, now);
+    accountRemove(inst);
     pops++;
 }
 
 void
-LtpQueue::remove(DynInst *inst, Cycle now)
+LtpQueue::remove(DynInst *inst)
 {
     sim_assert(extracts_left_ > 0);
     auto it = std::find(entries_.begin(), entries_.end(), inst);
     sim_assert(it != entries_.end());
     extracts_left_ -= 1;
     entries_.erase(it);
-    accountRemove(inst, now);
+    accountRemove(inst);
     pops++;
     camExtractions++;
 }
 
 void
-LtpQueue::squashYoungerThan(SeqNum seq, Cycle now)
+LtpQueue::squashYoungerThan(SeqNum seq)
 {
     while (!entries_.empty() && entries_.back()->seq > seq) {
-        accountRemove(entries_.back(), now);
+        accountRemove(entries_.back());
         entries_.pop_back();
     }
 }

@@ -41,13 +41,13 @@ class LtpQueue
     LtpQueue(int entries, int insert_ports, int extract_ports);
 
     /** Start-of-cycle: replenish port budgets. */
-    void beginCycle(Cycle now);
+    void beginCycle();
 
     /** Can another instruction be parked this cycle? */
     bool canInsert() const;
 
     /** Park @p inst (callers park in program order). */
-    void push(DynInst *inst, Cycle now);
+    void push(DynInst *inst);
 
     /** Can another instruction be woken this cycle? */
     bool canExtract() const;
@@ -56,16 +56,16 @@ class LtpQueue
     DynInst *front() const;
 
     /** Remove the head (FIFO extraction; consumes an extract port). */
-    void popFront(Cycle now);
+    void popFront();
 
     /**
      * CAM extraction for Non-Ready wakeup: remove @p inst wherever it
      * sits in the queue (consumes an extract port).
      */
-    void remove(DynInst *inst, Cycle now);
+    void remove(DynInst *inst);
 
     /** Squash support: drop every entry younger than @p seq. */
-    void squashYoungerThan(SeqNum seq, Cycle now);
+    void squashYoungerThan(SeqNum seq);
 
     /** Visit entries oldest-first (for ticket-cleared scans). */
     template <typename Fn>
@@ -96,7 +96,7 @@ class LtpQueue
     /// @}
 
   private:
-    void accountRemove(DynInst *inst, Cycle now);
+    void accountRemove(DynInst *inst);
 
     int capacity_;
     int insert_ports_;

@@ -1,5 +1,6 @@
 #include "sim/runner.hh"
 
+#include <atomic>
 #include <chrono>
 #include <stdexcept>
 #include <utility>
@@ -162,7 +163,7 @@ runShard(const SweepSpec &spec, const Shard &shard)
 } // namespace
 
 SweepResult
-Runner::run(const SweepSpec &spec) const
+Runner::run(const SweepSpec &spec, const ProgressFn &progress) const
 {
     auto start = std::chrono::steady_clock::now();
 
@@ -177,17 +178,37 @@ Runner::run(const SweepSpec &spec) const
     std::vector<Metrics> results(shards.size());
 
     if (threads_ == 1) {
-        for (std::size_t i = 0; i < shards.size(); ++i)
+        for (std::size_t i = 0; i < shards.size(); ++i) {
             results[i] = runShard(spec, shards[i]);
+            if (progress)
+                progress(i + 1, shards.size());
+        }
     } else {
+        // Workers bump `done` as shards finish; the coordinating
+        // thread polls it while waiting so the heartbeat reflects
+        // out-of-order completions, not just the next future in line.
+        std::atomic<std::size_t> done{0};
         ThreadPool pool(threads_);
         std::vector<std::future<Metrics>> futures;
         futures.reserve(shards.size());
         for (const Shard &shard : shards)
-            futures.push_back(pool.submit(
-                [&spec, shard]() { return runShard(spec, shard); }));
-        for (std::size_t i = 0; i < futures.size(); ++i)
+            futures.push_back(pool.submit([&spec, shard, &done]() {
+                Metrics m = runShard(spec, shard);
+                done.fetch_add(1, std::memory_order_relaxed);
+                return m;
+            }));
+        for (std::size_t i = 0; i < futures.size(); ++i) {
+            if (progress) {
+                while (futures[i].wait_for(
+                           std::chrono::milliseconds(250)) !=
+                       std::future_status::ready)
+                    progress(done.load(std::memory_order_relaxed),
+                             shards.size());
+            }
             results[i] = futures[i].get();
+        }
+        if (progress)
+            progress(shards.size(), shards.size());
     }
 
     SweepResult out;

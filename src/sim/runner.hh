@@ -18,6 +18,7 @@
 #ifndef LTP_SIM_RUNNER_HH
 #define LTP_SIM_RUNNER_HH
 
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -117,6 +118,14 @@ struct SweepResult
 };
 
 /**
+ * Heartbeat callback for long sweeps: invoked with (cells done, cells
+ * total).  Called from the coordinating thread only — implementations
+ * need no locking — at least once per completed shard in serial runs
+ * and every ~250 ms in threaded runs (plus once at completion).
+ */
+using ProgressFn = std::function<void(std::size_t, std::size_t)>;
+
+/**
  * Shards a SweepSpec's jobs across a fixed-size thread pool.
  * threads == 1 runs fully inline (the serial reference); threads <= 0
  * selects the hardware concurrency.
@@ -129,7 +138,8 @@ class Runner
     int threads() const { return threads_; }
 
     /** Run every job; blocks until the grid is complete. */
-    SweepResult run(const SweepSpec &spec) const;
+    SweepResult run(const SweepSpec &spec,
+                    const ProgressFn &progress = {}) const;
 
   private:
     int threads_;

@@ -1,0 +1,200 @@
+#include "sim/simspeed.hh"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "sim/runner.hh"
+#include "sim/scenario.hh"
+#include "trace/suite.hh"
+
+namespace ltp {
+
+namespace {
+
+double
+msSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+double
+kips(std::uint64_t insts, double wall_ms)
+{
+    return wall_ms > 0.0 ? double(insts) / wall_ms : 0.0;
+}
+
+/** The per-kernel measurement set: representative, MLP-diverse. */
+std::vector<std::string>
+benchKernels(bool quick)
+{
+    if (quick)
+        return {"paper_loop", "graph_walk", "sparse_gather",
+                "dense_compute"};
+    std::vector<std::string> all;
+    for (const SuiteEntry &e : kernelSuite())
+        all.push_back(e.name);
+    return all;
+}
+
+std::string
+cellJson(const SimSpeedCell &c,
+         const std::map<std::string, double> &refs)
+{
+    JsonObjectBuilder o;
+    o.str("label", c.label);
+    o.str("config", c.config);
+    o.num("simulations", double(c.simulations));
+    o.num("detailed_insts", double(c.detailedInsts));
+    o.num("wall_ms", c.wallMs);
+    o.num("kips", c.kips);
+    auto ref = refs.find(c.label);
+    if (ref != refs.end()) {
+        o.num("reference_kips", ref->second);
+        if (ref->second > 0.0)
+            o.num("speedup_vs_reference", c.kips / ref->second);
+    }
+    return o.render(4);
+}
+
+} // namespace
+
+std::string
+SimSpeedReport::toJson() const
+{
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"name\": \"simspeed\",\n";
+    out << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+    out << "  \"seed\": " << seed << ",\n";
+    out << "  \"threads\": 1,\n";
+    auto emitCells = [&](const char *key,
+                         const std::vector<SimSpeedCell> &cells) {
+        out << "  \"" << key << "\": [\n";
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            out << "    " << cellJson(cells[i], referenceKips);
+            out << (i + 1 < cells.size() ? ",\n" : "\n");
+        }
+        out << "  ],\n";
+    };
+    emitCells("kernels", kernelCells);
+    emitCells("scenarios", scenarioCells);
+    out << "  \"total\": {\"detailed_insts\": " << totalInsts
+        << ", \"wall_ms\": " << jsonNum(totalWallMs)
+        << ", \"kips\": " << jsonNum(totalKips) << "}\n";
+    out << "}\n";
+    return out.str();
+}
+
+SimSpeedReport
+runSimSpeedBench(const SimSpeedOptions &opts)
+{
+    SimSpeedReport report;
+    report.quick = opts.quick;
+    report.seed = opts.seed;
+
+    std::uint64_t per_sim =
+        opts.lengths.pipeWarm + opts.lengths.detail;
+    std::vector<SimConfig> configs = {
+        SimConfig::baseline(), SimConfig::ltpProposal(LtpMode::NRNU)};
+
+    for (const std::string &kernel : benchKernels(opts.quick)) {
+        for (const SimConfig &base : configs) {
+            SimConfig cfg = base;
+            cfg.seed = opts.seed;
+            auto start = std::chrono::steady_clock::now();
+            Simulator::runOnce(cfg, kernel, opts.lengths);
+            SimSpeedCell cell;
+            cell.label = kernel;
+            cell.config = cfg.name;
+            cell.detailedInsts = per_sim;
+            cell.wallMs = msSince(start);
+            cell.kips = kips(cell.detailedInsts, cell.wallMs);
+            report.kernelCells.push_back(cell);
+        }
+    }
+
+    for (const std::string &path : opts.scenarios) {
+        Scenario scenario = loadScenarioFile(path);
+        SweepSpec spec = scenario.compile(/*threads=*/1);
+        std::uint64_t per_cell =
+            scenario.lengths.pipeWarm + scenario.lengths.detail;
+        auto start = std::chrono::steady_clock::now();
+        Runner(/*threads=*/1).run(spec);
+        SimSpeedCell cell;
+        cell.label = spec.name;
+        cell.config = "scenario";
+        cell.simulations = spec.simulationCount();
+        cell.detailedInsts = per_cell * cell.simulations;
+        cell.wallMs = msSince(start);
+        cell.kips = kips(cell.detailedInsts, cell.wallMs);
+        report.scenarioCells.push_back(cell);
+    }
+
+    for (const auto &cells :
+         {report.kernelCells, report.scenarioCells}) {
+        for (const SimSpeedCell &c : cells) {
+            report.totalInsts += c.detailedInsts;
+            report.totalWallMs += c.wallMs;
+        }
+    }
+    report.totalKips = kips(report.totalInsts, report.totalWallMs);
+    return report;
+}
+
+namespace {
+
+JsonValue
+loadBaseline(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("simspeed baseline not readable: " +
+                                 path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parseJson(text.str());
+}
+
+} // namespace
+
+std::map<std::string, double>
+loadReferenceKips(const std::string &baselinePath)
+{
+    std::map<std::string, double> refs;
+    JsonValue root = loadBaseline(baselinePath);
+    auto it = root.object.find("reference_kips");
+    if (it != root.object.end() && it->second.isObject())
+        for (const auto &[label, v] : it->second.object)
+            if (v.isNumber())
+                refs[label] = v.num;
+    return refs;
+}
+
+bool
+checkSimSpeedBaseline(const SimSpeedReport &report,
+                      const std::string &baselinePath,
+                      double failBelowFrac)
+{
+    JsonValue root = loadBaseline(baselinePath);
+    auto it = root.object.find("total_kips");
+    if (it == root.object.end() || !it->second.isNumber())
+        throw std::runtime_error(
+            "simspeed baseline missing numeric total_kips: " +
+            baselinePath);
+    double baseline = it->second.num;
+    double floor = baseline * failBelowFrac;
+    bool ok = report.totalKips >= floor;
+    std::printf("simspeed check: measured %.1f kIPS vs baseline %.1f "
+                "(floor %.1f at %.0f%%): %s\n",
+                report.totalKips, baseline, floor,
+                failBelowFrac * 100.0, ok ? "OK" : "REGRESSION");
+    return ok;
+}
+
+} // namespace ltp

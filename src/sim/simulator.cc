@@ -35,7 +35,16 @@ Simulator::Simulator(const SimConfig &cfg, const std::string &kernel,
 
     // The trace window continues from the warm position: core seq 0 is
     // trace position funcWarm (the oracle is offset to match).
-    source_ = std::make_unique<TraceWindow>(*workload_);
+    // Window bound: ROB residency + fetch queue backlog + one fetch
+    // group of intra-cycle fetch-ahead (uncapped for infinite ROBs).
+    std::size_t max_window = 0;
+    if (!isInfinite(cfg_.core.robSize) &&
+        !isInfinite(cfg_.core.fetchQueueCap)) {
+        max_window = std::size_t(cfg_.core.robSize) +
+                     std::size_t(cfg_.core.fetchQueueCap) +
+                     std::size_t(cfg_.core.fetchWidth);
+    }
+    source_ = std::make_unique<TraceWindow>(*workload_, max_window);
     core_ = std::make_unique<Core>(cfg_.core, *mem_, *source_,
                                    oracle_.valid() ? &oracle_ : nullptr);
 }

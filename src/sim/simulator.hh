@@ -15,9 +15,9 @@
 #define LTP_SIM_SIMULATOR_HH
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 
+#include "common/ring.hh"
 #include "cpu/core.hh"
 #include "sim/config.hh"
 #include "sim/metrics.hh"
@@ -46,18 +46,33 @@ struct RunLengths
     }
 };
 
-/** Ring-buffered trace window with random access (squash rewind). */
+/**
+ * Ring-buffered trace window with random access (squash rewind).
+ *
+ * The window spans [oldest uncommitted, youngest fetched]: commit trims
+ * the front, fetch extends the back.  With a finite ROB that span is
+ * bounded by ROB + fetch queue + one fetch group, so the window is a
+ * fixed-capacity ring and the bound is asserted — unbounded growth here
+ * means retire stopped trimming (a simulator bug), not a big workload.
+ * @p max_window 0 (infinite-ROB limit studies) lifts the cap.
+ */
 class TraceWindow : public InstSource
 {
   public:
-    explicit TraceWindow(Workload &w) : w_(w) {}
+    TraceWindow(Workload &w, std::size_t max_window)
+        : w_(w), max_window_(max_window),
+          buf_(max_window ? max_window : 1024)
+    {
+    }
 
     MicroOp
     fetch(SeqNum seq) override
     {
         sim_assert(seq >= base_);
-        while (seq >= base_ + buf_.size())
+        while (seq >= base_ + buf_.size()) {
+            sim_assert(max_window_ == 0 || buf_.size() < max_window_);
             buf_.push_back(w_.next());
+        }
         return buf_[seq - base_];
     }
 
@@ -72,7 +87,8 @@ class TraceWindow : public InstSource
 
   private:
     Workload &w_;
-    std::deque<MicroOp> buf_;
+    std::size_t max_window_; ///< 0 = uncapped (infinite ROB)
+    Ring<MicroOp> buf_;
     SeqNum base_ = 0;
 };
 

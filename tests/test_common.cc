@@ -12,6 +12,7 @@
 
 #include "common/binio.hh"
 #include "common/cli.hh"
+#include "common/ring.hh"
 #include "common/random.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
@@ -268,6 +269,63 @@ TEST(Logging, Strprintf)
 {
     EXPECT_EQ(strprintf("x=%d y=%s", 5, "z"), "x=5 y=z");
     EXPECT_EQ(strprintf("empty"), "empty");
+}
+
+// ---------------------------------------------------------------------
+// Ring buffer
+
+TEST(Ring, PushPopBothEndsAndIndexing)
+{
+    Ring<int> r(4);
+    EXPECT_TRUE(r.empty());
+    r.push_back(1);
+    r.push_back(2);
+    r.push_back(3);
+    EXPECT_EQ(r.front(), 1);
+    EXPECT_EQ(r.back(), 3);
+    EXPECT_EQ(r[1], 2);
+    r.pop_front();
+    EXPECT_EQ(r.front(), 2);
+    r.push_front(0);
+    EXPECT_EQ(r.front(), 0);
+    EXPECT_EQ(r.size(), 3u);
+    r.pop_back();
+    EXPECT_EQ(r.back(), 2);
+    EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(Ring, GrowsPastCapacityHintPreservingOrder)
+{
+    Ring<int> r(2);
+    // Force wraparound before growth: cycle the head off zero.
+    r.push_back(-1);
+    r.pop_front();
+    for (int i = 0; i < 100; ++i)
+        r.push_back(i);
+    ASSERT_EQ(r.size(), 100u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r[std::size_t(i)], i);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(r.front(), i);
+        r.pop_front();
+    }
+    EXPECT_TRUE(r.empty());
+}
+
+TEST(Ring, MixedEndTrafficWrapsCleanly)
+{
+    Ring<int> r(4);
+    int next_in = 0, next_out = 0;
+    for (int round = 0; round < 50; ++round) {
+        for (int i = 0; i < 3; ++i)
+            r.push_back(next_in++);
+        for (int i = 0; i < 2; ++i) {
+            EXPECT_EQ(r.front(), next_out);
+            r.pop_front();
+            next_out += 1;
+        }
+    }
+    EXPECT_EQ(r.size(), std::size_t(next_in - next_out));
 }
 
 } // namespace

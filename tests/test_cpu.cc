@@ -46,39 +46,39 @@ TEST(RegFile, AllocationPriorities)
 
     // Rename can take only 6.
     for (int i = 0; i < 6; ++i)
-        EXPECT_GE(rf.allocate(AllocPriority::Rename, 0), 0);
-    EXPECT_EQ(rf.allocate(AllocPriority::Rename, 0), -1);
+        EXPECT_GE(rf.allocate(AllocPriority::Rename), 0);
+    EXPECT_EQ(rf.allocate(AllocPriority::Rename), -1);
     // Unpark can take 3 more (one held for Forced).
     for (int i = 0; i < 3; ++i)
-        EXPECT_GE(rf.allocate(AllocPriority::Unpark, 0), 0);
-    EXPECT_EQ(rf.allocate(AllocPriority::Unpark, 0), -1);
+        EXPECT_GE(rf.allocate(AllocPriority::Unpark), 0);
+    EXPECT_EQ(rf.allocate(AllocPriority::Unpark), -1);
     // Forced takes the very last one.
-    EXPECT_GE(rf.allocate(AllocPriority::Forced, 0), 0);
-    EXPECT_EQ(rf.allocate(AllocPriority::Forced, 0), -1);
+    EXPECT_GE(rf.allocate(AllocPriority::Forced), 0);
+    EXPECT_EQ(rf.allocate(AllocPriority::Forced), -1);
 }
 
 TEST(RegFile, ReleaseRecycles)
 {
     PhysRegFile rf(4, 0);
-    std::int32_t a = rf.allocate(AllocPriority::Rename, 0);
-    std::int32_t b = rf.allocate(AllocPriority::Rename, 0);
+    std::int32_t a = rf.allocate(AllocPriority::Rename);
+    std::int32_t b = rf.allocate(AllocPriority::Rename);
     EXPECT_EQ(rf.allocatedCount(), 2);
-    rf.release(a, 1);
-    rf.release(b, 1);
+    rf.release(a);
+    rf.release(b);
     EXPECT_EQ(rf.allocatedCount(), 0);
     for (int i = 0; i < 4; ++i)
-        EXPECT_GE(rf.allocate(AllocPriority::Rename, 2), 0);
+        EXPECT_GE(rf.allocate(AllocPriority::Rename), 0);
 }
 
 TEST(RegFile, ReadyBitLifecycle)
 {
     PhysRegFile rf(4, 0);
-    std::int32_t r = rf.allocate(AllocPriority::Rename, 0);
+    std::int32_t r = rf.allocate(AllocPriority::Rename);
     EXPECT_FALSE(rf.ready(r));
     rf.setReady(r);
     EXPECT_TRUE(rf.ready(r));
-    rf.release(r, 1);
-    std::int32_t r2 = rf.allocate(AllocPriority::Rename, 2);
+    rf.release(r);
+    std::int32_t r2 = rf.allocate(AllocPriority::Rename);
     // Freshly allocated registers are never ready, even when recycled.
     if (r2 == r) {
         EXPECT_FALSE(rf.ready(r2));
@@ -87,9 +87,12 @@ TEST(RegFile, ReadyBitLifecycle)
 
 TEST(RegFile, OccupancyIntegrates)
 {
+    // Sampled style: mutators are untimed; advanceTo integrates the
+    // level up to each cycle boundary (Core::tick does this).
     PhysRegFile rf(8, 0);
-    auto a = rf.allocate(AllocPriority::Rename, 0);
-    rf.release(a, 10);
+    auto a = rf.allocate(AllocPriority::Rename); // level 1 from cycle 0
+    rf.occupancy.advanceTo(10);                  // [0,10) at level 1
+    rf.release(a);                               // level 0 from cycle 10
     EXPECT_NEAR(rf.occupancy.mean(20), 0.5, 1e-9);
 }
 
@@ -124,10 +127,10 @@ TEST(Rob, FifoOrder)
 {
     Rob rob(4);
     DynInst a = makeInst(1), b = makeInst(2);
-    rob.push(&a, 0);
-    rob.push(&b, 0);
+    rob.push(&a);
+    rob.push(&b);
     EXPECT_EQ(rob.head(), &a);
-    rob.popHead(1);
+    rob.popHead();
     EXPECT_EQ(rob.head(), &b);
     EXPECT_EQ(rob.size(), 1);
 }
@@ -138,10 +141,10 @@ TEST(Rob, SquashWalksYoungestFirst)
     DynInst insts[5];
     for (int i = 0; i < 5; ++i) {
         insts[i] = makeInst(i + 1);
-        rob.push(&insts[i], 0);
+        rob.push(&insts[i]);
     }
     std::vector<SeqNum> undone;
-    rob.squashYoungerThan(2, 1, [&](DynInst *inst) {
+    rob.squashYoungerThan(2, [&](DynInst *inst) {
         undone.push_back(inst->seq);
     });
     ASSERT_EQ(undone.size(), 3u);
@@ -157,9 +160,9 @@ TEST(Iq, InsertKeepsSeqOrder)
 {
     IssueQueue iq(8);
     DynInst a = makeInst(5), b = makeInst(2), c = makeInst(9);
-    iq.insert(&a, 0);
-    iq.insert(&b, 0);
-    iq.insert(&c, 0);
+    iq.insert(&a);
+    iq.insert(&b);
+    iq.insert(&c);
     std::vector<SeqNum> order;
     iq.forEachInOrder([&](DynInst *i) { order.push_back(i->seq); });
     EXPECT_EQ(order, (std::vector<SeqNum>{2, 5, 9}));
@@ -169,11 +172,11 @@ TEST(Iq, EmergencySlotBeyondCapacity)
 {
     IssueQueue iq(2);
     DynInst a = makeInst(1), b = makeInst(2), c = makeInst(3);
-    iq.insert(&a, 0);
-    iq.insert(&b, 0);
+    iq.insert(&a);
+    iq.insert(&b);
     EXPECT_FALSE(iq.hasSpace());
     EXPECT_TRUE(iq.hasEmergencySpace());
-    iq.insert(&c, 0, /*emergency=*/true);
+    iq.insert(&c, /*emergency=*/true);
     EXPECT_FALSE(iq.hasEmergencySpace());
     EXPECT_EQ(iq.size(), 3);
 }
@@ -184,11 +187,11 @@ TEST(Iq, RemoveAndSquash)
     DynInst insts[4];
     for (int i = 0; i < 4; ++i) {
         insts[i] = makeInst(i + 1);
-        iq.insert(&insts[i], 0);
+        iq.insert(&insts[i]);
     }
-    iq.remove(&insts[1], 1);
+    iq.remove(&insts[1]);
     EXPECT_FALSE(insts[1].inIq);
-    iq.squashYoungerThan(2, 2);
+    iq.squashYoungerThan(2);
     EXPECT_EQ(iq.size(), 1);
     EXPECT_TRUE(insts[0].inIq);
     EXPECT_FALSE(insts[3].inIq);
@@ -204,10 +207,10 @@ TEST(Lsq, ConflictYoungestOlderStore)
     DynInst st2 = makeInst(2, OpClass::Store, 0x1000, 8);
     DynInst st3 = makeInst(3, OpClass::Store, 0x2000, 8);
     DynInst ld = makeInst(4, OpClass::Load, 0x1000, 8);
-    lsq.insertStore(&st1, 0);
-    lsq.insertStore(&st2, 0);
-    lsq.insertStore(&st3, 0);
-    lsq.insertLoad(&ld, 0);
+    lsq.insertStore(&st1);
+    lsq.insertStore(&st2);
+    lsq.insertStore(&st3);
+    lsq.insertLoad(&ld);
     EXPECT_EQ(lsq.olderStoreConflict(&ld), &st2); // youngest older match
 }
 
@@ -216,11 +219,11 @@ TEST(Lsq, PartialOverlapConflicts)
     Lsq lsq(8, 8, 0, 0);
     DynInst st = makeInst(1, OpClass::Store, 0x1004, 8); // [0x1004,0x100c)
     DynInst ld = makeInst(2, OpClass::Load, 0x1008, 8);  // [0x1008,0x1010)
-    lsq.insertStore(&st, 0);
-    lsq.insertLoad(&ld, 0);
+    lsq.insertStore(&st);
+    lsq.insertLoad(&ld);
     EXPECT_EQ(lsq.olderStoreConflict(&ld), &st);
     DynInst ld2 = makeInst(3, OpClass::Load, 0x100c, 8); // disjoint
-    lsq.insertLoad(&ld2, 0);
+    lsq.insertLoad(&ld2);
     EXPECT_EQ(lsq.olderStoreConflict(&ld2), nullptr);
 }
 
@@ -229,8 +232,8 @@ TEST(Lsq, YoungerStoreNeverConflicts)
     Lsq lsq(8, 8, 0, 0);
     DynInst ld = makeInst(1, OpClass::Load, 0x1000, 8);
     DynInst st = makeInst(2, OpClass::Store, 0x1000, 8);
-    lsq.insertLoad(&ld, 0);
-    lsq.insertStore(&st, 0);
+    lsq.insertLoad(&ld);
+    lsq.insertStore(&st);
     EXPECT_EQ(lsq.olderStoreConflict(&ld), nullptr);
 }
 
@@ -241,7 +244,7 @@ TEST(Lsq, ShadowStoresVisible)
     DynInst st = makeInst(1, OpClass::Store, 0x3000, 8);
     DynInst ld = makeInst(2, OpClass::Load, 0x3000, 8);
     lsq.addShadowStore(&st);
-    lsq.insertLoad(&ld, 0);
+    lsq.insertLoad(&ld);
     EXPECT_EQ(lsq.olderStoreConflict(&ld), &st);
     lsq.removeShadowStore(&st);
     EXPECT_EQ(lsq.olderStoreConflict(&ld), nullptr);
@@ -252,14 +255,14 @@ TEST(Lsq, DrainOnlyCommittedHead)
     Lsq lsq(8, 8, 0, 0);
     DynInst st1 = makeInst(1, OpClass::Store, 0x1000, 8);
     DynInst st2 = makeInst(2, OpClass::Store, 0x2000, 8);
-    lsq.insertStore(&st1, 0);
-    lsq.insertStore(&st2, 0);
+    lsq.insertStore(&st1);
+    lsq.insertStore(&st2);
     EXPECT_EQ(lsq.oldestDrainableStore(), nullptr);
     st2.committed = true; // younger committed, head not: no drain
     EXPECT_EQ(lsq.oldestDrainableStore(), nullptr);
     st1.committed = true;
     EXPECT_EQ(lsq.oldestDrainableStore(), &st1);
-    lsq.removeStore(&st1, 1);
+    lsq.removeStore(&st1);
     EXPECT_EQ(lsq.oldestDrainableStore(), &st2);
 }
 
@@ -269,8 +272,8 @@ TEST(Lsq, ReserveLimits)
     EXPECT_TRUE(lsq.lqHasSpace(false));
     DynInst a = makeInst(1, OpClass::Load, 0x0, 8);
     DynInst b = makeInst(2, OpClass::Load, 0x8, 8);
-    lsq.insertLoad(&a, 0);
-    lsq.insertLoad(&b, 0);
+    lsq.insertLoad(&a);
+    lsq.insertLoad(&b);
     EXPECT_FALSE(lsq.lqHasSpace(false)); // reserve blocks rename
     EXPECT_TRUE(lsq.lqHasSpace(true));   // unpark may proceed
 }
@@ -284,8 +287,8 @@ TEST(Lsq, CollectWaitingLoads)
     ld1.waitStoreSeq = 1;
     ld2.waitingOnStore = true;
     ld2.waitStoreSeq = 7;
-    lsq.insertLoad(&ld1, 0);
-    lsq.insertLoad(&ld2, 0);
+    lsq.insertLoad(&ld1);
+    lsq.insertLoad(&ld2);
     std::vector<DynInst *> out;
     lsq.collectLoadsWaitingOn(1, out);
     ASSERT_EQ(out.size(), 1u);

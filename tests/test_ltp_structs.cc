@@ -211,13 +211,14 @@ parkable(SeqNum seq, OpClass opc = OpClass::IntAlu)
 TEST(LtpQueue, FifoOrderAndOccupancy)
 {
     LtpQueue q(8, 2, 2);
-    q.beginCycle(0);
+    q.beginCycle();
     DynInst a = parkable(1), b = parkable(2);
-    q.push(&a, 0);
-    q.push(&b, 0);
+    q.push(&a);
+    q.push(&b);
     EXPECT_TRUE(a.inLtp);
     EXPECT_EQ(q.front(), &a);
-    q.popFront(5);
+    q.occupancy.advanceTo(5); // [0,5) at level 2 (sampled style)
+    q.popFront();
     EXPECT_FALSE(a.inLtp);
     EXPECT_EQ(q.front(), &b);
     EXPECT_NEAR(q.occupancy.mean(10), (2 * 5 + 1 * 5) / 10.0, 1e-9);
@@ -226,35 +227,35 @@ TEST(LtpQueue, FifoOrderAndOccupancy)
 TEST(LtpQueue, InsertPortsLimitPerCycle)
 {
     LtpQueue q(8, 2, 2);
-    q.beginCycle(0);
+    q.beginCycle();
     DynInst a = parkable(1), b = parkable(2), c = parkable(3);
-    q.push(&a, 0);
-    q.push(&b, 0);
+    q.push(&a);
+    q.push(&b);
     EXPECT_FALSE(q.canInsert()); // ports exhausted
-    q.beginCycle(1);
+    q.beginCycle();
     EXPECT_TRUE(q.canInsert()); // replenished
-    q.push(&c, 1);
+    q.push(&c);
 }
 
 TEST(LtpQueue, CapacityLimit)
 {
     LtpQueue q(2, 4, 4);
-    q.beginCycle(0);
+    q.beginCycle();
     DynInst a = parkable(1), b = parkable(2);
-    q.push(&a, 0);
-    q.push(&b, 0);
+    q.push(&a);
+    q.push(&b);
     EXPECT_FALSE(q.canInsert()); // full, ports remain
 }
 
 TEST(LtpQueue, CamRemovalFromMiddle)
 {
     LtpQueue q(8, 4, 4);
-    q.beginCycle(0);
+    q.beginCycle();
     DynInst a = parkable(1), b = parkable(2), c = parkable(3);
-    q.push(&a, 0);
-    q.push(&b, 0);
-    q.push(&c, 0);
-    q.remove(&b, 1);
+    q.push(&a);
+    q.push(&b);
+    q.push(&c);
+    q.remove(&b);
     EXPECT_EQ(q.camExtractions.value(), 1u);
     EXPECT_EQ(q.size(), 2);
     EXPECT_EQ(q.front(), &a);
@@ -263,30 +264,30 @@ TEST(LtpQueue, CamRemovalFromMiddle)
 TEST(LtpQueue, ExtractPortsLimit)
 {
     LtpQueue q(8, 4, 2);
-    q.beginCycle(0);
+    q.beginCycle();
     DynInst insts[4];
     for (int i = 0; i < 4; ++i) {
         insts[i] = parkable(i + 1);
-        q.push(&insts[i], 0);
+        q.push(&insts[i]);
     }
-    q.beginCycle(1);
-    q.popFront(1);
-    q.popFront(1);
+    q.beginCycle();
+    q.popFront();
+    q.popFront();
     EXPECT_FALSE(q.canExtract());
-    q.beginCycle(2);
+    q.beginCycle();
     EXPECT_TRUE(q.canExtract());
 }
 
 TEST(LtpQueue, TypeOccupancies)
 {
     LtpQueue q(8, 4, 4);
-    q.beginCycle(0);
+    q.beginCycle();
     DynInst ld = parkable(1, OpClass::Load);
     DynInst st = parkable(2, OpClass::Store);
     DynInst alu = parkable(3, OpClass::IntAlu);
-    q.push(&ld, 0);
-    q.push(&st, 0);
-    q.push(&alu, 0);
+    q.push(&ld);
+    q.push(&st);
+    q.push(&alu);
     EXPECT_EQ(q.parkedLoads.level(), 1);
     EXPECT_EQ(q.parkedStores.level(), 1);
     EXPECT_EQ(q.parkedWithDest.level(), 2); // load + alu have dests
@@ -295,13 +296,13 @@ TEST(LtpQueue, TypeOccupancies)
 TEST(LtpQueue, SquashDropsYoungest)
 {
     LtpQueue q(8, 4, 4);
-    q.beginCycle(0);
+    q.beginCycle();
     DynInst insts[4];
     for (int i = 0; i < 4; ++i) {
         insts[i] = parkable(i + 1);
-        q.push(&insts[i], 0);
+        q.push(&insts[i]);
     }
-    q.squashYoungerThan(2, 1);
+    q.squashYoungerThan(2);
     EXPECT_EQ(q.size(), 2);
     EXPECT_TRUE(insts[0].inLtp && insts[1].inLtp);
     EXPECT_FALSE(insts[2].inLtp || insts[3].inLtp);

@@ -16,6 +16,12 @@
  *  P7  Trace format round trip: write→read→write of randomized
  *      micro-op streams is byte-identical and record-identical, and
  *      corrupted headers/payloads/CRCs are rejected.
+ *  P8  Scheduler invariants: the event-driven ready list equals a
+ *      brute-force srcsReady scan every cycle (so every woken
+ *      instruction really has all sources ready), stays seq-sorted and
+ *      duplicate-free, and survives mid-run squashes.  (Waking an
+ *      entry twice trips the IQ's ready-bitmask sim_assert, which is
+ *      active in every build.)
  */
 
 #include <gtest/gtest.h>
@@ -165,6 +171,102 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values("graph_walk", "indirect_stream_fp", "div_heavy"),
     [](const ::testing::TestParamInfo<std::string> &info) {
         return info.param;
+    });
+
+// ---------------------------------------------------------------------
+// P8: event-driven scheduler invariants, validated cycle by cycle.
+
+using SchedCase = std::tuple<std::string, LtpMode, int>;
+
+class SchedulerInvariantProp : public ::testing::TestWithParam<SchedCase>
+{
+};
+
+/**
+ * Assert the IQ's ready list is exactly what a brute-force readiness
+ * poll would compute: same membership, oldest-first order, no
+ * duplicates, consistent bitmask, and pendingSrcs drained to zero.
+ */
+void
+checkSchedulerInvariants(Core &core, Cycle cycle)
+{
+    IssueQueue &iq = core.iq();
+
+    std::vector<const DynInst *> brute;
+    int entries = 0;
+    iq.forEachInOrder([&](DynInst *inst) {
+        entries += 1;
+        bool ready = core.srcsReady(inst); // panics on LTP sources
+        ASSERT_EQ(iq.isReady(inst), ready)
+            << "entry seq " << inst->seq << " at cycle " << cycle;
+        if (ready) {
+            brute.push_back(inst);
+            EXPECT_EQ(inst->pendingSrcs, 0)
+                << "seq " << inst->seq << " at cycle " << cycle;
+        }
+    });
+    ASSERT_EQ(entries, iq.size());
+
+    std::vector<const DynInst *> ready_list;
+    SeqNum prev = 0;
+    iq.forEachReady([&](DynInst *inst) {
+        if (!ready_list.empty()) {
+            EXPECT_LT(prev, inst->seq)
+                << "ready list out of order at cycle " << cycle;
+        }
+        prev = inst->seq;
+        ready_list.push_back(inst);
+    });
+    ASSERT_EQ(ready_list, brute) << "at cycle " << cycle;
+}
+
+TEST_P(SchedulerInvariantProp, ReadyListEqualsBruteForceScan)
+{
+    const auto &[kernel, mode, seed] = GetParam();
+    SimConfig cfg = mode == LtpMode::Off
+                        ? SimConfig::baseline()
+                        : SimConfig::ltpProposal(mode);
+    cfg.seed = seed;
+    RunLengths lengths = tiny();
+    Simulator sim(cfg, kernel, lengths);
+    Core &core = sim.core();
+
+    for (int cycle = 1; cycle <= 3000; ++cycle) {
+        core.tick();
+        checkSchedulerInvariants(core, core.cycle());
+        if (::testing::Test::HasFatalFailure())
+            return;
+        // Mid-run squashes must tear wakeup subscriptions down
+        // consistently (stale dependents links are generation-filtered).
+        if (cycle == 1000 || cycle == 2000) {
+            DynInst *head = core.rob().head();
+            if (head) {
+                core.squashAfter(head->seq + 4);
+                checkSchedulerInvariants(core, core.cycle());
+                if (::testing::Test::HasFatalFailure())
+                    return;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SchedulerInvariantProp,
+    ::testing::Combine(::testing::Values("paper_loop", "graph_walk",
+                                         "sparse_gather", "div_heavy"),
+                       ::testing::Values(LtpMode::Off, LtpMode::NU,
+                                         LtpMode::NRNU),
+                       ::testing::Values(1, 7)),
+    [](const ::testing::TestParamInfo<SchedCase> &info) {
+        std::string mode;
+        switch (std::get<1>(info.param)) {
+          case LtpMode::Off: mode = "Off"; break;
+          case LtpMode::NU: mode = "NU"; break;
+          case LtpMode::NR: mode = "NR"; break;
+          case LtpMode::NRNU: mode = "NRNU"; break;
+        }
+        return std::get<0>(info.param) + "_" + mode + "_s" +
+               std::to_string(std::get<2>(info.param));
     });
 
 // ---------------------------------------------------------------------

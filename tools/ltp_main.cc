@@ -6,7 +6,8 @@
  * scenario files compiled onto the sharded Runner.
  *
  *   ltp run [--preset=... --mode=... --kernel=a,b --set core.iq=32 ...]
- *   ltp sweep <scenario.json> [--threads=N --json=... --csv=...]
+ *   ltp sweep <scenario.json> [--threads=N --progress --json=... --csv=...]
+ *   ltp bench [--quick --scenario=f.json --baseline=f.json --check]
  *   ltp record <kernel|scenario.json|all> --out=dir [--seed=N ...]
  *   ltp replay <trace.lttr|dir> [--verify --preset=... --set ...]
  *   ltp list-kernels
@@ -19,6 +20,7 @@
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -37,6 +39,7 @@
 #include "sim/report.hh"
 #include "sim/runner.hh"
 #include "sim/scenario.hh"
+#include "sim/simspeed.hh"
 #include "trace/suite.hh"
 #include "trace/trace_file.hh"
 #include "trace/trace_workload.hh"
@@ -56,6 +59,10 @@ usage(int status)
         "commands:\n"
         "  run            simulate one config over one or more kernels\n"
         "  sweep <file>   compile and run a JSON scenario file\n"
+        "                 (--progress prints a cells-done heartbeat)\n"
+        "  bench          measure simulator throughput (kIPS) over\n"
+        "                 kernels and scenarios -> BENCH_simspeed.json;\n"
+        "                 --baseline=<file> --check gates regressions\n"
         "  record <what>  record .lttr traces (a kernel list, a\n"
         "                 scenario file, or 'all') into --out=<dir>\n"
         "  replay <path>  replay .lttr traces (a file or directory);\n"
@@ -260,9 +267,99 @@ cmdSweep(const std::string &path, const Cli &cli)
     std::printf("scenario %s: %zu jobs, %zu simulations\n",
                 spec.name.c_str(), spec.jobs.size(),
                 spec.simulationCount());
-    SweepResult result = Runner(threads).run(spec);
+    ProgressFn progress;
+    if (cli.flag("progress")) {
+        // Heartbeat for long sharded runs: cells done / total, elapsed.
+        auto start = std::chrono::steady_clock::now();
+        std::string name = spec.name;
+        progress = [start, name](std::size_t done, std::size_t total) {
+            double secs = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+            std::fprintf(stderr, "\r%s: %zu/%zu cells, %.1fs elapsed%s",
+                         name.c_str(), done, total,
+                         secs, done == total ? "\n" : "");
+            std::fflush(stderr);
+        };
+    }
+    SweepResult result = Runner(threads).run(spec, progress);
     printGrid(result);
     maybeArchive(cli, result);
+    return 0;
+}
+
+int
+cmdBench(const Cli &cli)
+{
+    SimSpeedOptions opts;
+    opts.quick = cli.flag("quick");
+    opts.seed = cli.integer("seed", 1);
+    opts.lengths = stagingLengths(
+        cli, opts.quick ? RunLengths::quick() : RunLengths::bench());
+
+    // Scenario sweeps to time (their own staging plans); default is
+    // the perf-trajectory anchor, fig6_iq_quick.
+    std::vector<std::string> scenarios = cli.list("scenario");
+    if (scenarios.empty())
+        scenarios.push_back("scenarios/fig6_iq_quick.json");
+    for (const std::string &path : scenarios) {
+        if (!std::filesystem::exists(path))
+            fatal("bench scenario not found: '%s' (run from the repo "
+                  "root or pass --scenario=<path>)",
+                  path.c_str());
+        opts.scenarios.push_back(path);
+    }
+
+    std::string baseline = cli.str("baseline", "");
+    SimSpeedReport report;
+    try {
+        report = runSimSpeedBench(opts);
+        if (!baseline.empty())
+            report.referenceKips = loadReferenceKips(baseline);
+    } catch (const std::runtime_error &e) {
+        fatal("%s", e.what());
+    }
+
+    Table t({"cell", "config", "sims", "insts", "wall ms", "kIPS"});
+    auto addRows = [&](const std::vector<SimSpeedCell> &cells) {
+        for (const SimSpeedCell &c : cells)
+            t.addRow({c.label, c.config, std::to_string(c.simulations),
+                      std::to_string(c.detailedInsts),
+                      Table::num(c.wallMs, 1), Table::num(c.kips, 1)});
+    };
+    addRows(report.kernelCells);
+    addRows(report.scenarioCells);
+    t.print(strprintf("simulator throughput (%s, seed %llu): %.1f kIPS "
+                      "over %llu detailed insts",
+                      report.quick ? "quick" : "full",
+                      static_cast<unsigned long long>(report.seed),
+                      report.totalKips,
+                      static_cast<unsigned long long>(report.totalInsts)));
+    for (const SimSpeedCell &c : report.scenarioCells) {
+        auto ref = report.referenceKips.find(c.label);
+        if (ref != report.referenceKips.end() && ref->second > 0.0)
+            std::printf("%s: %.1f kIPS vs %.1f reference = %.2fx\n",
+                        c.label.c_str(), c.kips, ref->second,
+                        c.kips / ref->second);
+    }
+
+    std::string json = cli.str("json", "");
+    if (!json.empty()) {
+        std::string target = archiveTarget(json, "BENCH_simspeed.json");
+        writeFile(target, report.toJson());
+        std::printf("json written to %s\n", target.c_str());
+    }
+
+    if (cli.flag("check")) {
+        if (baseline.empty())
+            fatal("bench --check needs --baseline=<file>");
+        try {
+            if (!checkSimSpeedBaseline(report, baseline))
+                return 1;
+        } catch (const std::runtime_error &e) {
+            fatal("%s", e.what());
+        }
+    }
     return 0;
 }
 
@@ -570,7 +667,9 @@ main(int argc, char **argv)
     // valueless flag is read as that flag's value, not the positional.
     // Boolean switches never take a value, so a bare token after one
     // (e.g. `ltp replay --verify traces/`) stays the positional.
-    const std::set<std::string> boolean_flags = {"--verify", "--paths"};
+    const std::set<std::string> boolean_flags = {"--verify", "--paths",
+                                                 "--progress", "--quick",
+                                                 "--check"};
     std::string positional;
     std::vector<char *> args;
     std::string prog = std::string(argv[0]) + " " + cmd;
@@ -613,13 +712,24 @@ main(int argc, char **argv)
     }
     if (cmd == "sweep") {
         Cli cli(nargs, args.data(),
-                flags({"seed", "threads", "set", "json", "csv"}),
+                flags({"seed", "threads", "set", "json", "csv",
+                       "progress"}),
                 "ltp sweep <scenario.json> — compile and run a "
                 "scenario file");
         if (positional.empty())
             fatal("sweep needs a scenario file: ltp sweep "
                   "<scenario.json>");
         return cmdSweep(positional, cli);
+    }
+    if (cmd == "bench") {
+        Cli cli(nargs, args.data(),
+                flags({"quick", "seed", "scenario", "baseline", "check",
+                       "json"}),
+                "ltp bench — measure simulator throughput (kIPS) and "
+                "write BENCH_simspeed.json; --baseline + --check fails "
+                "on >25% regression");
+        rejectPositional(cmd, positional);
+        return cmdBench(cli);
     }
     if (cmd == "record") {
         Cli cli(nargs, args.data(),

@@ -8,9 +8,10 @@ namespace ltp {
 
 namespace {
 
-/** In-flight instruction pool size: must exceed ROB + front end + SQ
- *  drain backlog by a wide margin so slots are never live on reuse.
- *  Shared with the IQ's seq-indexed ready bitmask (kInstWindow). */
+/** In-flight instruction pool size, per thread: must exceed ROB +
+ *  front end + SQ drain backlog by a wide margin so slots are never
+ *  live on reuse.  Shared with the IQ's (tid, seq)-indexed ready
+ *  bitmask (kInstWindow). */
 constexpr std::size_t kPoolSize = kInstWindow;
 
 } // namespace
@@ -27,79 +28,153 @@ ltpModeName(LtpMode mode)
     return "?";
 }
 
+const char *
+fetchPolicyName(FetchPolicy p)
+{
+    switch (p) {
+      case FetchPolicy::RoundRobin: return "roundRobin";
+      case FetchPolicy::ICount: return "icount";
+    }
+    return "?";
+}
+
 void
 CoreStats::reset()
 {
     *this = CoreStats{};
 }
 
+Core::ThreadContext::ThreadContext(int tid_, const CoreConfig &cfg,
+                                   InstSource &source_,
+                                   const OracleClassification *oracle_,
+                                   Cycle dram_latency)
+    : tid(tid_),
+      source(&source_),
+      oracle(oracle_),
+      bpred(cfg.bpTableBits, cfg.btbEntries),
+      front_queue(std::size_t(std::min(cfg.fetchQueueCap, 512))),
+      ltp_rat(4 * (std::min(cfg.ltp.entries, cfg.robSize) + cfg.robSize)),
+      rob(cfg.robSize),
+      lsq(cfg.lqSize, cfg.sqSize,
+          cfg.ltp.mode != LtpMode::Off && cfg.ltp.delayLqSq
+              ? cfg.ltp.reservedLqSq : 0,
+          cfg.ltp.mode != LtpMode::Off && cfg.ltp.delayLqSq
+              ? cfg.ltp.reservedLqSq : 0),
+      ltp(cfg.ltp.entries, cfg.ltp.insertPorts, cfg.ltp.extractPorts),
+      uit(cfg.ltp.uitEntries, cfg.ltp.uitAssoc),
+      llpred(),
+      tickets(cfg.ltp.numTickets),
+      monitor(cfg.ltp.useMonitor, dram_latency),
+      pool(kPoolSize),
+      pool_gen(kPoolSize, 0),
+      mem_base(threadAddrBase(tid_))
+{
+    ticket_epoch.assign(tickets.capacity(), 0);
+}
+
 Core::Core(const CoreConfig &cfg, MemSystem &mem, InstSource &source,
            const OracleClassification *oracle)
+    : Core(cfg, mem, std::vector<InstSource *>{&source},
+           std::vector<const OracleClassification *>{oracle})
+{
+}
+
+Core::Core(const CoreConfig &cfg, MemSystem &mem,
+           const std::vector<InstSource *> &sources,
+           const std::vector<const OracleClassification *> &oracles)
     : cfg_(cfg),
       mem_(mem),
-      source_(source),
-      oracle_(oracle),
-      bpred_(cfg.bpTableBits, cfg.btbEntries),
-      front_queue_(std::size_t(std::min(cfg.fetchQueueCap, 512))),
-      ltp_rat_(4 * (std::min(cfg.ltp.entries, cfg.robSize) + cfg.robSize)),
       int_regs_(cfg.intRegs,
                 cfg.ltp.mode != LtpMode::Off ? cfg.ltp.reservedRegs : 0),
       fp_regs_(cfg.fpRegs,
                cfg.ltp.mode != LtpMode::Off ? cfg.ltp.reservedRegs : 0),
-      rob_(cfg.robSize),
-      iq_(cfg.iqSize),
-      lsq_(cfg.lqSize, cfg.sqSize,
-           cfg.ltp.mode != LtpMode::Off && cfg.ltp.delayLqSq
-               ? cfg.ltp.reservedLqSq : 0,
-           cfg.ltp.mode != LtpMode::Off && cfg.ltp.delayLqSq
-               ? cfg.ltp.reservedLqSq : 0),
-      fu_(cfg.fu),
-      ltp_(cfg.ltp.entries, cfg.ltp.insertPorts, cfg.ltp.extractPorts),
-      uit_(cfg.ltp.uitEntries, cfg.ltp.uitAssoc),
-      llpred_(),
-      tickets_(cfg.ltp.numTickets),
-      monitor_(cfg.ltp.useMonitor, mem.dramLatency()),
-      pool_(kPoolSize),
-      pool_gen_(kPoolSize, 0)
+      iq_(cfg.iqSize, std::max(cfg.numThreads, 1)),
+      fu_(cfg.fu)
 {
-    if (cfg.ltp.classifier == ClassifierKind::Oracle && !oracle_)
-        fatal("oracle classifier selected but no oracle provided");
-    ticket_epoch_.assign(tickets_.capacity(), 0);
+    int n = std::max(cfg.numThreads, 1);
+    if (static_cast<int>(sources.size()) != n)
+        fatal("core.numThreads=%d but %d instruction source(s) provided",
+              n, static_cast<int>(sources.size()));
+    for (int tid = 0; tid < n; ++tid) {
+        const OracleClassification *oracle =
+            tid < static_cast<int>(oracles.size()) ? oracles[tid]
+                                                   : nullptr;
+        if (cfg.ltp.classifier == ClassifierKind::Oracle && !oracle)
+            fatal("oracle classifier selected but no oracle provided "
+                  "for thread %d", tid);
+        threads_.push_back(std::make_unique<ThreadContext>(
+            tid, cfg, *sources[std::size_t(tid)], oracle,
+            mem.dramLatency()));
+    }
+}
+
+Core::~Core() = default;
+
+// ---------------------------------------------------------------------
+// Per-thread component accessors
+
+CoreStats &Core::stats(int tid) { return thread(tid).stats; }
+Rob &Core::rob(int tid) { return thread(tid).rob; }
+Lsq &Core::lsq(int tid) { return thread(tid).lsq; }
+LtpQueue &Core::ltpQueue(int tid) { return thread(tid).ltp; }
+Uit &Core::uit(int tid) { return thread(tid).uit; }
+TicketPool &Core::tickets(int tid) { return thread(tid).tickets; }
+LoadLatencyPredictor &Core::llpred(int tid) { return thread(tid).llpred; }
+LtpMonitor &Core::monitor(int tid) { return thread(tid).monitor; }
+BranchPredictor &Core::branchPred(int tid) { return thread(tid).bpred; }
+
+const RatEntry &
+Core::ratEntry(RegId r, int tid) const
+{
+    return thread(tid).rat[r];
+}
+
+std::uint64_t
+Core::committedInsts(int tid) const
+{
+    return thread(tid).stats.committed.value();
 }
 
 bool
-Core::ltpOn() const
+Core::ltpOn(const ThreadContext &t) const
 {
-    return cfg_.ltp.mode != LtpMode::Off && monitor_.enabled(now_);
+    return cfg_.ltp.mode != LtpMode::Off && t.monitor.enabled(now_);
 }
 
 // ---------------------------------------------------------------------
-// Instruction pool
+// Instruction pool (one per thread)
 
 DynInst *
-Core::slotFor(SeqNum seq)
+Core::slotFor(ThreadContext &t, SeqNum seq)
 {
-    return &pool_[seq % kPoolSize];
+    return &t.pool[seq % kPoolSize];
 }
 
 DynInst *
-Core::allocInst(const MicroOp &op, SeqNum seq)
+Core::allocInst(ThreadContext &t, const MicroOp &op, SeqNum seq)
 {
-    DynInst *inst = slotFor(seq);
+    DynInst *inst = slotFor(t, seq);
     sim_assert(inst->seq == kSeqNone || inst->committed ||
                inst->squashed);
     sim_assert(!inst->inIq && !inst->inLtp && !inst->inLq && !inst->inSq);
-    pool_gen_[seq % kPoolSize] += 1;
-    inst->init(op, seq, now_);
+    t.pool_gen[seq % kPoolSize] += 1;
+    inst->init(op, seq, now_, t.tid);
     return inst;
 }
 
 bool
-Core::eventInstValid(SeqNum seq, std::uint64_t gen) const
+Core::eventInstValid(const ThreadContext &t, SeqNum seq,
+                     std::uint64_t gen) const
 {
-    const DynInst &inst = pool_[seq % kPoolSize];
-    return inst.seq == seq && pool_gen_[seq % kPoolSize] == gen &&
+    const DynInst &inst = t.pool[seq % kPoolSize];
+    return inst.seq == seq && t.pool_gen[seq % kPoolSize] == gen &&
            !inst.squashed;
+}
+
+std::uint64_t
+Core::poolGen(const DynInst *inst) const
+{
+    return thread(inst->tid).pool_gen[inst->seq % kPoolSize];
 }
 
 // ---------------------------------------------------------------------
@@ -110,13 +185,15 @@ Core::scheduleCompletion(DynInst *inst, Cycle when)
 {
     sim_assert(when >= now_);
     completions_.push(
-        CompletionEv{when, inst->seq, pool_gen_[inst->seq % kPoolSize]});
+        CompletionEv{when, inst->seq, poolGen(inst), inst->tid});
 }
 
 void
-Core::scheduleTicketClear(int ticket, Cycle when)
+Core::scheduleTicketClear(ThreadContext &t, int ticket, Cycle when)
 {
-    ticket_events_.push(TicketEv{when, ticket, ticket_epoch_[ticket]});
+    ticket_events_.push(
+        TicketEv{when, ticket, t.ticket_epoch[std::size_t(ticket)],
+                 t.tid});
 }
 
 void
@@ -125,8 +202,9 @@ Core::processTicketEvents()
     while (!ticket_events_.empty() && ticket_events_.top().when <= now_) {
         TicketEv ev = ticket_events_.top();
         ticket_events_.pop();
-        if (ticket_epoch_[ev.ticket] == ev.epoch)
-            tickets_.clearPending(ev.ticket);
+        ThreadContext &t = thread(ev.tid);
+        if (t.ticket_epoch[std::size_t(ev.ticket)] == ev.epoch)
+            t.tickets.clearPending(ev.ticket);
     }
 }
 
@@ -136,21 +214,22 @@ Core::processTicketEvents()
 void
 Core::completeInst(DynInst *inst)
 {
+    ThreadContext &t = threadOf(inst);
     sim_assert(!inst->completed);
     inst->completed = true;
     inst->executed = true;
     inst->completeCycle = now_;
-    stats_.wbWrites++;
+    t.stats.wbWrites++;
 
     if (inst->dstPhys >= 0) {
         wakeDependents(regs(inst->dstClass()), inst->dstPhys);
-        stats_.rfWrites++;
+        t.stats.rfWrites++;
     }
 
     // A store's data is now staged: re-disambiguate loads that waited.
     if (inst->op.isStore()) {
         scratch_loads_.clear();
-        lsq_.collectLoadsWaitingOn(inst->seq, scratch_loads_);
+        t.lsq.collectLoadsWaitingOn(inst->seq, scratch_loads_);
         for (DynInst *ld : scratch_loads_) {
             ld->waitingOnStore = false;
             ld->waitStoreSeq = kSeqNone;
@@ -159,12 +238,12 @@ Core::completeInst(DynInst *inst)
     }
 
     // Resolved the branch the front end was blocked on?
-    if (fetch_blocked_on_ == inst->seq) {
-        fetch_blocked_on_ = kSeqNone;
-        fetch_resume_at_ = now_ + cfg_.redirectPenalty;
+    if (t.fetch_blocked_on == inst->seq) {
+        t.fetch_blocked_on = kSeqNone;
+        t.fetch_resume_at = now_ + cfg_.redirectPenalty;
     }
 
-    ll_inflight_.erase(inst->seq);
+    t.ll_inflight.erase(inst->seq);
 }
 
 void
@@ -175,9 +254,10 @@ Core::writeback()
            completions_.top().when <= now_) {
         CompletionEv ev = completions_.top();
         completions_.pop();
-        if (!eventInstValid(ev.seq, ev.gen))
+        ThreadContext &t = thread(ev.tid);
+        if (!eventInstValid(t, ev.seq, ev.gen))
             continue;
-        completeInst(slotFor(ev.seq));
+        completeInst(slotFor(t, ev.seq));
         budget -= 1;
     }
 }
@@ -198,8 +278,7 @@ Core::wakeDependents(PhysRegFile &rf, std::int32_t phys)
     rf.setReady(phys);
     for (const RegDependent &d : rf.dependents(phys)) {
         DynInst *consumer = d.inst;
-        if (pool_gen_[consumer->seq % kPoolSize] != d.gen ||
-            !consumer->inIq)
+        if (poolGen(consumer) != d.gen || !consumer->inIq)
             continue;
         sim_assert(consumer->pendingSrcs > 0);
         consumer->pendingSrcs -= 1;
@@ -223,8 +302,7 @@ Core::enqueueIq(DynInst *inst, bool emergency)
     for (const auto &src : inst->srcs) {
         sim_assert(!src.isLtp()); // resolved before dispatch, always
         if (src.isPhys() && !regs(src.cls).ready(src.phys)) {
-            regs(src.cls).addDependent(
-                src.phys, inst, pool_gen_[inst->seq % kPoolSize]);
+            regs(src.cls).addDependent(src.phys, inst, poolGen(inst));
             pending += 1;
         }
     }
@@ -234,27 +312,27 @@ Core::enqueueIq(DynInst *inst, bool emergency)
 }
 
 // ---------------------------------------------------------------------
-// Commit
+// Commit (per thread; retirement ports are per-context)
 
 void
-Core::commit()
+Core::commit(ThreadContext &t)
 {
     bool learned = cfg_.ltp.classifier == ClassifierKind::Learned;
 
     for (int i = 0; i < cfg_.commitWidth; ++i) {
-        DynInst *head = rob_.head();
+        DynInst *head = t.rob.head();
         if (!head)
             break;
         if (head->inLtp) {
             // Forced unpark will handle it this cycle (Section 5.4).
-            stats_.commitStallOther++;
+            t.stats.commitStallOther++;
             break;
         }
         if (!head->completed) {
             if (head->op.isLoad())
-                stats_.commitStallLoad++;
+                t.stats.commitStallLoad++;
             else
-                stats_.commitStallOther++;
+                t.stats.commitStallOther++;
             break;
         }
 
@@ -264,10 +342,10 @@ Core::commit()
             regs(head->dstClass()).release(head->prevMap.idx);
             break;
           case PrevMapping::Kind::Ltp: {
-            std::int32_t phys = ltp_rat_.lookup(head->prevMap.idx);
+            std::int32_t phys = t.ltp_rat.lookup(head->prevMap.idx);
             sim_assert(phys >= 0);
             regs(head->dstClass()).release(phys);
-            ltp_rat_.release(head->prevMap.idx);
+            t.ltp_rat.release(head->prevMap.idx);
             break;
           }
           case PrevMapping::Kind::None:
@@ -278,31 +356,31 @@ Core::commit()
         // the hit/miss predictor trains on every load outcome.
         if (head->op.isLoad() && cfg_.ltp.mode != LtpMode::Off &&
             learned) {
-            llpred_.update(head->op.pc, head->actualLL);
+            t.llpred.update(head->op.pc, head->actualLL);
             if (head->actualLL)
-                uit_.insert(head->op.pc);
+                t.uit.insert(head->op.pc);
         }
 
         if (head->ownTicket >= 0) {
-            ticket_epoch_[head->ownTicket] += 1;
-            tickets_.release(head->ownTicket);
+            t.ticket_epoch[std::size_t(head->ownTicket)] += 1;
+            t.tickets.release(head->ownTicket);
         }
 
         if (head->op.isLoad() && head->inLq)
-            lsq_.removeLoad(head);
+            t.lsq.removeLoad(head);
 
         head->committed = true;
-        rob_.popHead();
-        stats_.committed++;
-        source_.retire(head->seq);
+        t.rob.popHead();
+        t.stats.committed++;
+        t.source->retire(head->seq);
     }
 }
 
 // ---------------------------------------------------------------------
-// LTP wakeup (Sections 3.2, 5.2, 5.4, Appendix A)
+// LTP wakeup (Sections 3.2, 5.2, 5.4, Appendix A) — per thread
 
 SeqNum
-Core::nuWakeupBoundary() const
+Core::nuWakeupBoundary(const ThreadContext &t) const
 {
     switch (cfg_.ltp.wakeup) {
       case WakeupPolicy::Eager:
@@ -315,22 +393,22 @@ Core::nuWakeupBoundary() const
     // Wake everything older than the *second* long-latency instruction
     // in the ROB: when the blocking (first) one finishes, all of it can
     // retire in a burst.
-    if (ll_inflight_.size() < 2)
+    if (t.ll_inflight.size() < 2)
         return kSeqNone; // unbounded
-    auto it = ll_inflight_.begin();
+    auto it = t.ll_inflight.begin();
     ++it;
     return *it;
 }
 
 bool
-Core::tryUnpark(DynInst *inst, bool forced)
+Core::tryUnpark(ThreadContext &t, DynInst *inst, bool forced)
 {
     // Sources produced by still-parked instructions cannot be resolved.
     std::int32_t resolved[kMaxSrcs];
     for (int i = 0; i < kMaxSrcs; ++i) {
         resolved[i] = -1;
         if (inst->srcs[i].isLtp()) {
-            resolved[i] = ltp_rat_.lookup(inst->srcs[i].ltpId);
+            resolved[i] = t.ltp_rat.lookup(inst->srcs[i].ltpId);
             if (resolved[i] < 0)
                 return false;
         }
@@ -351,8 +429,8 @@ Core::tryUnpark(DynInst *inst, bool forced)
     // Late LQ/SQ allocation (limit study).
     bool need_lq = cfg_.ltp.delayLqSq && inst->op.isLoad();
     bool need_sq = cfg_.ltp.delayLqSq && inst->op.isStore();
-    if ((need_lq && !lsq_.lqHasSpace(true)) ||
-        (need_sq && !lsq_.sqHasSpace(true))) {
+    if ((need_lq && !t.lsq.lqHasSpace(true)) ||
+        (need_sq && !t.lsq.sqHasSpace(true))) {
         if (dst >= 0)
             regs(inst->dstClass()).release(dst);
         return false;
@@ -367,75 +445,75 @@ Core::tryUnpark(DynInst *inst, bool forced)
     }
     if (dst >= 0) {
         inst->dstPhys = dst;
-        ltp_rat_.resolve(inst->ltpId, dst);
+        t.ltp_rat.resolve(inst->ltpId, dst);
         // If no younger writer renamed the register since, clear the
         // Parked bit so future consumers need not park.  The mapping
         // itself stays Ltp(id): readSrc() resolves it through RAT_LTP,
         // and the id is released when the next writer commits — the
         // same lifetime as the physical register it now names.
-        RatEntry &e = rat_[inst->op.dst];
+        RatEntry &e = t.rat[inst->op.dst];
         if (e.map.kind == PrevMapping::Kind::Ltp &&
             e.map.idx == inst->ltpId)
             e.parked = false;
     }
     if (need_lq)
-        lsq_.insertLoad(inst);
+        t.lsq.insertLoad(inst);
     if (need_sq) {
-        lsq_.removeShadowStore(inst);
-        lsq_.insertStore(inst);
+        t.lsq.removeShadowStore(inst);
+        t.lsq.insertStore(inst);
     }
 
     enqueueIq(inst, forced && !iq_.hasSpace());
     inst->earliestIssue = now_ + 1;
     inst->unparkCycle = now_;
-    stats_.unparked++;
+    t.stats.unparked++;
     return true;
 }
 
 void
-Core::ltpWakeup()
+Core::ltpWakeup(ThreadContext &t)
 {
-    if (cfg_.ltp.mode == LtpMode::Off || ltp_.empty())
+    if (cfg_.ltp.mode == LtpMode::Off || t.ltp.empty())
         return;
 
     // 1) Forced: a parked ROB head must leave immediately or nothing
     //    can ever commit again (Section 5.4).
-    DynInst *head = rob_.head();
+    DynInst *head = t.rob.head();
     if (head && head->inLtp) {
-        sim_assert(ltp_.front() == head);
-        if (ltp_.canExtract() && tryUnpark(head, /*forced=*/true)) {
-            ltp_.popFront();
-            stats_.forcedUnparks++;
+        sim_assert(t.ltp.front() == head);
+        if (t.ltp.canExtract() && tryUnpark(t, head, /*forced=*/true)) {
+            t.ltp.popFront();
+            t.stats.forcedUnparks++;
         }
     }
 
     // 2) Pressure: rename starved for a committed-freed resource last
     //    cycle; draining the oldest parked instruction frees resources
     //    at its commit.
-    if (rename_pressure_ && !ltp_.empty() && ltp_.canExtract()) {
-        DynInst *front = ltp_.front();
-        if (tryUnpark(front, /*forced=*/false)) {
-            ltp_.popFront();
-            stats_.pressureUnparks++;
+    if (t.rename_pressure && !t.ltp.empty() && t.ltp.canExtract()) {
+        DynInst *front = t.ltp.front();
+        if (tryUnpark(t, front, /*forced=*/false)) {
+            t.ltp.popFront();
+            t.stats.pressureUnparks++;
         }
     }
-    rename_pressure_ = false;
+    t.rename_pressure = false;
 
     // 3) Policy wakeup.
-    SeqNum boundary = nuWakeupBoundary();
+    SeqNum boundary = nuWakeupBoundary(t);
     LtpMode mode = cfg_.ltp.mode;
 
     if (mode == LtpMode::NU) {
         // Strict FIFO: eligibility is monotone in seq, so head-only
         // extraction loses nothing.
-        while (ltp_.canExtract() && !ltp_.empty()) {
-            DynInst *front = ltp_.front();
+        while (t.ltp.canExtract() && !t.ltp.empty()) {
+            DynInst *front = t.ltp.front();
             if (boundary != kSeqNone && front->seq >= boundary)
                 break;
-            if (!tryUnpark(front, false))
+            if (!tryUnpark(t, front, false))
                 break;
-            ltp_.popFront();
-            stats_.boundaryUnparks++;
+            t.ltp.popFront();
+            t.stats.boundaryUnparks++;
         }
         return;
     }
@@ -443,11 +521,11 @@ Core::ltpWakeup()
     // NR and NR+NU: CAM-style extraction, oldest first.
     scratch_select_.clear();
     auto &selected = scratch_select_;
-    ltp_.forEach([&](DynInst *inst) {
-        if (!ltp_.canExtract() ||
+    t.ltp.forEach([&](DynInst *inst) {
+        if (!t.ltp.canExtract() ||
             static_cast<int>(selected.size()) >= cfg_.ltp.extractPorts)
             return;
-        bool tickets_clear = !tickets_.liveSubset(inst->tickets).any();
+        bool tickets_clear = !t.tickets.liveSubset(inst->tickets).any();
         bool in_window = boundary == kSeqNone || inst->seq < boundary;
         bool eligible;
         if (mode == LtpMode::NR) {
@@ -466,15 +544,15 @@ Core::ltpWakeup()
             selected.push_back(inst);
     });
     for (DynInst *inst : selected) {
-        if (!ltp_.canExtract())
+        if (!t.ltp.canExtract())
             break;
-        if (tryUnpark(inst, false)) {
-            ltp_.remove(inst);
-            if (!tickets_.liveSubset(inst->tickets).any() &&
+        if (tryUnpark(t, inst, false)) {
+            t.ltp.remove(inst);
+            if (!t.tickets.liveSubset(inst->tickets).any() &&
                 inst->nonReady)
-                stats_.ticketUnparks++;
+                t.stats.ticketUnparks++;
             else
-                stats_.boundaryUnparks++;
+                t.stats.boundaryUnparks++;
         }
     }
 }
@@ -483,9 +561,9 @@ Core::ltpWakeup()
 // Rename / dispatch
 
 SrcRef
-Core::readSrc(RegId reg) const
+Core::readSrc(const ThreadContext &t, RegId reg) const
 {
-    const RatEntry &e = rat_[reg];
+    const RatEntry &e = t.rat[reg];
     SrcRef ref;
     ref.cls = reg.regClass();
     switch (e.map.kind) {
@@ -498,7 +576,7 @@ Core::readSrc(RegId reg) const
         // The producer may have unparked without repointing the RAT
         // (a younger writer took over the mapping cannot happen here —
         // this *is* the current mapping), resolve eagerly if possible.
-        std::int32_t phys = ltp_rat_.lookup(e.map.idx);
+        std::int32_t phys = t.ltp_rat.lookup(e.map.idx);
         if (phys >= 0)
             ref.phys = phys;
         else
@@ -510,26 +588,26 @@ Core::readSrc(RegId reg) const
 }
 
 Core::Classification
-Core::classify(DynInst *inst)
+Core::classify(ThreadContext &t, DynInst *inst)
 {
     Classification c;
     const MicroOp &op = inst->op;
-    bool on = ltpOn();
+    bool on = ltpOn(t);
 
     // Table lookups happen once per instruction (when its group first
     // reaches rename); stall retries reuse the memoized answer.
     if (!inst->classified) {
         if (cfg_.ltp.classifier == ClassifierKind::Oracle) {
-            inst->urgent = oracle_->urgent(inst->seq);
-            inst->predictedLL = oracle_->longLatency(inst->seq);
+            inst->urgent = t.oracle->urgent(inst->seq);
+            inst->predictedLL = t.oracle->longLatency(inst->seq);
             inst->classified = true;
         } else if (on) {
-            inst->urgent = uit_.lookup(op.pc);
+            inst->urgent = t.uit.lookup(op.pc);
             // The hit/miss prediction also feeds the ROB long-latency
             // tracking the Non-Urgent wakeup boundary needs, so it runs
             // in every LTP mode.
             if (op.isLoad())
-                inst->predictedLL = llpred_.predictLong(op.pc);
+                inst->predictedLL = t.llpred.predictLong(op.pc);
             inst->classified = true;
         } else {
             // LTP powered off: nothing parks, so skip the lookups and
@@ -540,7 +618,7 @@ Core::classify(DynInst *inst)
         if (isFixedLongLat(op.opc))
             inst->predictedLL = true;
         if (inst->classified && inst->urgent)
-            stats_.classUrgent++;
+            t.stats.classUrgent++;
     }
     c.urgent = inst->urgent;
     c.predictedLL = inst->predictedLL;
@@ -549,8 +627,8 @@ Core::classify(DynInst *inst)
     // Recomputed on retries — tickets may have cleared while stalled.
     for (const auto &src : op.srcs)
         if (src.valid())
-            c.tickets.orWith(rat_[src].tickets);
-    c.tickets = tickets_.liveSubset(c.tickets);
+            c.tickets.orWith(t.rat[src].tickets);
+    c.tickets = t.tickets.liveSubset(c.tickets);
     c.nonReady = c.tickets.any();
 
     switch (cfg_.ltp.mode) {
@@ -571,41 +649,41 @@ Core::classify(DynInst *inst)
 }
 
 bool
-Core::renameOne(DynInst *inst)
+Core::renameOne(ThreadContext &t, DynInst *inst)
 {
     const MicroOp &op = inst->op;
-    rename_stall_commit_freed_ = false;
+    t.rename_stall_commit_freed = false;
 
     // A ROB-full stall is *not* a pressure trigger: parked instructions
     // keep their ROB entries (Section 3), so draining the LTP cannot
     // free ROB space — the forced unpark of a parked ROB head is the
     // rule that guarantees progress there.
-    if (rob_.full()) {
-        stats_.renameStallRob++;
+    if (t.rob.full()) {
+        t.stats.renameStallRob++;
         return false;
     }
 
-    Classification cls = classify(inst);
+    Classification cls = classify(t, inst);
 
     bool src_parked = false;
     for (const auto &src : op.srcs)
-        if (src.valid() && rat_[src].parked)
+        if (src.valid() && t.rat[src].parked)
             src_parked = true;
 
-    bool on = ltpOn();
+    bool on = ltpOn(t);
     bool must_park = src_parked; // no physical source to wait on
     bool park = must_park || (on && cls.parkEligible);
     if (!on && cls.parkEligible)
-        stats_.parkSkippedOff++;
+        t.stats.parkSkippedOff++;
 
     if (park) {
-        bool ltp_ok = ltp_.canInsert() &&
-                      (!inst->hasDst() || ltp_rat_.availableCount() > 0);
+        bool ltp_ok = t.ltp.canInsert() &&
+                      (!inst->hasDst() || t.ltp_rat.availableCount() > 0);
         if (!ltp_ok) {
             if (must_park) {
-                stats_.renameStallLtp++;
-                ltp_.fullStalls++;
-                rename_stall_commit_freed_ = true;
+                t.stats.renameStallLtp++;
+                t.ltp.fullStalls++;
+                t.rename_stall_commit_freed = true;
                 return false;
             }
             park = false;
@@ -614,12 +692,12 @@ Core::renameOne(DynInst *inst)
 
     if (!park) {
         if (!iq_.hasSpace()) {
-            stats_.renameStallIq++;
+            t.stats.renameStallIq++;
             return false;
         }
         if (inst->hasDst() &&
             regs(inst->dstClass()).freeFor(AllocPriority::Rename) <= 0) {
-            stats_.renameStallRegs++;
+            t.stats.renameStallRegs++;
             return false;
         }
     }
@@ -627,12 +705,12 @@ Core::renameOne(DynInst *inst)
     bool delay = cfg_.ltp.delayLqSq;
     bool need_lq = op.isLoad() && !(park && delay);
     bool need_sq = op.isStore() && !(park && delay);
-    if (need_lq && !lsq_.lqHasSpace(false)) {
-        stats_.renameStallLq++;
+    if (need_lq && !t.lsq.lqHasSpace(false)) {
+        t.stats.renameStallLq++;
         return false;
     }
-    if (need_sq && !lsq_.sqHasSpace(false)) {
-        stats_.renameStallSq++;
+    if (need_sq && !t.lsq.sqHasSpace(false)) {
+        t.stats.renameStallSq++;
         return false;
     }
 
@@ -640,15 +718,15 @@ Core::renameOne(DynInst *inst)
     inst->nonReady = cls.nonReady;
     inst->tickets = cls.tickets;
     if (cls.nonReady)
-        stats_.classNonReady++;
+        t.stats.classNonReady++;
 
     // Read sources (and their producer PCs) before touching the RAT:
     // an instruction may read and write the same architectural register.
     Addr producer_pcs[kMaxSrcs] = {0, 0, 0};
     for (int i = 0; i < kMaxSrcs; ++i) {
         if (op.srcs[i].valid()) {
-            inst->srcs[i] = readSrc(op.srcs[i]);
-            producer_pcs[i] = rat_[op.srcs[i]].producerPc;
+            inst->srcs[i] = readSrc(t, op.srcs[i]);
+            producer_pcs[i] = t.rat[op.srcs[i]].producerPc;
         }
     }
 
@@ -657,7 +735,7 @@ Core::renameOne(DynInst *inst)
         on) {
         for (Addr ppc : producer_pcs)
             if (ppc != 0)
-                uit_.insert(ppc);
+                t.uit.insert(ppc);
     }
 
     // Own ticket for predicted long-latency instructions.
@@ -665,25 +743,25 @@ Core::renameOne(DynInst *inst)
                            cfg_.ltp.mode == LtpMode::NRNU;
     TicketMask dst_tickets = cls.tickets;
     if (tickets_enabled && cls.predictedLL) {
-        int t = tickets_.allocate();
-        if (t >= 0) {
-            ticket_epoch_[t] += 1;
-            inst->ownTicket = t;
+        int ticket = t.tickets.allocate();
+        if (ticket >= 0) {
+            t.ticket_epoch[std::size_t(ticket)] += 1;
+            inst->ownTicket = ticket;
             dst_tickets.reset();
-            dst_tickets.set(t);
+            dst_tickets.set(ticket);
         }
     }
 
     // Destination rename.
     if (inst->hasDst()) {
-        RatEntry &e = rat_[op.dst];
+        RatEntry &e = t.rat[op.dst];
         inst->prevMap = e.map;
         inst->prevProducerPc = e.producerPc;
         inst->prevParkedBit = e.parked;
         inst->prevTickets = e.tickets;
 
         if (park) {
-            inst->ltpId = ltp_rat_.allocate();
+            inst->ltpId = t.ltp_rat.allocate();
             sim_assert(inst->ltpId >= 0);
             e.map = PrevMapping{PrevMapping::Kind::Ltp, inst->ltpId};
             e.parked = true;
@@ -698,24 +776,24 @@ Core::renameOne(DynInst *inst)
         e.tickets = dst_tickets;
     }
 
-    rob_.push(inst);
+    t.rob.push(inst);
     if (need_lq)
-        lsq_.insertLoad(inst);
+        t.lsq.insertLoad(inst);
     if (need_sq)
-        lsq_.insertStore(inst);
+        t.lsq.insertStore(inst);
     if (park && delay && op.isStore())
-        lsq_.addShadowStore(inst);
+        t.lsq.addShadowStore(inst);
 
     if (park) {
-        ltp_.push(inst);
+        t.ltp.push(inst);
         inst->parked = true;
-        stats_.parked++;
+        t.stats.parked++;
     } else {
         enqueueIq(inst, false);
     }
 
     if (inst->predictedLL)
-        ll_inflight_.insert(inst->seq);
+        t.ll_inflight.insert(inst->seq);
 
     inst->dispatched = true;
     inst->renameCycle = now_;
@@ -723,24 +801,74 @@ Core::renameOne(DynInst *inst)
     return true;
 }
 
+/**
+ * Thread visit order for this cycle's front-end arbitration.  A
+ * single-threaded core always yields {0}; round-robin rotates the
+ * starting thread every cycle; ICOUNT sorts by front-end + IQ
+ * occupancy (fewest first, ties to the lower tid) so window hogs
+ * yield bandwidth.
+ */
+const std::vector<int> &
+Core::threadOrder()
+{
+    int n = numThreads();
+    scratch_order_.clear();
+    if (n == 1 || cfg_.fetchPolicy == FetchPolicy::RoundRobin) {
+        int idx = n == 1 ? 0 : static_cast<int>(now_ % Cycle(n));
+        for (int i = 0; i < n; ++i) {
+            scratch_order_.push_back(idx);
+            idx += 1;
+            if (idx == n)
+                idx = 0;
+        }
+        return scratch_order_;
+    }
+    for (int i = 0; i < n; ++i)
+        scratch_order_.push_back(i);
+    auto icount = [&](int tid) {
+        return static_cast<int>(thread(tid).front_queue.size()) +
+               iq_.sizeOf(tid);
+    };
+    std::stable_sort(scratch_order_.begin(), scratch_order_.end(),
+                     [&](int a, int b) { return icount(a) < icount(b); });
+    return scratch_order_;
+}
+
+void
+Core::renameThread(ThreadContext &t, int &budget)
+{
+    while (budget > 0 && !t.front_queue.empty()) {
+        ThreadContext::FrontEntry &fe = t.front_queue.front();
+        if (fe.readyAt > now_)
+            break;
+        if (!renameOne(t, fe.inst)) {
+            // Commit-freed resource stall: nudge the LTP to drain so
+            // the oldest parked instruction can commit (Section 5.4).
+            if (t.rename_stall_commit_freed && !t.ltp.empty())
+                t.rename_pressure = true;
+            break;
+        }
+        t.front_queue.pop_front();
+        budget -= 1;
+        t.stats.renamed++;
+    }
+}
+
 void
 Core::rename()
 {
+    // The rename width is shared: threads are offered the remaining
+    // budget in policy order, so a stalled thread's leftover bandwidth
+    // flows to the next context instead of idling.
     int budget = cfg_.renameWidth;
-    while (budget > 0 && !front_queue_.empty()) {
-        FrontEntry &fe = front_queue_.front();
-        if (fe.readyAt > now_)
+    if (threads_.size() == 1) {
+        renameThread(*threads_[0], budget);
+        return;
+    }
+    for (int tid : threadOrder()) {
+        if (budget <= 0)
             break;
-        if (!renameOne(fe.inst)) {
-            // Commit-freed resource stall: nudge the LTP to drain so
-            // the oldest parked instruction can commit (Section 5.4).
-            if (rename_stall_commit_freed_ && !ltp_.empty())
-                rename_pressure_ = true;
-            break;
-        }
-        front_queue_.pop_front();
-        budget -= 1;
-        stats_.renamed++;
+        renameThread(thread(tid), budget);
     }
 }
 
@@ -763,7 +891,8 @@ Core::srcsReady(const DynInst *inst) const
 void
 Core::executeLoad(DynInst *inst, Cycle now)
 {
-    DynInst *conflict = lsq_.olderStoreConflict(inst);
+    ThreadContext &t = threadOf(inst);
+    DynInst *conflict = t.lsq.olderStoreConflict(inst);
     if (conflict && !conflict->executed) {
         // Exact-address (oracle) disambiguation: wait for the store's
         // data instead of speculating and squashing.
@@ -773,30 +902,31 @@ Core::executeLoad(DynInst *inst, Cycle now)
     }
     if (conflict) {
         // Store-to-load forwarding out of the SQ.
-        lsq_.forwards++;
+        t.lsq.forwards++;
         inst->memLevel = HitLevel::L1;
         Cycle ready = now + mem_.l1d().hitLatency();
         scheduleCompletion(inst, ready);
         if (inst->ownTicket >= 0)
-            scheduleTicketClear(inst->ownTicket, ready);
+            scheduleTicketClear(t, inst->ownTicket, ready);
         return;
     }
 
-    auto res = mem_.access(inst->op.pc, inst->op.effAddr, false, now);
+    auto res = mem_.access(inst->op.pc + t.mem_base,
+                           inst->op.effAddr + t.mem_base, false, now);
     if (!res) {
-        retry_events_.push(RetryEv{now + 1, inst->seq,
-                                   pool_gen_[inst->seq % kPoolSize]});
+        retry_events_.push(
+            RetryEv{now + 1, inst->seq, poolGen(inst), inst->tid});
         return;
     }
     inst->memLevel = res->level;
     inst->actualLL = mem_.isLongLatency(*res, now);
     if (inst->actualLL)
-        ll_inflight_.insert(inst->seq);
+        t.ll_inflight.insert(inst->seq);
     if (res->level == HitLevel::Dram)
-        monitor_.onDramDemandMiss(now);
+        t.monitor.onDramDemandMiss(now);
     scheduleCompletion(inst, res->dataReady);
     if (inst->ownTicket >= 0)
-        scheduleTicketClear(inst->ownTicket, res->earlyWakeup);
+        scheduleTicketClear(t, inst->ownTicket, res->earlyWakeup);
 }
 
 void
@@ -806,16 +936,18 @@ Core::execute()
     while (!retry_events_.empty() && retry_events_.top().when <= now_) {
         RetryEv ev = retry_events_.top();
         retry_events_.pop();
-        if (!eventInstValid(ev.seq, ev.gen))
+        ThreadContext &t = thread(ev.tid);
+        if (!eventInstValid(t, ev.seq, ev.gen))
             continue;
-        DynInst *inst = slotFor(ev.seq);
+        DynInst *inst = slotFor(t, ev.seq);
         if (!inst->completed && !inst->waitingOnStore)
             executeLoad(inst, now_);
     }
 
-    // Select walks only the ready list (oldest first) — readiness was
-    // established by the dependents-list wakeup at writeback, so the
-    // per-cycle srcsReady poll over the whole window is gone.
+    // Select walks only the ready list (oldest first across threads) —
+    // readiness was established by the dependents-list wakeup at
+    // writeback, so the per-cycle srcsReady poll over the whole window
+    // is gone.
     int budget = cfg_.issueWidth;
     scratch_select_.clear();
     auto &selected = scratch_select_;
@@ -832,20 +964,21 @@ Core::execute()
     });
 
     for (DynInst *inst : selected) {
+        ThreadContext &t = threadOf(inst);
         iq_.remove(inst);
         inst->issued = true;
         inst->issueCycle = now_;
-        stats_.iqIssued++;
+        t.stats.iqIssued++;
         for (const auto &src : inst->srcs)
             if (src.isPhys())
-                stats_.rfReads++;
+                t.stats.rfReads++;
 
         const MicroOp &op = inst->op;
         if (op.isLoad()) {
-            stats_.loadsExecuted++;
+            t.stats.loadsExecuted++;
             executeLoad(inst, now_);
         } else if (op.isStore()) {
-            stats_.storesExecuted++;
+            t.stats.storesExecuted++;
             scheduleCompletion(inst, now_ + 1);
         } else {
             int lat = opInfo(op.opc).latency;
@@ -853,86 +986,115 @@ Core::execute()
             scheduleCompletion(inst, done);
             if (inst->ownTicket >= 0) {
                 Cycle lead = std::min<Cycle>(done - now_, 8);
-                scheduleTicketClear(inst->ownTicket, done - lead);
+                scheduleTicketClear(t, inst->ownTicket, done - lead);
             }
         }
     }
 }
 
 // ---------------------------------------------------------------------
-// Store drain (post-commit)
+// Store drain (post-commit, per thread)
 
 void
-Core::drainStores()
+Core::drainStores(ThreadContext &t)
 {
     for (int i = 0; i < cfg_.sqDrainWidth; ++i) {
-        DynInst *st = lsq_.oldestDrainableStore();
+        DynInst *st = t.lsq.oldestDrainableStore();
         if (!st)
             break;
-        auto res = mem_.access(st->op.pc, st->op.effAddr, true, now_);
+        auto res = mem_.access(st->op.pc + t.mem_base,
+                               st->op.effAddr + t.mem_base, true, now_);
         if (!res)
             break; // MSHRs full: retry next cycle
-        lsq_.removeStore(st);
+        t.lsq.removeStore(st);
     }
 }
 
 // ---------------------------------------------------------------------
 // Fetch
 
-void
-Core::fetch()
+bool
+Core::fetchEligible(const ThreadContext &t) const
 {
-    if (!fetch_enabled_ || fetch_blocked_on_ != kSeqNone ||
-        now_ < fetch_resume_at_)
-        return;
+    return t.fetch_enabled && t.fetch_blocked_on == kSeqNone &&
+           now_ >= t.fetch_resume_at &&
+           static_cast<int>(t.front_queue.size()) < cfg_.fetchQueueCap;
+}
 
+void
+Core::fetchThread(ThreadContext &t)
+{
     int budget = cfg_.fetchWidth;
     while (budget > 0 &&
-           static_cast<int>(front_queue_.size()) < cfg_.fetchQueueCap) {
-        MicroOp op = source_.fetch(next_fetch_seq_);
+           static_cast<int>(t.front_queue.size()) < cfg_.fetchQueueCap) {
+        MicroOp op = t.source->fetch(t.next_fetch_seq);
 
-        MemAccessResult fr = mem_.fetchAccess(op.pc, now_);
+        MemAccessResult fr = mem_.fetchAccess(op.pc + t.mem_base, now_);
         if (fr.dataReady > now_ + mem_.l1i().hitLatency()) {
-            fetch_resume_at_ = fr.dataReady; // I-cache miss
+            t.fetch_resume_at = fr.dataReady; // I-cache miss
             break;
         }
 
-        DynInst *inst = allocInst(op, next_fetch_seq_);
-        next_fetch_seq_ += 1;
-        stats_.fetched++;
+        DynInst *inst = allocInst(t, op, t.next_fetch_seq);
+        t.next_fetch_seq += 1;
+        t.stats.fetched++;
 
         bool fetch_break = false;
         if (op.isBranch()) {
-            bool correct = bpred_.predict(op.pc, op.taken, op.target);
+            bool correct = t.bpred.predict(op.pc, op.taken, op.target);
             if (!correct) {
                 inst->mispredicted = true;
-                fetch_blocked_on_ = inst->seq;
+                t.fetch_blocked_on = inst->seq;
                 fetch_break = true;
             } else if (op.taken) {
                 fetch_break = true; // taken branch ends the fetch group
             }
         }
 
-        front_queue_.push_back(
-            FrontEntry{inst, now_ + cfg_.frontendDepth});
+        t.front_queue.push_back(
+            ThreadContext::FrontEntry{inst, now_ + cfg_.frontendDepth});
         budget -= 1;
         if (fetch_break)
             break;
     }
 }
 
+void
+Core::fetch()
+{
+    // Coarse-grained front-end multiplexing: one thread owns the whole
+    // fetch engine each cycle (the policy picks which); a thread that
+    // cannot fetch at all — redirecting, I-miss stalled, queue full —
+    // yields the slot to the next one in order.
+    if (threads_.size() == 1) {
+        ThreadContext &t = *threads_[0];
+        if (fetchEligible(t))
+            fetchThread(t);
+        return;
+    }
+    for (int tid : threadOrder()) {
+        ThreadContext &t = thread(tid);
+        if (!fetchEligible(t))
+            continue;
+        fetchThread(t);
+        break;
+    }
+}
+
 // ---------------------------------------------------------------------
 // Squash (memory-order violations; exercised by the store-set mode and
-// by tests — the default oracle disambiguation never violates)
+// by tests — the default oracle disambiguation never violates).
+// Squashes are a per-thread event: only thread @p tid's window rewinds.
 
 void
-Core::squashAfter(SeqNum keep)
+Core::squashAfter(SeqNum keep, int tid)
 {
-    stats_.squashes++;
+    ThreadContext &t = thread(tid);
+    t.stats.squashes++;
 
-    rob_.squashYoungerThan(keep, [&](DynInst *inst) {
+    t.rob.squashYoungerThan(keep, [&](DynInst *inst) {
         if (inst->hasDst()) {
-            RatEntry &e = rat_[inst->op.dst];
+            RatEntry &e = t.rat[inst->op.dst];
             e.map = inst->prevMap;
             e.producerPc = inst->prevProducerPc;
             e.parked = inst->prevParkedBit;
@@ -940,32 +1102,32 @@ Core::squashAfter(SeqNum keep)
             if (inst->dstPhys >= 0)
                 regs(inst->dstClass()).release(inst->dstPhys);
             if (inst->ltpId >= 0)
-                ltp_rat_.release(inst->ltpId);
+                t.ltp_rat.release(inst->ltpId);
         }
         if (inst->ownTicket >= 0) {
-            ticket_epoch_[inst->ownTicket] += 1;
-            tickets_.release(inst->ownTicket);
+            t.ticket_epoch[std::size_t(inst->ownTicket)] += 1;
+            t.tickets.release(inst->ownTicket);
         }
-        ll_inflight_.erase(inst->seq);
+        t.ll_inflight.erase(inst->seq);
         inst->squashed = true;
     });
 
-    iq_.squashYoungerThan(keep);
-    lsq_.squashYoungerThan(keep);
-    ltp_.squashYoungerThan(keep);
+    iq_.squashYoungerThan(keep, tid);
+    t.lsq.squashYoungerThan(keep);
+    t.ltp.squashYoungerThan(keep);
 
-    while (!front_queue_.empty() &&
-           front_queue_.back().inst->seq > keep) {
-        front_queue_.back().inst->squashed = true;
-        front_queue_.pop_back();
+    while (!t.front_queue.empty() &&
+           t.front_queue.back().inst->seq > keep) {
+        t.front_queue.back().inst->squashed = true;
+        t.front_queue.pop_back();
     }
 
-    if (next_fetch_seq_ > keep + 1)
-        next_fetch_seq_ = keep + 1;
+    if (t.next_fetch_seq > keep + 1)
+        t.next_fetch_seq = keep + 1;
 
-    if (fetch_blocked_on_ != kSeqNone && fetch_blocked_on_ > keep) {
-        fetch_blocked_on_ = kSeqNone;
-        fetch_resume_at_ = now_ + cfg_.redirectPenalty;
+    if (t.fetch_blocked_on != kSeqNone && t.fetch_blocked_on > keep) {
+        t.fetch_blocked_on = kSeqNone;
+        t.fetch_resume_at = now_ + cfg_.redirectPenalty;
     }
 }
 
@@ -978,71 +1140,145 @@ Core::tick()
     now_ += 1;
     advanceOccupancyStats();
     fu_.beginCycle();
-    ltp_.beginCycle();
+    for (auto &t : threads_)
+        t->ltp.beginCycle();
 
     processTicketEvents();
     writeback();
-    commit();
-    ltpWakeup();
+    for (auto &t : threads_)
+        commit(*t);
+    for (auto &t : threads_)
+        ltpWakeup(*t);
     rename();
     execute();
-    drainStores();
+    for (auto &t : threads_)
+        drainStores(*t);
     fetch();
 
-    monitor_.tick(now_);
+    for (auto &t : threads_)
+        t->monitor.tick(now_);
 }
 
-void
-Core::runUntilCommitted(std::uint64_t n, Cycle max_cycles)
+namespace {
+
+/** Commit-progress watchdog shared by every run loop. */
+constexpr Cycle kNoProgressWindow = 200000;
+
+[[noreturn]] void
+panicNoProgress(Cycle now, std::uint64_t committed)
 {
-    std::uint64_t last_committed = committedInsts();
+    panic("no commit progress for 200k cycles at cycle %llu "
+          "(likely deadlock; %llu committed)",
+          static_cast<unsigned long long>(now),
+          static_cast<unsigned long long>(committed));
+}
+
+} // namespace
+
+void
+Core::runUntilCommitted(std::uint64_t n, Cycle max_cycles,
+                        const TickHook &on_tick)
+{
+    // Single-threaded fast path: one counter, read straight off the
+    // context — this is the whole-simulation driver loop, so it must
+    // not pay per-thread aggregation (or an indirect hook call) on
+    // every tick.
+    if (threads_.size() == 1 && !on_tick) {
+        const Counter &committed = threads_[0]->stats.committed;
+        std::uint64_t last_committed = committed.value();
+        Cycle last_progress = now_;
+        while (committed.value() < n) {
+            tick();
+            if (committed.value() != last_committed) {
+                last_committed = committed.value();
+                last_progress = now_;
+            }
+            if (now_ - last_progress > kNoProgressWindow)
+                panicNoProgress(now_, last_committed);
+            if (now_ >= max_cycles)
+                break;
+        }
+        return;
+    }
+
+    auto leastCommitted = [&] {
+        std::uint64_t least = thread(0).stats.committed.value();
+        for (const auto &t : threads_)
+            least = std::min(least, t->stats.committed.value());
+        return least;
+    };
+    auto totalCommitted = [&] {
+        std::uint64_t total = 0;
+        for (const auto &t : threads_)
+            total += t->stats.committed.value();
+        return total;
+    };
+
+    std::uint64_t last_committed = totalCommitted();
     Cycle last_progress = now_;
-    while (committedInsts() < n) {
+    while (leastCommitted() < n) {
         tick();
-        if (committedInsts() != last_committed) {
-            last_committed = committedInsts();
+        if (on_tick)
+            on_tick();
+        if (totalCommitted() != last_committed) {
+            last_committed = totalCommitted();
             last_progress = now_;
         }
-        if (now_ - last_progress > 200000)
-            panic("no commit progress for 200k cycles at cycle %llu "
-                  "(likely deadlock; %llu committed)",
-                  static_cast<unsigned long long>(now_),
-                  static_cast<unsigned long long>(committedInsts()));
+        if (now_ - last_progress > kNoProgressWindow)
+            panicNoProgress(now_, last_committed);
         if (now_ >= max_cycles)
             break;
     }
 }
 
 void
+Core::setFetchEnabled(int tid, bool on)
+{
+    thread(tid).fetch_enabled = on;
+}
+
+void
 Core::drain()
 {
-    fetch_enabled_ = false;
+    for (auto &t : threads_)
+        t->fetch_enabled = false;
+    auto windowEmpty = [&] {
+        for (const auto &t : threads_)
+            if (!t->rob.empty() || !t->front_queue.empty())
+                return false;
+        return true;
+    };
     Cycle start = now_;
-    while (!rob_.empty() || !front_queue_.empty()) {
+    while (!windowEmpty()) {
         tick();
         if (now_ - start > 500000)
             panic("drain did not converge");
     }
-    fetch_enabled_ = true;
+    for (auto &t : threads_)
+        t->fetch_enabled = true;
 }
 
 /**
  * The one place per-cycle occupancy sampling happens: integrate every
  * core-structure occupancy stat up to the new cycle *before* any stage
  * mutates a level.  Structure mutators are untimed — they no longer
- * thread `now` through every call (see OccupancyStat's sampled style).
+ * thread `Cycle now` through every call (see OccupancyStat's sampled
+ * style).
  */
 void
 Core::advanceOccupancyStats()
 {
     iq_.occupancy.advanceTo(now_);
-    rob_.occupancy.advanceTo(now_);
-    lsq_.lqOccupancy.advanceTo(now_);
-    lsq_.sqOccupancy.advanceTo(now_);
-    ltp_.occupancy.advanceTo(now_);
-    ltp_.parkedWithDest.advanceTo(now_);
-    ltp_.parkedLoads.advanceTo(now_);
-    ltp_.parkedStores.advanceTo(now_);
+    for (auto &tp : threads_) {
+        ThreadContext &t = *tp;
+        t.rob.occupancy.advanceTo(now_);
+        t.lsq.lqOccupancy.advanceTo(now_);
+        t.lsq.sqOccupancy.advanceTo(now_);
+        t.ltp.occupancy.advanceTo(now_);
+        t.ltp.parkedWithDest.advanceTo(now_);
+        t.ltp.parkedLoads.advanceTo(now_);
+        t.ltp.parkedStores.advanceTo(now_);
+    }
     int_regs_.occupancy.advanceTo(now_);
     fp_regs_.occupancy.advanceTo(now_);
 }
@@ -1050,22 +1286,25 @@ Core::advanceOccupancyStats()
 void
 Core::resetStats()
 {
-    stats_.reset();
     iq_.inserts.reset();
     iq_.occupancy.reset(now_);
-    rob_.occupancy.reset(now_);
-    lsq_.lqOccupancy.reset(now_);
-    lsq_.sqOccupancy.reset(now_);
-    lsq_.forwards.reset();
-    ltp_.resetStats(now_);
     int_regs_.resetStats(now_);
     fp_regs_.resetStats(now_);
-    uit_.resetStats();
-    llpred_.resetStats();
-    tickets_.resetStats();
-    monitor_.resetStats(now_);
-    bpred_.lookups.reset();
-    bpred_.mispredicts.reset();
+    for (auto &tp : threads_) {
+        ThreadContext &t = *tp;
+        t.stats.reset();
+        t.rob.occupancy.reset(now_);
+        t.lsq.lqOccupancy.reset(now_);
+        t.lsq.sqOccupancy.reset(now_);
+        t.lsq.forwards.reset();
+        t.ltp.resetStats(now_);
+        t.uit.resetStats();
+        t.llpred.resetStats();
+        t.tickets.resetStats();
+        t.monitor.resetStats(now_);
+        t.bpred.lookups.reset();
+        t.bpred.mispredicts.reset();
+    }
 }
 
 } // namespace ltp

@@ -1,11 +1,23 @@
 /**
  * @file
- * The out-of-order core with integrated Long Term Parking.
+ * The out-of-order core with integrated Long Term Parking — an N-way
+ * SMT machine (N = 1 reproduces the paper's single-threaded Table 1
+ * core bit-for-bit).
  *
  * A cycle-driven model of the Table 1 machine: 8-wide fetch/decode/
  * rename, 6-wide issue, 8-wide writeback/commit, ROB 256, IQ 64, LQ 64,
  * SQ 32, 128 INT + 128 FP rename registers, gshare+BTB front end,
  * backed by the src/mem hierarchy.
+ *
+ * SMT partitioning (the Criticality-Aware-Multiprocessors / QoSMT
+ * setting): each hardware thread owns a ThreadContext holding its whole
+ * front end and in-order window — fetch queue, branch predictor, RAT,
+ * ROB, LSQ — plus its private LTP machinery (parking queue, tickets,
+ * UIT, hit/miss predictor, DRAM monitor) and instruction pool.  The
+ * issue queue, physical register files, functional units, and the
+ * memory hierarchy are shared: that contention is what parking
+ * non-critical instructions relieves.  Fetch and rename bandwidth are
+ * arbitrated by a pluggable policy (round-robin or ICOUNT).
  *
  * LTP integration points (Figure 8):
  *  - rename: UIT/oracle classification, parked-bit and ticket
@@ -22,6 +34,7 @@
 #ifndef LTP_CPU_CORE_HH
 #define LTP_CPU_CORE_HH
 
+#include <functional>
 #include <memory>
 #include <queue>
 #include <set>
@@ -54,6 +67,19 @@ const char *ltpModeName(LtpMode mode);
 
 /** Classification source: learned hardware tables vs. the oracle. */
 enum class ClassifierKind { Learned, Oracle };
+
+/**
+ * SMT fetch/rename arbitration policy:
+ *  - RoundRobin: threads take turns owning the front end, rotating
+ *    every cycle.
+ *  - ICount: the classic Tullsen policy — the thread with the fewest
+ *    instructions in its front-end queue plus the shared IQ goes
+ *    first, starving threads that hog the scheduling window.
+ * Irrelevant (and bit-invisible) on a single-threaded core.
+ */
+enum class FetchPolicy { RoundRobin, ICount };
+
+const char *fetchPolicyName(FetchPolicy p);
 
 /**
  * Non-Urgent wakeup policy (ablation of the Section 3.2 design choice):
@@ -107,6 +133,12 @@ struct CoreConfig
     int btbEntries = 4096;
     int sqDrainWidth = 2;
 
+    /// @name SMT (multi-context) shape
+    /// @{
+    int numThreads = 1; ///< hardware contexts sharing IQ/RF/FUs/memory
+    FetchPolicy fetchPolicy = FetchPolicy::RoundRobin;
+    /// @}
+
     FuConfig fu;
     LtpConfig ltp;
 };
@@ -122,7 +154,7 @@ class InstSource
     virtual void retire(SeqNum upto) { (void)upto; }
 };
 
-/** Behavioural counters exported by the core. */
+/** Behavioural counters exported by the core, one set per thread. */
 struct CoreStats
 {
     Counter committed;
@@ -161,35 +193,83 @@ struct CoreStats
     void reset();
 };
 
-/** The OOO core. */
+/**
+ * Per-thread simulated address-space stride.  Multiprogrammed SMT
+ * contexts model distinct programs: offsetting each thread's PCs and
+ * data addresses far above any kernel's footprint keeps their streams
+ * from aliasing in the shared hierarchy while leaving the set indexing
+ * (and the power-of-two DRAM channel/bank mapping) of each individual
+ * stream unchanged.  Thread 0's base is zero, so a single-threaded
+ * core touches exactly the paper's addresses.
+ */
+inline constexpr Addr kThreadAddrStride = Addr(1) << 40;
+
+/** The simulated address-space base of hardware thread @p tid. */
+inline constexpr Addr
+threadAddrBase(int tid)
+{
+    return Addr(tid) * kThreadAddrStride;
+}
+
+/** The OOO core: one shared back end, N hardware-thread contexts. */
 class Core
 {
   public:
     /**
+     * Single-threaded convenience constructor (the paper's machine).
      * @param oracle optional per-dynamic-instruction classification for
      *               limit-study runs (ClassifierKind::Oracle).
      */
     Core(const CoreConfig &cfg, MemSystem &mem, InstSource &source,
          const OracleClassification *oracle = nullptr);
 
+    /**
+     * SMT constructor: one InstSource (and optionally one oracle) per
+     * hardware thread; cfg.numThreads must equal sources.size().
+     */
+    Core(const CoreConfig &cfg, MemSystem &mem,
+         const std::vector<InstSource *> &sources,
+         const std::vector<const OracleClassification *> &oracles = {});
+
+    ~Core();
+
     /** Advance one cycle. */
     void tick();
 
-    /** Run until @p n instructions have committed (or @p max_cycles). */
-    void runUntilCommitted(std::uint64_t n,
-                           Cycle max_cycles = kCycleNever);
+    /** Hook run after every tick of a multi-thread run loop. */
+    using TickHook = std::function<void()>;
 
-    /** Stop fetching and run until the window is empty (tests). */
+    /**
+     * Run until every thread has committed @p n instructions (or
+     * @p max_cycles).  On a single-threaded core this is the classic
+     * "run until n committed".  @p on_tick, if set, runs after every
+     * tick — the Simulator's SMT staging uses it to detect per-thread
+     * quota crossings without a second driver loop.
+     */
+    void runUntilCommitted(std::uint64_t n,
+                           Cycle max_cycles = kCycleNever,
+                           const TickHook &on_tick = {});
+
+    /**
+     * Gate one thread's fetch (SMT staging: a context that has
+     * committed its phase quota stops consuming its instruction
+     * stream and drains, instead of running arbitrarily far ahead —
+     * which would walk off the end of a bounded `trace:` replay).
+     */
+    void setFetchEnabled(int tid, bool on);
+
+    /** Stop fetching and run until every window is empty (tests). */
     void drain();
 
     /**
-     * Squash every instruction younger than @p keep and rewind fetch.
-     * Exercised by memory-order-violation recovery and by tests.
+     * Squash every thread-@p tid instruction younger than @p keep and
+     * rewind that thread's fetch.  Exercised by memory-order-violation
+     * recovery and by tests.
      */
-    void squashAfter(SeqNum keep);
+    void squashAfter(SeqNum keep, int tid = 0);
 
-    /** Inspect the rename table (tests, classification inspector). */
-    const RatEntry &ratEntry(RegId r) const { return rat_[r]; }
+    /** Inspect a thread's rename table (tests, inspector). */
+    const RatEntry &ratEntry(RegId r, int tid = 0) const;
 
     /**
      * Brute-force source-readiness scan.  The scheduler no longer polls
@@ -200,23 +280,26 @@ class Core
     bool srcsReady(const DynInst *inst) const;
 
     Cycle cycle() const { return now_; }
-    std::uint64_t committedInsts() const { return stats_.committed.value(); }
+    int numThreads() const { return static_cast<int>(threads_.size()); }
+    std::uint64_t committedInsts(int tid = 0) const;
 
     /** Reset measurement state at the start of the detailed region. */
     void resetStats();
 
-    /// @name Component access (tests, metrics extraction)
+    /// @name Component access (tests, metrics extraction).  Thread-
+    /// owned structures take a tid (default 0 keeps every existing
+    /// single-threaded caller working unchanged).
     /// @{
-    CoreStats &stats() { return stats_; }
+    CoreStats &stats(int tid = 0);
     IssueQueue &iq() { return iq_; }
-    Rob &rob() { return rob_; }
-    Lsq &lsq() { return lsq_; }
-    LtpQueue &ltpQueue() { return ltp_; }
-    Uit &uit() { return uit_; }
-    TicketPool &tickets() { return tickets_; }
-    LoadLatencyPredictor &llpred() { return llpred_; }
-    LtpMonitor &monitor() { return monitor_; }
-    BranchPredictor &branchPred() { return bpred_; }
+    Rob &rob(int tid = 0);
+    Lsq &lsq(int tid = 0);
+    LtpQueue &ltpQueue(int tid = 0);
+    Uit &uit(int tid = 0);
+    TicketPool &tickets(int tid = 0);
+    LoadLatencyPredictor &llpred(int tid = 0);
+    LtpMonitor &monitor(int tid = 0);
+    BranchPredictor &branchPred(int tid = 0);
     PhysRegFile &regs(RegClass cls)
     {
         return cls == RegClass::Int ? int_regs_ : fp_regs_;
@@ -229,20 +312,111 @@ class Core
     /// @}
 
   private:
+    /**
+     * Everything one hardware thread owns: the in-order front end and
+     * window, the per-thread LTP machinery, and the instruction pool.
+     * The shared back end (IQ, register files, FUs, memory) lives on
+     * the Core itself.
+     */
+    struct ThreadContext
+    {
+        ThreadContext(int tid, const CoreConfig &cfg, InstSource &source,
+                      const OracleClassification *oracle,
+                      Cycle dram_latency);
+
+        int tid;
+        InstSource *source;
+        const OracleClassification *oracle;
+
+        // ---- front end ----
+        BranchPredictor bpred;
+        struct FrontEntry
+        {
+            DynInst *inst;
+            Cycle readyAt;
+        };
+        Ring<FrontEntry> front_queue;
+        SeqNum next_fetch_seq = 0;
+        SeqNum fetch_blocked_on = kSeqNone; ///< unresolved mispredict
+        Cycle fetch_resume_at = 0;
+        bool fetch_enabled = true;
+
+        // ---- rename / window ----
+        RenameTable rat;
+        LtpRat ltp_rat;
+        Rob rob;
+        Lsq lsq;
+
+        // ---- LTP ----
+        LtpQueue ltp;
+        Uit uit;
+        LoadLatencyPredictor llpred;
+        TicketPool tickets;
+        LtpMonitor monitor;
+        std::set<SeqNum> ll_inflight; ///< incomplete long-latency insts
+        bool rename_pressure = false; ///< resource-stall unpark trigger
+        /** Whether the last rename stall was on a *full LTP* with a
+         *  must-park instruction — the one stall that draining the LTP
+         *  relieves directly, and hence the only pressure trigger.
+         *  Register/LQ/SQ recovery is what the ROB-proximity wakeup
+         *  already provides (waking more than the about-to-commit
+         *  region early measurably wastes the registers parking
+         *  saved), and a parked ROB head is handled by the forced
+         *  unpark. */
+        bool rename_stall_commit_freed = false;
+        std::vector<std::uint64_t> ticket_epoch; ///< stale-event guard
+
+        // ---- instruction pool ----
+        std::vector<DynInst> pool;
+        std::vector<std::uint64_t> pool_gen;
+
+        /**
+         * Per-thread simulated address-space base: multiprogrammed
+         * contexts run distinct programs, so their memory streams must
+         * not alias in the shared hierarchy.  Zero for thread 0 — a
+         * single-threaded core touches exactly the paper's addresses.
+         */
+        Addr mem_base;
+
+        // ---- stats ----
+        CoreStats stats;
+    };
+
     // ---- pipeline stages (tick order) ----
     void processTicketEvents();
     void writeback();
-    void commit();
-    void ltpWakeup();
+    void commit(ThreadContext &t);
+    void ltpWakeup(ThreadContext &t);
     void rename();
     void execute();
-    void drainStores();
+    void drainStores(ThreadContext &t);
     void fetch();
 
     // ---- helpers ----
-    DynInst *slotFor(SeqNum seq);
-    DynInst *allocInst(const MicroOp &op, SeqNum seq);
-    bool eventInstValid(SeqNum seq, std::uint64_t gen) const;
+    ThreadContext &thread(int tid) { return *threads_[std::size_t(tid)]; }
+    const ThreadContext &thread(int tid) const
+    {
+        return *threads_[std::size_t(tid)];
+    }
+    ThreadContext &threadOf(const DynInst *inst)
+    {
+        return thread(inst->tid);
+    }
+    DynInst *slotFor(ThreadContext &t, SeqNum seq);
+    DynInst *allocInst(ThreadContext &t, const MicroOp &op, SeqNum seq);
+    bool eventInstValid(const ThreadContext &t, SeqNum seq,
+                        std::uint64_t gen) const;
+    std::uint64_t poolGen(const DynInst *inst) const;
+
+    /**
+     * Thread visit order for this cycle's fetch/rename arbitration,
+     * per cfg.fetchPolicy.  Always {0} on a single-threaded core.
+     */
+    const std::vector<int> &threadOrder();
+
+    void renameThread(ThreadContext &t, int &budget);
+    bool fetchEligible(const ThreadContext &t) const;
+    void fetchThread(ThreadContext &t);
 
     struct Classification
     {
@@ -252,80 +426,47 @@ class Core
         TicketMask tickets;
         bool parkEligible = false; ///< class-based park wanted
     };
-    Classification classify(DynInst *inst);
+    Classification classify(ThreadContext &t, DynInst *inst);
 
-    bool renameOne(DynInst *inst);
-    SrcRef readSrc(RegId reg) const;
-    bool tryUnpark(DynInst *inst, bool forced);
+    bool renameOne(ThreadContext &t, DynInst *inst);
+    SrcRef readSrc(const ThreadContext &t, RegId reg) const;
+    bool tryUnpark(ThreadContext &t, DynInst *inst, bool forced);
     void enqueueIq(DynInst *inst, bool emergency);
     void wakeDependents(PhysRegFile &rf, std::int32_t phys);
     void advanceOccupancyStats();
-    SeqNum nuWakeupBoundary() const;
+    SeqNum nuWakeupBoundary(const ThreadContext &t) const;
     void executeLoad(DynInst *inst, Cycle now);
     void scheduleCompletion(DynInst *inst, Cycle when);
-    void scheduleTicketClear(int ticket, Cycle when);
+    void scheduleTicketClear(ThreadContext &t, int ticket, Cycle when);
     void completeInst(DynInst *inst);
-    bool ltpOn() const;
+    bool ltpOn(const ThreadContext &t) const;
 
     // ---- configuration & wiring ----
     CoreConfig cfg_;
     MemSystem &mem_;
-    InstSource &source_;
-    const OracleClassification *oracle_;
 
     // ---- time ----
     Cycle now_ = 0;
 
-    // ---- front end ----
-    BranchPredictor bpred_;
-    struct FrontEntry
-    {
-        DynInst *inst;
-        Cycle readyAt;
-    };
-    Ring<FrontEntry> front_queue_;
-    SeqNum next_fetch_seq_ = 0;
-    SeqNum fetch_blocked_on_ = kSeqNone; ///< unresolved mispredict
-    Cycle fetch_resume_at_ = 0;
-    bool fetch_enabled_ = true;
+    // ---- hardware threads ----
+    std::vector<std::unique_ptr<ThreadContext>> threads_;
 
-    // ---- rename ----
-    RenameTable rat_;
-    LtpRat ltp_rat_;
+    // ---- shared rename targets ----
     PhysRegFile int_regs_;
     PhysRegFile fp_regs_;
 
-    // ---- window ----
-    Rob rob_;
+    // ---- shared window / execution ----
     IssueQueue iq_;
-    Lsq lsq_;
     FuPool fu_;
 
-    // ---- LTP ----
-    LtpQueue ltp_;
-    Uit uit_;
-    LoadLatencyPredictor llpred_;
-    TicketPool tickets_;
-    LtpMonitor monitor_;
-    std::set<SeqNum> ll_inflight_; ///< incomplete long-latency insts
-    bool rename_pressure_ = false; ///< resource-stall unpark trigger
-    /** Whether the last rename stall was on a *full LTP* with a
-     *  must-park instruction — the one stall that draining the LTP
-     *  relieves directly, and hence the only pressure trigger.
-     *  Register/LQ/SQ recovery is what the ROB-proximity wakeup
-     *  already provides (waking more than the about-to-commit region
-     *  early measurably wastes the registers parking saved), and a
-     *  parked ROB head is handled by the forced unpark. */
-    bool rename_stall_commit_freed_ = false;
-    std::vector<std::uint64_t> ticket_epoch_; ///< stale-event guard
-
-    // ---- events ----
+    // ---- events (shared clock, tid-tagged payloads) ----
     /** Result-ready event (drained by writeback, width-limited). */
     struct CompletionEv
     {
         Cycle when;
         SeqNum seq;
         std::uint64_t gen;
+        int tid;
         bool operator>(const CompletionEv &o) const { return when > o.when; }
     };
     /** Early-wakeup broadcast clearing a ticket (Appendix A). */
@@ -334,6 +475,7 @@ class Core
         Cycle when;
         int ticket;
         std::uint64_t epoch; ///< guards against cleared-then-reused ids
+        int tid;
         bool operator>(const TicketEv &o) const { return when > o.when; }
     };
     /** Retry of a load whose L1D MSHR allocation failed. */
@@ -342,6 +484,7 @@ class Core
         Cycle when;
         SeqNum seq;
         std::uint64_t gen;
+        int tid;
         bool operator>(const RetryEv &o) const { return when > o.when; }
     };
     template <typename T>
@@ -350,14 +493,10 @@ class Core
     MinHeap<TicketEv> ticket_events_;
     MinHeap<RetryEv> retry_events_;
 
-    // ---- instruction pool ----
-    std::vector<DynInst> pool_;
-    std::vector<std::uint64_t> pool_gen_;
-
-    // ---- stats ----
-    CoreStats stats_;
+    // ---- scratch ----
     std::vector<DynInst *> scratch_loads_;  ///< store-wake collection
     std::vector<DynInst *> scratch_select_; ///< per-cycle select list
+    std::vector<int> scratch_order_;        ///< per-cycle thread order
 };
 
 } // namespace ltp

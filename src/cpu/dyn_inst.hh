@@ -65,6 +65,7 @@ struct DynInst
 {
     MicroOp op;
     SeqNum seq = kSeqNone;
+    int tid = 0; ///< hardware thread (SMT context) this belongs to
 
     /// @name Classification (Section 2)
     /// @{
@@ -145,12 +146,25 @@ struct DynInst
 
     /** Reset for reuse from the instruction pool. */
     void
-    init(const MicroOp &o, SeqNum s, Cycle fetch_cycle)
+    init(const MicroOp &o, SeqNum s, Cycle fetch_cycle, int thread = 0)
     {
         *this = DynInst{};
         op = o;
         seq = s;
+        tid = thread;
         fetchCycle = fetch_cycle;
+    }
+
+    /**
+     * Age order across hardware threads: per-thread sequence numbers
+     * are only comparable within a thread, so cross-thread structures
+     * (the shared IQ) order by (seq, tid) — identical to plain seq
+     * order on a single-threaded machine.
+     */
+    bool
+    olderThan(const DynInst &o) const
+    {
+        return seq < o.seq || (seq == o.seq && tid < o.tid);
     }
 
     std::string toString() const;

@@ -1,20 +1,27 @@
 /**
  * @file
- * Issue Queue: out-of-order scheduling window, event-driven.
+ * Issue Queue: out-of-order scheduling window, event-driven, shared by
+ * every hardware thread of an SMT core.
  *
  * Entries are allocated at dispatch and freed at issue (Figure 4) —
  * this early deallocation is why Non-Ready instructions waiting on
  * misses are what actually fills the IQ, the observation LTP builds on.
+ * Under SMT the queue is a single shared structure: co-running threads
+ * compete for its entries, which is exactly the contention LTP's
+ * parking relieves.
  *
  * Structure: entries live on an intrusive doubly-linked list kept in
- * sequence order (DynInst::iqPrev/iqNext), so insert is O(1) amortized
- * — dispatch arrives in program order and appends at the tail; only a
- * late unpark walks backwards.  Ready entries additionally sit on a
- * second seq-ordered intrusive list (readyPrev/readyNext) mirrored by a
- * seq-indexed ready bitmask.  Wakeup (the core's dependents-list walk)
- * calls markReady() exactly once per instruction when its last source
- * turns ready; select then pops oldest-ready directly off the ready
- * list instead of polling every entry's scoreboard bits each cycle.
+ * age order (DynInst::iqPrev/iqNext), so insert is O(1) amortized —
+ * dispatch arrives in program order and appends at the tail; only a
+ * late unpark walks backwards.  Age across threads is the (seq, tid)
+ * pair (per-thread sequence numbers are incomparable between threads);
+ * on a single-threaded machine this degenerates to plain seq order.
+ * Ready entries additionally sit on a second age-ordered intrusive
+ * list (readyPrev/readyNext) mirrored by a (tid, seq)-indexed ready
+ * bitmask.  Wakeup (the core's dependents-list walk) calls markReady()
+ * exactly once per instruction when its last source turns ready;
+ * select then pops oldest-ready directly off the ready list instead of
+ * polling every entry's scoreboard bits each cycle.
  *
  * Select policy: oldest-first among ready entries, bounded by issue
  * width and functional-unit availability (checked by the core via the
@@ -34,12 +41,14 @@
 
 namespace ltp {
 
-/** The issue queue (scheduling window). */
+/** The issue queue (scheduling window), shared across SMT contexts. */
 class IssueQueue
 {
   public:
-    explicit IssueQueue(int capacity)
-        : capacity_(capacity), ready_bits_(kInstWindow / 64, 0)
+    explicit IssueQueue(int capacity, int num_threads = 1)
+        : capacity_(capacity),
+          ready_bits_((kInstWindow / 64) * std::size_t(num_threads), 0),
+          tid_size_(std::size_t(num_threads), 0)
     {
     }
 
@@ -53,18 +62,22 @@ class IssueQueue
     int capacity() const { return capacity_; }
     bool empty() const { return size_ == 0; }
 
-    /** Insert in sequence order (unparked entries arrive "late"). */
+    /** Entries belonging to thread @p tid (ICOUNT fetch policy). */
+    int sizeOf(int tid) const { return tid_size_[std::size_t(tid)]; }
+
+    /** Insert in age order (unparked entries arrive "late"). */
     void
     insert(DynInst *inst, bool emergency = false)
     {
         sim_assert(emergency ? hasEmergencySpace() : hasSpace());
         sim_assert(!inst->inIq);
         DynInst *after = tail_;
-        while (after && after->seq > inst->seq)
+        while (after && inst->olderThan(*after))
             after = after->iqPrev;
         linkAfter(inst, after);
         inst->inIq = true;
         size_ += 1;
+        tid_size_[std::size_t(inst->tid)] += 1;
         inserts++;
         occupancy.add(1);
     }
@@ -78,10 +91,10 @@ class IssueQueue
     markReady(DynInst *inst)
     {
         sim_assert(inst->inIq);
-        sim_assert(!testReadyBit(inst->seq));
-        setReadyBit(inst->seq);
+        sim_assert(!testReadyBit(inst));
+        setReadyBit(inst);
         DynInst *after = ready_tail_;
-        while (after && after->seq > inst->seq)
+        while (after && inst->olderThan(*after))
             after = after->readyPrev;
         linkReadyAfter(inst, after);
     }
@@ -90,7 +103,7 @@ class IssueQueue
     bool
     isReady(const DynInst *inst) const
     {
-        return inst->inIq && testReadyBit(inst->seq);
+        return inst->inIq && testReadyBit(inst);
     }
 
     /** Remove at issue (frees the entry, per Figure 4). */
@@ -99,12 +112,13 @@ class IssueQueue
     {
         sim_assert(inst->inIq);
         unlink(inst);
-        if (testReadyBit(inst->seq)) {
-            clearReadyBit(inst->seq);
+        if (testReadyBit(inst)) {
+            clearReadyBit(inst);
             unlinkReady(inst);
         }
         inst->inIq = false;
         size_ -= 1;
+        tid_size_[std::size_t(inst->tid)] -= 1;
         occupancy.sub(1);
     }
 
@@ -126,11 +140,23 @@ class IssueQueue
             fn(inst);
     }
 
+    /**
+     * Drop thread @p tid's entries younger than @p keep.  The list is
+     * age-ordered, so every removable entry sits in the tail region
+     * where seq > keep (other threads' younger entries interleave there
+     * and are skipped); the scan stops at the first entry with
+     * seq <= keep, exactly as the single-threaded tail-pop did.
+     */
     void
-    squashYoungerThan(SeqNum keep)
+    squashYoungerThan(SeqNum keep, int tid = 0)
     {
-        while (tail_ && tail_->seq > keep)
-            remove(tail_);
+        DynInst *it = tail_;
+        while (it && it->seq > keep) {
+            DynInst *prev = it->iqPrev;
+            if (it->tid == tid)
+                remove(it);
+            it = prev;
+        }
     }
 
     Counter inserts;
@@ -195,25 +221,30 @@ class IssueQueue
         inst->readyPrev = inst->readyNext = nullptr;
     }
 
-    // The bitmask is indexed by seq modulo the in-flight window; the
-    // instruction pool guarantees live sequence numbers never collide
-    // within kInstWindow slots.
-    std::size_t bitWord(SeqNum seq) const
+    // The bitmask is indexed by (tid, seq modulo the in-flight window);
+    // each thread's instruction pool guarantees its live sequence
+    // numbers never collide within kInstWindow slots, and the per-tid
+    // stripe keeps threads from colliding with each other.
+    std::size_t bitWord(const DynInst *inst) const
     {
-        return (seq & (kInstWindow - 1)) >> 6;
+        return std::size_t(inst->tid) * (kInstWindow / 64) +
+               ((inst->seq & (kInstWindow - 1)) >> 6);
     }
-    std::uint64_t bitMask(SeqNum seq) const
+    std::uint64_t bitMask(const DynInst *inst) const
     {
-        return std::uint64_t(1) << (seq & 63);
+        return std::uint64_t(1) << (inst->seq & 63);
     }
-    bool testReadyBit(SeqNum seq) const
+    bool testReadyBit(const DynInst *inst) const
     {
-        return ready_bits_[bitWord(seq)] & bitMask(seq);
+        return ready_bits_[bitWord(inst)] & bitMask(inst);
     }
-    void setReadyBit(SeqNum seq) { ready_bits_[bitWord(seq)] |= bitMask(seq); }
-    void clearReadyBit(SeqNum seq)
+    void setReadyBit(const DynInst *inst)
     {
-        ready_bits_[bitWord(seq)] &= ~bitMask(seq);
+        ready_bits_[bitWord(inst)] |= bitMask(inst);
+    }
+    void clearReadyBit(const DynInst *inst)
+    {
+        ready_bits_[bitWord(inst)] &= ~bitMask(inst);
     }
 
     int capacity_;
@@ -222,7 +253,8 @@ class IssueQueue
     DynInst *tail_ = nullptr; ///< youngest entry
     DynInst *ready_head_ = nullptr; ///< oldest ready entry
     DynInst *ready_tail_ = nullptr; ///< youngest ready entry
-    std::vector<std::uint64_t> ready_bits_; ///< seq-indexed ready mask
+    std::vector<std::uint64_t> ready_bits_; ///< (tid, seq)-indexed mask
+    std::vector<int> tid_size_; ///< per-thread entry counts (ICOUNT)
 };
 
 } // namespace ltp

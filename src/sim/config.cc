@@ -179,7 +179,7 @@ SimConfig::withSeed(std::uint64_t s)
 namespace {
 
 enum class FieldKind { Int, U64, Double, Bool, String, Mode, Classifier,
-                       Wakeup };
+                       Wakeup, Fetch };
 
 /** One serializable field: dotted path + typed pointer into a config. */
 struct Field
@@ -231,6 +231,8 @@ fieldsOf(SimConfig &c)
         I("core.bpTableBits", co.bpTableBits),
         I("core.btbEntries", co.btbEntries),
         I("core.sqDrainWidth", co.sqDrainWidth),
+        I("core.numThreads", co.numThreads),
+        {"core.fetchPolicy", FieldKind::Fetch, &co.fetchPolicy},
         I("core.fu.alu", fu.alu),
         I("core.fu.mul", fu.mul),
         I("core.fu.fp", fu.fp),
@@ -355,6 +357,18 @@ parseWakeup(const std::string &s, const std::string &where)
               " (expected robProximity|eager|lazy)");
 }
 
+FetchPolicy
+parseFetch(const std::string &s, const std::string &where)
+{
+    std::string t = lowered(s);
+    if (t == "roundrobin" || t == "rr")
+        return FetchPolicy::RoundRobin;
+    if (t == "icount")
+        return FetchPolicy::ICount;
+    badConfig("bad fetch policy '" + s + "' at " + where +
+              " (expected roundRobin|icount)");
+}
+
 /** JSON fragment for one scalar field (sizes print kInfiniteSize as
  *  "inf", matching what the parsers accept). */
 std::string
@@ -380,6 +394,9 @@ fieldFragment(const Field &f)
             classifierName(*static_cast<ClassifierKind *>(f.p)));
       case FieldKind::Wakeup:
         return jsonQuote(wakeupName(*static_cast<WakeupPolicy *>(f.p)));
+      case FieldKind::Fetch:
+        return jsonQuote(
+            fetchPolicyName(*static_cast<FetchPolicy *>(f.p)));
     }
     return "null";
 }
@@ -481,6 +498,7 @@ setFromJson(const Field &f, const JsonValue &v, const std::string &where)
       case FieldKind::Mode:
       case FieldKind::Classifier:
       case FieldKind::Wakeup:
+      case FieldKind::Fetch:
         if (!v.isString())
             badConfig(std::string("expected a string at ") + where +
                       ", got " + JsonValue::kindName(v.kind));
@@ -491,10 +509,64 @@ setFromJson(const Field &f, const JsonValue &v, const std::string &where)
         else if (f.kind == FieldKind::Classifier)
             *static_cast<ClassifierKind *>(f.p) =
                 parseClassifier(v.str, where);
-        else
+        else if (f.kind == FieldKind::Wakeup)
             *static_cast<WakeupPolicy *>(f.p) = parseWakeup(v.str, where);
+        else
+            *static_cast<FetchPolicy *>(f.p) = parseFetch(v.str, where);
         return;
     }
+}
+
+/** Edit distance between two path spellings (classic Levenshtein). */
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diag = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            std::size_t up = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                               diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+            diag = up;
+        }
+    }
+    return row[b.size()];
+}
+
+/**
+ * " (did you mean 'X'?)" for the registry path(s) closest to the
+ * mistyped @p path, or an empty string when nothing is plausibly
+ * close (within ~a third of the spelling, minimum 2 edits).
+ */
+std::string
+didYouMean(const std::string &path)
+{
+    SimConfig scratch;
+    std::size_t best = std::max<std::size_t>(2, path.size() / 3);
+    std::vector<std::string> nearest;
+    for (const Field &f : fieldsOf(scratch)) {
+        std::size_t d = editDistance(path, f.path);
+        if (d < best) {
+            best = d;
+            nearest.assign(1, f.path);
+        } else if (d == best) {
+            nearest.push_back(f.path);
+        }
+    }
+    if (nearest.empty() || nearest.size() > 3)
+        return "";
+    std::string out = " (did you mean ";
+    for (std::size_t i = 0; i < nearest.size(); ++i) {
+        if (i)
+            out += i + 1 == nearest.size() ? " or " : ", ";
+        out += "'" + nearest[i] + "'";
+    }
+    out += "?)";
+    return out;
 }
 
 /** Recursively apply a JSON object's keys through the registry. */
@@ -611,10 +683,14 @@ applyOverride(SimConfig &cfg, const std::string &path,
           case FieldKind::Wakeup:
             *static_cast<WakeupPolicy *>(f.p) = parseWakeup(value, path);
             return;
+          case FieldKind::Fetch:
+            *static_cast<FetchPolicy *>(f.p) = parseFetch(value, path);
+            return;
         }
     }
-    badConfig("unknown config path '" + path +
-              "' (run `ltp print-config baseline` for the schema)");
+    std::string hint = didYouMean(path);
+    badConfig("unknown config path '" + path + "'" + hint +
+              " (run `ltp print-config baseline` for the schema)");
 }
 
 std::vector<std::string>

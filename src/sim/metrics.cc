@@ -1,6 +1,7 @@
 #include "sim/metrics.hh"
 
 #include <sstream>
+#include <stdexcept>
 
 #include "common/logging.hh"
 
@@ -60,8 +61,46 @@ averageMetrics(const std::vector<Metrics> &runs, const std::string &label)
         avg.energy.ltp += m.energy.ltp / n;
         avg.ed2p += m.ed2p / n;
         avg.edp += m.edp / n;
+        avg.weightedSpeedup += m.weightedSpeedup / n;
+    }
+
+    // Per-thread breakdowns average slot-wise when every run has the
+    // same SMT shape (the usual case: one group over one config);
+    // mixed shapes have no meaningful per-thread average.
+    bool same_shape = true;
+    for (const Metrics &m : runs)
+        same_shape = same_shape &&
+                     m.threads.size() == runs.front().threads.size();
+    if (same_shape && !runs.front().threads.empty()) {
+        avg.threads.resize(runs.front().threads.size());
+        for (std::size_t i = 0; i < avg.threads.size(); ++i) {
+            ThreadMetrics &slot = avg.threads[i];
+            slot.workload = runs.front().threads[i].workload;
+            for (const Metrics &m : runs) {
+                slot.insts += m.threads[i].insts;
+                slot.cycles += m.threads[i].cycles;
+                slot.ipc += m.threads[i].ipc / n;
+            }
+        }
     }
     return avg;
+}
+
+double
+weightedSpeedup(const Metrics &smt, const std::vector<Metrics> &alone)
+{
+    if (smt.threads.size() != alone.size() || alone.empty())
+        throw std::runtime_error(
+            "weightedSpeedup: need one standalone run per SMT thread");
+    double ws = 0.0;
+    for (std::size_t i = 0; i < alone.size(); ++i) {
+        if (alone[i].ipc == 0.0)
+            throw std::runtime_error(
+                "weightedSpeedup: standalone IPC is zero for thread " +
+                std::to_string(i));
+        ws += smt.threads[i].ipc / alone[i].ipc;
+    }
+    return ws;
 }
 
 } // namespace ltp

@@ -15,6 +15,23 @@
 
 namespace ltp {
 
+/**
+ * Per-hardware-thread slice of an SMT run, measured with the standard
+ * fixed-instruction-sample methodology: each thread's detail region
+ * ends the cycle it commits its instruction quota.  A finished thread
+ * then stops fetching and drains (so a bounded `trace:` member never
+ * runs off the end of its recording) while co-runners continue to
+ * their own quotas.  Single-threaded runs carry exactly one entry
+ * whose numbers mirror the aggregate fields.
+ */
+struct ThreadMetrics
+{
+    std::string workload;
+    std::uint64_t insts = 0;  ///< committed when the quota was reached
+    std::uint64_t cycles = 0; ///< detail cycles to reach the quota
+    double ipc = 0.0;
+};
+
 /** Results of one (config, workload) run over the detailed region. */
 struct Metrics
 {
@@ -65,6 +82,17 @@ struct Metrics
     double edp = 0.0;
     /// @}
 
+    /// @name SMT (multi-context) breakdown
+    /// @{
+    /** One entry per hardware thread, tid order.  Serialized (and
+     *  golden-snapshotted) only when there are two or more — a
+     *  single-threaded run's Metrics JSON is unchanged. */
+    std::vector<ThreadMetrics> threads;
+    /** Sum over threads of IPC_i(SMT) / IPC_i(alone); zero until
+     *  computed against standalone baselines (weightedSpeedup()). */
+    double weightedSpeedup = 0.0;
+    /// @}
+
     /** IPC speedup of this run over @p base, as a fraction. */
     double
     speedupOver(const Metrics &base) const
@@ -92,6 +120,17 @@ struct Metrics
 /** Arithmetic-mean aggregate of a group of runs (paper group averages). */
 Metrics averageMetrics(const std::vector<Metrics> &runs,
                        const std::string &label);
+
+/**
+ * Multiprogrammed weighted speedup: sum over hardware threads of
+ * IPC_i(SMT) / IPC_i(alone), where @p alone holds each thread's
+ * standalone (single-context) run in tid order.  N identical threads
+ * with no interference score N.
+ * @throws std::runtime_error when the shapes disagree or a standalone
+ *         IPC is zero.
+ */
+double weightedSpeedup(const Metrics &smt,
+                       const std::vector<Metrics> &alone);
 
 } // namespace ltp
 

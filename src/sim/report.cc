@@ -55,6 +55,30 @@ metricsObject(const Metrics &m, int indent)
 
     o.num("ed2p", m.ed2p);
     o.num("edp", m.edp);
+
+    // SMT breakdown: emitted only for genuinely multi-context runs so
+    // single-threaded Metrics JSON (and the committed golden
+    // snapshots) is byte-identical to the pre-SMT format.
+    if (m.threads.size() > 1) {
+        std::string arr = "[\n";
+        for (std::size_t i = 0; i < m.threads.size(); ++i) {
+            const ThreadMetrics &tm = m.threads[i];
+            JsonObjectBuilder to;
+            to.str("workload", tm.workload);
+            to.u64("insts", tm.insts);
+            to.u64("cycles", tm.cycles);
+            to.num("ipc", tm.ipc);
+            arr += std::string(indent + 4, ' ') + to.render(indent + 4);
+            if (i + 1 < m.threads.size())
+                arr += ",";
+            arr += "\n";
+        }
+        arr += std::string(indent + 2, ' ') + "]";
+        JsonObjectBuilder smt;
+        smt.num("weightedSpeedup", m.weightedSpeedup);
+        smt.field("threads", arr);
+        o.field("smt", smt.render(indent + 2));
+    }
     return o;
 }
 
@@ -141,6 +165,23 @@ metricsFromJson(const std::string &json)
 
     m.ed2p = numAt(root, "ed2p");
     m.edp = numAt(root, "edp");
+
+    auto smt = root.object.find("smt");
+    if (smt != root.object.end() && smt->second.isObject()) {
+        m.weightedSpeedup = numAt(smt->second, "weightedSpeedup");
+        auto threads = smt->second.object.find("threads");
+        if (threads != smt->second.object.end() &&
+            threads->second.isArray()) {
+            for (const JsonValue &tv : threads->second.array) {
+                ThreadMetrics tm;
+                tm.workload = strAt(tv, "workload");
+                tm.insts = u64At(tv, "insts");
+                tm.cycles = u64At(tv, "cycles");
+                tm.ipc = numAt(tv, "ipc");
+                m.threads.push_back(tm);
+            }
+        }
+    }
     return m;
 }
 
@@ -197,10 +238,24 @@ csvField(const std::string &s)
 std::string
 reportToCsv(const SweepResult &result)
 {
+    // Per-thread breakdowns ride along as semicolon-joined lists in
+    // tid order, so the table stays rectangular whatever mix of
+    // single-threaded and SMT cells a sweep produces.
+    auto joinThreads = [](const Metrics &m, auto &&field) {
+        std::string out;
+        for (std::size_t i = 0; i < m.threads.size(); ++i) {
+            if (i)
+                out += ';';
+            out += field(m.threads[i]);
+        }
+        return out;
+    };
     std::ostringstream out;
     out << "row,series,config,workload,insts,cycles,ipc,cpi,"
         << "avgOutstanding,avgLoadLatency,dramReads,iqOcc,rfOcc,ltpOcc,"
-        << "parkedFrac,ed2p,edp\n";
+        << "parkedFrac,ed2p,edp,"
+        << "threads,threadWorkloads,threadInsts,threadCycles,"
+        << "threadIpcs,weightedSpeedup\n";
     for (const std::string &row : result.grid.rows()) {
         for (const std::string &series : result.grid.series(row)) {
             const Metrics &m = result.grid.at(row, series);
@@ -210,7 +265,30 @@ reportToCsv(const SweepResult &result)
                 << m.ipc << ',' << m.cpi << ',' << m.avgOutstanding << ','
                 << m.avgLoadLatency << ',' << m.dramReads << ','
                 << m.iqOcc << ',' << m.rfOcc << ',' << m.ltpOcc << ','
-                << m.parkedFrac << ',' << m.ed2p << ',' << m.edp << '\n';
+                << m.parkedFrac << ',' << m.ed2p << ',' << m.edp << ','
+                << m.threads.size() << ','
+                << csvField(joinThreads(
+                       m, [](const ThreadMetrics &t) {
+                           return t.workload;
+                       }))
+                << ','
+                << joinThreads(m,
+                               [](const ThreadMetrics &t) {
+                                   return std::to_string(t.insts);
+                               })
+                << ','
+                << joinThreads(m,
+                               [](const ThreadMetrics &t) {
+                                   return std::to_string(t.cycles);
+                               })
+                << ','
+                << joinThreads(m,
+                               [](const ThreadMetrics &t) {
+                                   std::ostringstream v;
+                                   v << t.ipc;
+                                   return v.str();
+                               })
+                << ',' << m.weightedSpeedup << '\n';
         }
     }
     return out.str();

@@ -230,14 +230,16 @@ parseWorkloads(Scenario &sc, const JsonValue &v,
 {
     if (!v.isObject())
         wrongKind(v, "an object", "workloads");
-    checkKeys(v, {"kernels", "panels", "groups", "traces"}, "workloads");
+    checkKeys(v, {"kernels", "panels", "groups", "traces", "pairs"},
+              "workloads");
     int forms = int(find(v, "kernels") != nullptr) +
                 int(find(v, "panels") != nullptr) +
                 int(find(v, "groups") != nullptr) +
-                int(find(v, "traces") != nullptr);
+                int(find(v, "traces") != nullptr) +
+                int(find(v, "pairs") != nullptr);
     if (forms != 1)
         bad("workloads needs exactly one of kernels|panels|groups|"
-            "traces");
+            "traces|pairs");
 
     if (const JsonValue *k = find(v, "kernels")) {
         sc.workloadKind = Scenario::WorkloadKind::Kernels;
@@ -271,6 +273,29 @@ parseWorkloads(Scenario &sc, const JsonValue &v,
                     std::to_string(i) +
                     "] (a kernel name, mlp_sensitive, or "
                     "mlp_insensitive)");
+        }
+    } else if (const JsonValue *p = find(v, "pairs")) {
+        sc.workloadKind = Scenario::WorkloadKind::Pairs;
+        if (!p->isArray() || p->array.empty())
+            bad("workloads.pairs must be a non-empty array of kernel "
+                "tuples");
+        for (std::size_t i = 0; i < p->array.size(); ++i) {
+            std::string at = "workloads.pairs[" + std::to_string(i) +
+                             "]";
+            std::vector<std::string> members = stringList(p->array[i],
+                                                          at);
+            if (members.size() < 2)
+                bad(at + " needs at least two co-running workloads");
+            checkKernels(members, at, baseDir);
+            // '+' is the smt:<a>+<b> separator; a resolved member
+            // containing one (a trace under a '+'-named directory)
+            // could not be re-parsed from the tuple name.
+            for (const std::string &member : members)
+                if (member.find('+') != std::string::npos)
+                    bad(at + " member '" + member +
+                        "' contains '+', which the smt: tuple syntax "
+                        "reserves as its separator (rename the path)");
+            sc.pairs.push_back(std::move(members));
         }
     } else if (const JsonValue *g = find(v, "groups")) {
         sc.workloadKind = Scenario::WorkloadKind::Groups;
@@ -472,6 +497,19 @@ Scenario::compile(int threads) const
       case WorkloadKind::Groups:
         for (const auto &[label, ks] : groups)
             work.emplace_back(label, ks);
+        break;
+      case WorkloadKind::Pairs:
+        // One multiprogrammed simulation per tuple: the smt: name
+        // carries the whole co-schedule (the Simulator raises
+        // core.numThreads to the tuple size), and the row label is
+        // the '+'-joined member list.
+        for (const std::vector<std::string> &members : pairs) {
+            std::string label = members[0];
+            for (std::size_t i = 1; i < members.size(); ++i)
+                label += "+" + members[i];
+            work.emplace_back(label,
+                              std::vector<std::string>{smtName(members)});
+        }
         break;
       case WorkloadKind::Panels: {
         Panels p = classifyPanels(lengths, seed, threads);

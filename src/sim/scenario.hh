@@ -112,12 +112,17 @@ struct Scenario
      *  explicit-jobs scenario. */
     bool hasSeed = false;
 
-    enum class WorkloadKind { None, Kernels, Panels, Groups, Traces };
+    enum class WorkloadKind { None, Kernels, Panels, Groups, Traces,
+                              Pairs };
     WorkloadKind workloadKind = WorkloadKind::None;
     std::vector<std::string> kernels;  ///< WorkloadKind::Kernels
     std::vector<std::string> panels;   ///< Panels; empty = all four
     std::vector<std::pair<std::string, std::vector<std::string>>> groups;
     std::vector<std::string> traces;   ///< Traces: resolved .lttr paths
+    /** Pairs: multiprogrammed SMT tuples — one kernel (or trace) per
+     *  hardware thread; each tuple compiles to an `smt:<a>+<b>`
+     *  workload with core.numThreads forced to the tuple size. */
+    std::vector<std::vector<std::string>> pairs;
 
     std::vector<ScenarioConfig> configs;
     bool hasSweep = false;

@@ -1,14 +1,25 @@
 /**
  * @file
- * Simulation driver: wires workload → core → memory, runs the paper's
- * three-phase staging (functional cache warm → detailed pipeline warm →
- * measured detail region), and extracts Metrics.
+ * Simulation driver: wires workload(s) → core → memory, runs the
+ * paper's three-phase staging (functional cache warm → detailed
+ * pipeline warm → measured detail region), and extracts Metrics.
  *
  * Staging mirrors Section 4.1: "caches are warmed for 250M
  * instructions, followed by 100k instructions of detailed pipeline
  * warming, and then a detailed simulation of 10M instructions" — with
  * instruction counts scaled for the synthetic kernels, which reach
  * steady state quickly.
+ *
+ * Multiprogrammed SMT runs use `smt:<a>+<b>[+...]` workload names: one
+ * member kernel (or `trace:<path>` replay) per hardware thread, each
+ * with its own trace window and per-thread staging quota.  The detail
+ * region ends when the *last* thread commits its quota; each thread's
+ * own slice is measured the cycle it reaches its quota (the standard
+ * fixed-instruction-sample methodology), reported in
+ * Metrics::threads.  A thread that reaches its phase quota stops
+ * fetching and drains while co-runners finish, so bounded `trace:`
+ * members stay within their recorded fetch-ahead slack.  A
+ * single-member name is bit-identical to running the member directly.
  */
 
 #ifndef LTP_SIM_SIMULATOR_HH
@@ -16,6 +27,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "common/ring.hh"
 #include "cpu/core.hh"
@@ -25,7 +37,7 @@
 
 namespace ltp {
 
-/** Instruction staging plan for one run. */
+/** Instruction staging plan for one run (per thread under SMT). */
 struct RunLengths
 {
     std::uint64_t funcWarm = 100000; ///< functional cache warm
@@ -45,6 +57,29 @@ struct RunLengths
         return RunLengths{60000, 5000, 30000};
     }
 };
+
+/// @name SMT workload-tuple names
+///
+/// `smt:graph_walk+dense_compute` names a multiprogrammed workload:
+/// one member (kernel or `trace:<path>`) per hardware thread, joined
+/// with '+'.  Like `trace:` names, the convention flows through every
+/// string-keyed surface (SweepSpec kernels, scenario files, `ltp run`).
+/// @{
+
+/** Prefix of an SMT workload-tuple name. */
+inline constexpr const char *kSmtNamePrefix = "smt:";
+
+/** True if @p name is an `smt:<a>+<b>` workload-tuple name. */
+bool isSmtName(const std::string &name);
+
+/** The member workload names inside an smt: tuple, tid order. */
+std::vector<std::string> smtMembers(const std::string &name);
+
+/** The `smt:` tuple name for @p members (also their row label with
+ *  the prefix stripped). */
+std::string smtName(const std::vector<std::string> &members);
+
+/// @}
 
 /**
  * Ring-buffered trace window with random access (squash rewind).
@@ -93,7 +128,8 @@ class TraceWindow : public InstSource
 };
 
 /**
- * Owns one complete simulation instance (memory, core, trace, oracle).
+ * Owns one complete simulation instance (memory, core, traces,
+ * oracles — one workload pipeline per hardware thread).
  * Construct, run(), read the metrics; or use the one-shot helper.
  */
 class Simulator
@@ -113,7 +149,10 @@ class Simulator
     /// @{
     Core &core() { return *core_; }
     MemSystem &mem() { return *mem_; }
-    const OracleClassification &oracle() const { return oracle_; }
+    const OracleClassification &oracle(int tid = 0) const
+    {
+        return oracles_[std::size_t(tid)];
+    }
     /// @}
 
   private:
@@ -121,11 +160,17 @@ class Simulator
 
     SimConfig cfg_;
     RunLengths lengths_;
-    WorkloadPtr workload_;
-    OracleClassification oracle_;
+    std::vector<WorkloadPtr> workloads_;   ///< one per thread
+    std::vector<OracleClassification> oracles_;
     std::unique_ptr<MemSystem> mem_;
-    std::unique_ptr<TraceWindow> source_;
+    std::vector<std::unique_ptr<TraceWindow>> sources_;
     std::unique_ptr<Core> core_;
+
+    /// @name Fixed-sample bookkeeping (filled by run())
+    /// @{
+    std::vector<Cycle> cross_cycles_;          ///< quota-reached cycle
+    std::vector<std::uint64_t> cross_insts_;   ///< committed at quota
+    /// @}
 };
 
 } // namespace ltp

@@ -328,5 +328,98 @@ TEST(Ring, MixedEndTrafficWrapsCleanly)
     EXPECT_EQ(r.size(), std::size_t(next_in - next_out));
 }
 
+TEST(Ring, InterleavedStreamsStayFifoAcrossWraps)
+{
+    // SMT-style use: two logical streams (tid 0 / tid 1) share one
+    // ring, pushed and popped at different rates, so entries of both
+    // streams straddle every wrap boundary.  Each stream must still
+    // come out in its own FIFO order.
+    struct Entry
+    {
+        int tid;
+        int value;
+    };
+    Ring<Entry> r(4); // small capacity: wraps and grows repeatedly
+    int next_in[2] = {0, 0};
+    int next_out[2] = {0, 0};
+    int pending = 0;
+    for (int round = 0; round < 200; ++round) {
+        // Uneven production: stream 0 pushes two, stream 1 pushes one.
+        r.push_back(Entry{0, next_in[0]++});
+        r.push_back(Entry{1, next_in[1]++});
+        r.push_back(Entry{0, next_in[0]++});
+        pending += 3;
+        // Drain two per round, whichever stream is at the head.
+        for (int i = 0; i < 2; ++i) {
+            Entry e = r.front();
+            r.pop_front();
+            pending -= 1;
+            ASSERT_EQ(e.value, next_out[e.tid]) << "round " << round;
+            next_out[e.tid] += 1;
+        }
+    }
+    EXPECT_EQ(r.size(), std::size_t(pending));
+    while (!r.empty()) {
+        Entry e = r.front();
+        r.pop_front();
+        EXPECT_EQ(e.value, next_out[e.tid]);
+        next_out[e.tid] += 1;
+    }
+    EXPECT_EQ(next_out[0], next_in[0]);
+    EXPECT_EQ(next_out[1], next_in[1]);
+}
+
+TEST(Ring, ClearMidIterationResetsForReuse)
+{
+    // A squash can clear a queue while a stage is walking it by
+    // index; the walk must stop at the (now zero) size and the ring
+    // must be immediately reusable, wherever the head had wrapped to.
+    Ring<int> r(4);
+    for (int spin = 0; spin < 7; ++spin) {
+        // Rotate the head off zero before filling.
+        r.push_back(-1);
+        r.pop_front();
+        for (int i = 0; i < 5; ++i)
+            r.push_back(i);
+        std::size_t visited = 0;
+        for (std::size_t i = 0; i < r.size(); ++i) {
+            visited += 1;
+            if (i == 2) {
+                r.clear();
+                // Size is re-read by the loop condition: the walk
+                // terminates instead of indexing freed slots.
+            }
+        }
+        EXPECT_EQ(visited, 3u);
+        EXPECT_TRUE(r.empty());
+        EXPECT_EQ(r.size(), 0u);
+        // Reuse after clear: order is fresh.
+        r.push_back(10);
+        r.push_front(9);
+        EXPECT_EQ(r.front(), 9);
+        EXPECT_EQ(r.back(), 10);
+        r.pop_front();
+        r.pop_front();
+        EXPECT_TRUE(r.empty());
+    }
+}
+
+TEST(Ring, CapacityAssertsOnEmptyPops)
+{
+    // sim_assert is compiled into release builds: popping an empty
+    // ring must die loudly, not corrupt the head index.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Ring<int> r(2);
+    EXPECT_DEATH(r.pop_front(), "assertion failed");
+    EXPECT_DEATH(r.pop_back(), "assertion failed");
+    r.push_back(1);
+    r.pop_front();
+    EXPECT_DEATH(r.pop_front(), "assertion failed");
+    // After surviving the (forked) death tests, the parent's ring is
+    // still coherent.
+    r.push_back(2);
+    EXPECT_EQ(r.front(), 2);
+}
+
 } // namespace
 } // namespace ltp

@@ -172,6 +172,35 @@ TEST(ConfigJson, ApplyOverrideUnknownPathNamesThePath)
     EXPECT_NE(msg.find("unknown config path"), std::string::npos) << msg;
 }
 
+TEST(ConfigJson, ApplyOverrideSuggestsTheNearestPath)
+{
+    SimConfig c;
+    // One-edit typos resolve to the intended path.
+    std::string msg =
+        messageOf([&]() { applyOverride(c, "core.iqq", "32"); });
+    EXPECT_NE(msg.find("did you mean 'core.iq'"), std::string::npos)
+        << msg;
+
+    msg = messageOf(
+        [&]() { applyOverride(c, "core.numThread", "2"); });
+    EXPECT_NE(msg.find("did you mean 'core.numThreads'"),
+              std::string::npos)
+        << msg;
+
+    msg = messageOf(
+        [&]() { applyOverride(c, "mem.l1d.sizeKb", "64"); });
+    EXPECT_NE(msg.find("did you mean 'mem.l1d.sizeKB'"),
+              std::string::npos)
+        << msg;
+
+    // Garbage nowhere near any path gets no misleading suggestion,
+    // but still the canonical error.
+    msg = messageOf(
+        [&]() { applyOverride(c, "zzz.qqq.www.unrelated", "1"); });
+    EXPECT_NE(msg.find("unknown config path"), std::string::npos) << msg;
+    EXPECT_EQ(msg.find("did you mean"), std::string::npos) << msg;
+}
+
 TEST(ConfigJson, OutOfRangeAndFractionalValuesAreRejected)
 {
     SimConfig c;

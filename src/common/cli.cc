@@ -32,7 +32,8 @@ Cli::Cli(int argc, char **argv, const std::set<std::string> &known,
         if (arg == "--help" || arg == "-h")
             printHelp(argv[0], known, summary);
         if (arg.rfind("--", 0) != 0)
-            fatal("unexpected positional argument '%s'", arg.c_str());
+            fatal("%s: unexpected positional argument '%s'", argv[0],
+                  arg.c_str());
         arg = arg.substr(2);
 
         std::string key, value;
@@ -51,8 +52,11 @@ Cli::Cli(int argc, char **argv, const std::set<std::string> &known,
         }
         if (key == "help")
             printHelp(argv[0], known, summary);
+        // argv[0] names the subcommand ("ltp sweep"), so a typo'd
+        // flag in a long pipeline says exactly where it happened.
         if (!known.count(key))
-            fatal("unknown flag --%s (try --help)", key.c_str());
+            fatal("%s: unknown flag --%s (try %s --help)", argv[0],
+                  key.c_str(), argv[0]);
         values_[key].push_back(value);
     }
 }

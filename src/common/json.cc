@@ -341,4 +341,57 @@ writeJson(const JsonValue &v, int indent)
     return out;
 }
 
+namespace {
+
+void
+writeCompact(const JsonValue &v, std::string &out)
+{
+    switch (v.kind) {
+      case JsonValue::Kind::Null:
+        out += "null";
+        return;
+      case JsonValue::Kind::Bool:
+        out += v.boolean ? "true" : "false";
+        return;
+      case JsonValue::Kind::Number:
+        out += v.str.empty() ? jsonNum(v.num) : v.str;
+        return;
+      case JsonValue::Kind::String:
+        out += jsonQuote(v.str);
+        return;
+      case JsonValue::Kind::Array: {
+        out += "[";
+        for (std::size_t i = 0; i < v.array.size(); ++i) {
+            if (i)
+                out += ",";
+            writeCompact(v.array[i], out);
+        }
+        out += "]";
+        return;
+      }
+      case JsonValue::Kind::Object: {
+        out += "{";
+        std::size_t i = 0;
+        for (const auto &[key, value] : v.object) {
+            if (i++)
+                out += ",";
+            out += jsonQuote(key) + ":";
+            writeCompact(value, out);
+        }
+        out += "}";
+        return;
+      }
+    }
+}
+
+} // namespace
+
+std::string
+writeJsonCompact(const JsonValue &v)
+{
+    std::string out;
+    writeCompact(v, out);
+    return out;
+}
+
 } // namespace ltp

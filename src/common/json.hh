@@ -56,6 +56,15 @@ JsonValue parseJson(const std::string &text);
  */
 std::string writeJson(const JsonValue &v, int indent = 0);
 
+/**
+ * Single-line rendering with sorted keys and no whitespace.  Because
+ * key order is canonical (map order) and numbers keep their shortest
+ * round-trip lexeme, two value trees with equal content always render
+ * to equal bytes — the canonical form hashed for cell keys and the
+ * framing used by the newline-delimited serve wire protocol.
+ */
+std::string writeJsonCompact(const JsonValue &v);
+
 /** Shortest representation that parses back to the identical double. */
 std::string jsonNum(double v);
 

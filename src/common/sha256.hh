@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Self-contained SHA-256 (FIPS 180-4), used to derive content-addressed
+ * cell keys for the result cache.  Incremental interface plus a one-shot
+ * hex helper; no third-party dependency, byte-order independent.
+ */
+
+#ifndef LTP_COMMON_SHA256_HH
+#define LTP_COMMON_SHA256_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ltp {
+
+/** Incremental SHA-256: update() any number of times, then hex(). */
+class Sha256
+{
+  public:
+    Sha256();
+
+    void update(const void *data, std::size_t n);
+    void update(const std::string &bytes)
+    {
+        update(bytes.data(), bytes.size());
+    }
+
+    /** Finalize and return the 64-char lowercase hex digest.  The
+     *  hasher must not be updated afterwards. */
+    std::string hex();
+
+  private:
+    void compress(const std::uint8_t *block);
+
+    std::uint32_t state_[8];
+    std::uint8_t buf_[64];
+    std::size_t buffered_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/** One-shot hex digest of @p bytes. */
+std::string sha256Hex(const std::string &bytes);
+
+} // namespace ltp
+
+#endif // LTP_COMMON_SHA256_HH

@@ -1,0 +1,202 @@
+#include "serve/client.hh"
+
+#include <future>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/report.hh"
+
+namespace ltp {
+
+namespace {
+
+JsonValue
+jsonStr(const std::string &s)
+{
+    JsonValue v;
+    v.kind = JsonValue::Kind::String;
+    v.str = s;
+    return v;
+}
+
+JsonValue
+jsonU64(std::uint64_t n)
+{
+    JsonValue v;
+    v.kind = JsonValue::Kind::Number;
+    v.num = double(n);
+    v.str = std::to_string(n);
+    return v;
+}
+
+} // namespace
+
+ServeBackend::ServeBackend(const std::string &host, int port)
+    : conn_(std::make_unique<LineConn>(connectTcp(host, port)))
+{
+    reader_ = std::thread([this]() { readerLoop(); });
+}
+
+ServeBackend::~ServeBackend()
+{
+    conn_->shutdown();
+    if (reader_.joinable())
+        reader_.join();
+}
+
+void
+ServeBackend::readerLoop()
+{
+    std::string line;
+    while (conn_->readLine(line)) {
+        JsonValue frame;
+        try {
+            frame = parseJson(line);
+        } catch (const std::exception &) {
+            continue; // tolerate garbage between valid frames
+        }
+        if (!frame.isObject())
+            continue;
+
+        auto idIt = frame.object.find("id");
+        if (idIt == frame.object.end()) {
+            // Unaddressed frames are server-push events; today that
+            // is only the progress stream.
+            std::lock_guard<std::mutex> lock(mutex_);
+            progressFrames_ += 1;
+            continue;
+        }
+        std::uint64_t id = 0;
+        if (!idIt->second.isNumber() ||
+            !u64FromLexeme(idIt->second.str, &id))
+            continue;
+
+        std::promise<JsonValue> promise;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = pending_.find(id);
+            if (it == pending_.end())
+                continue; // response to a caller that gave up
+            promise = std::move(it->second);
+            pending_.erase(it);
+        }
+        promise.set_value(std::move(frame));
+    }
+
+    // Connection gone: every waiter gets the reason instead of a hang.
+    std::lock_guard<std::mutex> lock(mutex_);
+    dead_ = true;
+    if (deadReason_.empty())
+        deadReason_ = "serve connection closed by peer";
+    for (auto &[id, promise] : pending_)
+        promise.set_exception(std::make_exception_ptr(
+            std::runtime_error(deadReason_)));
+    pending_.clear();
+}
+
+JsonValue
+ServeBackend::call(JsonValue frame)
+{
+    std::uint64_t id = 0;
+    std::future<JsonValue> future;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (dead_)
+            throw std::runtime_error(deadReason_);
+        id = nextId_++;
+        future = pending_[id].get_future();
+    }
+    frame.object["id"] = jsonU64(id);
+
+    if (!conn_->writeFrame(frame)) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        pending_.erase(id);
+        throw std::runtime_error("serve connection lost mid-request");
+    }
+
+    JsonValue reply = future.get();
+    auto typeIt = reply.object.find("type");
+    if (typeIt != reply.object.end() && typeIt->second.isString() &&
+        typeIt->second.str == "error") {
+        auto msgIt = reply.object.find("message");
+        throw std::runtime_error(
+            "serve error: " + (msgIt != reply.object.end()
+                                   ? msgIt->second.str
+                                   : std::string("(no message)")));
+    }
+    return reply;
+}
+
+CellResult
+ServeBackend::runCell(const CellKey &key, const SimConfig &cfg,
+                      const std::string &workload,
+                      const RunLengths &lengths)
+{
+    JsonValue frame;
+    frame.kind = JsonValue::Kind::Object;
+    frame.object["type"] = jsonStr("run");
+    if (!key.empty())
+        frame.object["key"] = jsonStr(key.hex);
+    frame.object["workload"] = jsonStr(workload);
+    frame.object["config"] = parseJson(configToJson(cfg));
+    JsonValue len;
+    len.kind = JsonValue::Kind::Object;
+    len.object["funcWarm"] = jsonU64(lengths.funcWarm);
+    len.object["pipeWarm"] = jsonU64(lengths.pipeWarm);
+    len.object["detail"] = jsonU64(lengths.detail);
+    frame.object["lengths"] = len;
+
+    JsonValue reply = call(std::move(frame));
+
+    auto metricsIt = reply.object.find("metrics");
+    if (metricsIt == reply.object.end() ||
+        !metricsIt->second.isObject())
+        throw std::runtime_error("serve result frame missing metrics");
+
+    CellResult out;
+    out.metrics =
+        metricsFromJson(writeJsonCompact(metricsIt->second));
+    auto flag = [&reply](const char *name) {
+        auto it = reply.object.find(name);
+        return it != reply.object.end() && it->second.isBool() &&
+               it->second.boolean;
+    };
+    // A dedupe is a hit from the sweep's point of view: the cell was
+    // not re-simulated on this run's behalf.
+    out.cacheHit = flag("hit") || flag("deduped");
+    return out;
+}
+
+JsonValue
+ServeBackend::rpc(const std::string &type)
+{
+    JsonValue frame;
+    frame.kind = JsonValue::Kind::Object;
+    frame.object["type"] = jsonStr(type);
+    return call(std::move(frame));
+}
+
+std::uint64_t
+ServeBackend::progressFrames() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return progressFrames_;
+}
+
+void
+parseHostPort(const std::string &spec, std::string *host, int *port)
+{
+    // Defaults (loopback, the ServeOptions port) survive empty parts:
+    // "", "host", ":7500", and "host:7500" are all valid.
+    auto colon = spec.rfind(':');
+    std::string h = colon == std::string::npos ? spec
+                                               : spec.substr(0, colon);
+    std::string p =
+        colon == std::string::npos ? "" : spec.substr(colon + 1);
+    if (!h.empty())
+        *host = h;
+    if (!p.empty())
+        *port = std::stoi(p);
+}
+
+} // namespace ltp

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Client side of the `ltp serve` protocol: an ExecBackend that sends
+ * every cell to the daemon, plus the one-shot control RPCs the CLI
+ * uses (`ltp serve ping|stats|stop`).
+ *
+ * One TCP connection is shared by all of the Runner's pool workers:
+ * runCell() frames the request with a fresh id, registers a promise,
+ * and blocks on its future; a single reader thread demultiplexes the
+ * (possibly out-of-order) response stream back to the waiting ids.
+ * Server-streamed progress frames are counted but otherwise dropped —
+ * the Runner derives its own client-side progress from completed
+ * futures.
+ */
+
+#ifndef LTP_SERVE_CLIENT_HH
+#define LTP_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "serve/wire.hh"
+#include "sim/exec_backend.hh"
+
+namespace ltp {
+
+/** ExecBackend running every cell on an `ltp serve` daemon. */
+class ServeBackend : public ExecBackend
+{
+  public:
+    /** Connects and starts the reader thread.
+     *  @throws std::runtime_error when the daemon is unreachable. */
+    ServeBackend(const std::string &host, int port);
+
+    /** Closes the connection; pending requests fail. */
+    ~ServeBackend() override;
+
+    std::string name() const override { return "serve"; }
+
+    /** Keys are derived client-side (trace CRCs come from the
+     *  client's files) and sent with each request. */
+    bool wantsKey() const override { return true; }
+
+    CellResult runCell(const CellKey &key, const SimConfig &cfg,
+                       const std::string &workload,
+                       const RunLengths &lengths) override;
+
+    /** Send a bare `{"type":<type>}` request and return the reply
+     *  frame (ping/stats/shutdown).  @throws on transport failure or
+     *  an `error` reply. */
+    JsonValue rpc(const std::string &type);
+
+    /** Progress frames received from the server (observability). */
+    std::uint64_t progressFrames() const;
+
+  private:
+    void readerLoop();
+    JsonValue call(JsonValue frame);
+
+    std::unique_ptr<LineConn> conn_;
+    std::thread reader_;
+
+    mutable std::mutex mutex_;
+    std::uint64_t nextId_ = 1;
+    std::map<std::uint64_t, std::promise<JsonValue>> pending_;
+    bool dead_ = false;
+    std::string deadReason_;
+    std::uint64_t progressFrames_ = 0;
+};
+
+/** Parse --server=host:port ("" / ":7461" / "host" forms allowed). */
+void parseHostPort(const std::string &spec, std::string *host,
+                   int *port);
+
+} // namespace ltp
+
+#endif // LTP_SERVE_CLIENT_HH

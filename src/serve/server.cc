@@ -1,0 +1,487 @@
+#include "serve/server.hh"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <future>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "common/thread_pool.hh"
+#include "sim/cell_key.hh"
+#include "sim/config.hh"
+#include "sim/report.hh"
+#include "sim/result_cache.hh"
+#include "sim/simulator.hh"
+#include "trace/suite.hh"
+#include "trace/trace_workload.hh"
+
+namespace ltp {
+
+namespace {
+
+/** Outcome of one computed (or failed) cell, shared between the
+ *  computing request and any deduped waiters. */
+struct ComputedCell
+{
+    Metrics metrics;
+    std::string error; ///< non-empty = the simulation threw
+};
+
+/** One client connection: the line pipe + its progress counters. */
+struct Conn
+{
+    explicit Conn(int fd) : pipe(fd) {}
+
+    LineConn pipe;
+    std::atomic<std::uint64_t> total{0}; ///< run requests received
+    std::atomic<std::uint64_t> done{0};  ///< results sent
+    std::atomic<std::uint64_t> hits{0};  ///< of those, hit || deduped
+};
+
+JsonValue
+errorFrame(std::uint64_t id, const std::string &message)
+{
+    JsonValue frame;
+    frame.kind = JsonValue::Kind::Object;
+    JsonValue idv;
+    idv.kind = JsonValue::Kind::Number;
+    idv.num = double(id);
+    idv.str = std::to_string(id);
+    frame.object["id"] = idv;
+    JsonValue type;
+    type.kind = JsonValue::Kind::String;
+    type.str = "error";
+    frame.object["type"] = type;
+    JsonValue msg;
+    msg.kind = JsonValue::Kind::String;
+    msg.str = message;
+    frame.object["message"] = msg;
+    return frame;
+}
+
+JsonValue
+jsonStr(const std::string &s)
+{
+    JsonValue v;
+    v.kind = JsonValue::Kind::String;
+    v.str = s;
+    return v;
+}
+
+JsonValue
+jsonU64(std::uint64_t n)
+{
+    JsonValue v;
+    v.kind = JsonValue::Kind::Number;
+    v.num = double(n);
+    v.str = std::to_string(n);
+    return v;
+}
+
+JsonValue
+jsonBool(bool b)
+{
+    JsonValue v;
+    v.kind = JsonValue::Kind::Bool;
+    v.boolean = b;
+    return v;
+}
+
+JsonValue
+objectFrame(std::uint64_t id, const std::string &type)
+{
+    JsonValue frame;
+    frame.kind = JsonValue::Kind::Object;
+    frame.object["id"] = jsonU64(id);
+    frame.object["type"] = jsonStr(type);
+    return frame;
+}
+
+/** Exact u64 out of a number field (frames carry ids and lengths as
+ *  integers; reject anything else loudly). */
+std::uint64_t
+frameU64(const JsonValue &obj, const std::string &key)
+{
+    auto it = obj.object.find(key);
+    if (it == obj.object.end() || !it->second.isNumber())
+        throw std::runtime_error("frame missing numeric '" + key + "'");
+    std::uint64_t out = 0;
+    if (!u64FromLexeme(it->second.str, &out))
+        throw std::runtime_error("frame field '" + key +
+                                 "' is not an exact u64: " +
+                                 it->second.str);
+    return out;
+}
+
+std::string
+frameStr(const JsonValue &obj, const std::string &key)
+{
+    auto it = obj.object.find(key);
+    if (it == obj.object.end() || !it->second.isString())
+        throw std::runtime_error("frame missing string '" + key + "'");
+    return it->second.str;
+}
+
+/**
+ * Reject unresolvable workload names before they reach the pool:
+ * makeKernel() treats an unknown name as a user error and fatal()s
+ * (exits), which is right for the CLI but must not let one bad
+ * request take down the daemon and every other client with it.
+ */
+void
+validateWorkload(const std::string &name)
+{
+    if (isSmtName(name)) {
+        for (const std::string &member : smtMembers(name))
+            validateWorkload(member);
+        return;
+    }
+    if (isTraceName(name)) {
+        // Throws std::runtime_error on a missing/corrupt trace file.
+        loadTraceCached(tracePath(name));
+        return;
+    }
+    for (const SuiteEntry &e : kernelSuite())
+        if (e.name == name)
+            return;
+    throw std::runtime_error("unknown workload '" + name + "'");
+}
+
+} // namespace
+
+struct ServerImpl
+{
+    explicit ServerImpl(const ServeOptions &o)
+        : opts(o), listener(o.port),
+          cache(o.useCache
+                    ? std::make_unique<ResultCache>(o.cacheDir)
+                    : nullptr),
+          pool(o.threads)
+    {
+    }
+
+    ServeOptions opts;
+    Listener listener;
+    std::unique_ptr<ResultCache> cache;
+    ThreadPool pool;
+
+    std::thread acceptThread;
+    std::mutex connMutex;
+    std::vector<std::shared_ptr<Conn>> conns;
+    std::vector<std::thread> connThreads;
+
+    // In-flight dedupe: key hex -> the future of the request computing
+    // it.  An entry exists only while its computing task is running on
+    // a pool thread, so a waiter (itself a pool task) always has an
+    // active computer to wait on — no idle-deadlock for any pool size.
+    std::mutex inflightMutex;
+    std::map<std::string, std::shared_future<std::shared_ptr<ComputedCell>>>
+        inflight;
+
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> computed{0};
+    std::atomic<std::uint64_t> cacheHits{0};
+    std::atomic<std::uint64_t> deduped{0};
+
+    std::mutex stateMutex;
+    std::condition_variable stateCv;
+    bool stopping = false;
+    bool stopped = false;
+
+    void acceptLoop();
+    void connectionLoop(std::shared_ptr<Conn> conn);
+    void handleFrame(const std::shared_ptr<Conn> &conn,
+                     const std::string &line);
+    void handleRun(const std::shared_ptr<Conn> &conn, std::uint64_t id,
+                   const JsonValue &frame);
+    void requestStop();
+
+    void
+    note(const char *fmt, ...) const
+    {
+        if (opts.quiet)
+            return;
+        va_list ap;
+        va_start(ap, fmt);
+        std::fprintf(stderr, "ltp serve: ");
+        std::vfprintf(stderr, fmt, ap);
+        std::fprintf(stderr, "\n");
+        va_end(ap);
+    }
+};
+
+void
+ServerImpl::acceptLoop()
+{
+    for (;;) {
+        int fd = listener.accept();
+        if (fd < 0)
+            return; // listener closed: shutting down
+        auto conn = std::make_shared<Conn>(fd);
+        std::lock_guard<std::mutex> lock(connMutex);
+        conns.push_back(conn);
+        connThreads.emplace_back(
+            [this, conn]() { connectionLoop(conn); });
+    }
+}
+
+void
+ServerImpl::connectionLoop(std::shared_ptr<Conn> conn)
+{
+    std::string line;
+    while (conn->pipe.readLine(line))
+        handleFrame(conn, line);
+}
+
+void
+ServerImpl::handleFrame(const std::shared_ptr<Conn> &conn,
+                        const std::string &line)
+{
+    std::uint64_t id = 0;
+    try {
+        JsonValue frame = parseJson(line);
+        if (!frame.isObject())
+            throw std::runtime_error("frame is not an object");
+        id = frameU64(frame, "id");
+        std::string type = frameStr(frame, "type");
+        requests.fetch_add(1, std::memory_order_relaxed);
+
+        if (type == "run") {
+            handleRun(conn, id, frame);
+            return;
+        }
+        if (type == "ping") {
+            JsonValue reply = objectFrame(id, "pong");
+            reply.object["version"] =
+                jsonU64(std::uint64_t(kServeProtocolVersion));
+            conn->pipe.writeFrame(reply);
+            return;
+        }
+        if (type == "stats") {
+            JsonValue reply = objectFrame(id, "stats");
+            reply.object["requests"] = jsonU64(requests.load());
+            reply.object["computed"] = jsonU64(computed.load());
+            reply.object["cacheHits"] = jsonU64(cacheHits.load());
+            reply.object["deduped"] = jsonU64(deduped.load());
+            reply.object["threads"] =
+                jsonU64(std::uint64_t(pool.threadCount()));
+            if (cache) {
+                CacheStats cs = cache->stats();
+                reply.object["cacheEntries"] = jsonU64(cs.entries);
+                reply.object["cacheBytes"] = jsonU64(cs.bytes);
+                reply.object["cacheDir"] = jsonStr(cache->dir());
+            }
+            conn->pipe.writeFrame(reply);
+            return;
+        }
+        if (type == "shutdown") {
+            conn->pipe.writeFrame(objectFrame(id, "ok"));
+            note("shutdown requested");
+            requestStop();
+            return;
+        }
+        throw std::runtime_error("unknown request type '" + type + "'");
+    } catch (const std::exception &e) {
+        conn->pipe.writeFrame(errorFrame(id, e.what()));
+    }
+}
+
+void
+ServerImpl::handleRun(const std::shared_ptr<Conn> &conn, std::uint64_t id,
+                      const JsonValue &frame)
+{
+    // Parse on the reader thread so malformed requests fail fast (and
+    // the pool only ever sees well-formed work).
+    auto cfgIt = frame.object.find("config");
+    if (cfgIt == frame.object.end() || !cfgIt->second.isObject())
+        throw std::runtime_error("run frame missing 'config' object");
+    SimConfig cfg = configFromJson(writeJsonCompact(cfgIt->second));
+
+    std::string workload = frameStr(frame, "workload");
+    validateWorkload(workload);
+
+    auto lenIt = frame.object.find("lengths");
+    if (lenIt == frame.object.end() || !lenIt->second.isObject())
+        throw std::runtime_error("run frame missing 'lengths' object");
+    RunLengths lengths;
+    lengths.funcWarm = frameU64(lenIt->second, "funcWarm");
+    lengths.pipeWarm = frameU64(lenIt->second, "pipeWarm");
+    lengths.detail = frameU64(lenIt->second, "detail");
+
+    // Clients normally send the key they derived; a raw client may
+    // omit it, in which case the server derives the identical one.
+    std::string key;
+    auto keyIt = frame.object.find("key");
+    if (keyIt != frame.object.end() && keyIt->second.isString())
+        key = keyIt->second.str;
+    if (key.empty())
+        key = cellKeyFor(cfg, workload, lengths).hex;
+
+    conn->total.fetch_add(1, std::memory_order_relaxed);
+
+    pool.submit([this, conn, id, key, cfg = std::move(cfg),
+                 workload = std::move(workload), lengths]() {
+        bool hit = false;
+        bool was_deduped = false;
+        std::shared_ptr<ComputedCell> cell;
+        CellKey cellKey{key, workload};
+
+        // Claim the key BEFORE looking at the cache: whoever wins the
+        // in-flight race is the only request that may touch the cache
+        // or the simulator for this key, so identical concurrent cells
+        // compute exactly once (the cache store happens before the
+        // claim is released, so a late request either dedupes onto
+        // the running computation or hits the cache — never re-runs).
+        std::promise<std::shared_ptr<ComputedCell>> mine;
+        std::shared_future<std::shared_ptr<ComputedCell>> theirs;
+        {
+            std::lock_guard<std::mutex> lock(inflightMutex);
+            auto it = inflight.find(key);
+            if (it != inflight.end())
+                theirs = it->second;
+            else
+                inflight.emplace(key, mine.get_future().share());
+        }
+        if (theirs.valid()) {
+            // An entry exists only while its owner runs on another
+            // pool thread, so this wait always has an active computer
+            // to wait on — no idle-deadlock for any pool size.
+            was_deduped = true;
+            deduped.fetch_add(1, std::memory_order_relaxed);
+            cell = theirs.get();
+        } else {
+            cell = std::make_shared<ComputedCell>();
+            Metrics cached;
+            if (cache && cache->lookup(cellKey, &cached)) {
+                hit = true;
+                cell->metrics = cached;
+                cacheHits.fetch_add(1, std::memory_order_relaxed);
+            } else {
+                try {
+                    cell->metrics =
+                        Simulator::runOnce(cfg, workload, lengths);
+                    computed.fetch_add(1, std::memory_order_relaxed);
+                    if (cache)
+                        cache->store(cellKey, cfg, lengths,
+                                     cell->metrics);
+                } catch (const std::exception &e) {
+                    cell->error = e.what();
+                }
+            }
+            {
+                std::lock_guard<std::mutex> lock(inflightMutex);
+                inflight.erase(key);
+            }
+            mine.set_value(cell);
+        }
+
+        std::uint64_t d =
+            conn->done.fetch_add(1, std::memory_order_relaxed) + 1;
+        std::uint64_t h =
+            hit || was_deduped
+                ? conn->hits.fetch_add(1, std::memory_order_relaxed) + 1
+                : conn->hits.load(std::memory_order_relaxed);
+
+        // Streamed progress: this connection's counters after each
+        // completed cell (the newline framing keeps it one frame).
+        // Written BEFORE the result so a client that has observed N
+        // results has, by TCP ordering, already received N progress
+        // pushes — the count is deterministic, not racy.
+        JsonValue prog;
+        prog.kind = JsonValue::Kind::Object;
+        prog.object["type"] = jsonStr("progress");
+        prog.object["done"] = jsonU64(d);
+        prog.object["total"] =
+            jsonU64(conn->total.load(std::memory_order_relaxed));
+        prog.object["hits"] = jsonU64(h);
+        conn->pipe.writeFrame(prog);
+
+        if (!cell->error.empty()) {
+            conn->pipe.writeFrame(errorFrame(id, cell->error));
+        } else {
+            JsonValue reply = objectFrame(id, "result");
+            reply.object["hit"] = jsonBool(hit);
+            reply.object["deduped"] = jsonBool(was_deduped);
+            reply.object["metrics"] =
+                parseJson(metricsToJson(cell->metrics));
+            conn->pipe.writeFrame(reply);
+        }
+    });
+}
+
+void
+ServerImpl::requestStop()
+{
+    std::lock_guard<std::mutex> lock(stateMutex);
+    stopping = true;
+    stateCv.notify_all();
+}
+
+Server::Server(const ServeOptions &opts)
+    : impl_(std::make_unique<ServerImpl>(opts))
+{
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+int
+Server::port() const
+{
+    return impl_->listener.port();
+}
+
+void
+Server::start()
+{
+    impl_->note("listening on port %d (%d worker threads, cache %s)",
+                port(), impl_->pool.threadCount(),
+                impl_->cache ? impl_->cache->dir().c_str()
+                             : "disabled");
+    impl_->acceptThread =
+        std::thread([this]() { impl_->acceptLoop(); });
+}
+
+void
+Server::waitForShutdown()
+{
+    std::unique_lock<std::mutex> lock(impl_->stateMutex);
+    impl_->stateCv.wait(lock, [this]() { return impl_->stopping; });
+}
+
+void
+Server::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(impl_->stateMutex);
+        if (impl_->stopped) {
+            return;
+        }
+        impl_->stopped = true;
+        impl_->stopping = true;
+        impl_->stateCv.notify_all();
+    }
+
+    // Unblock and join the accept loop first so no new connections
+    // arrive while the existing ones drain.
+    impl_->listener.close();
+    if (impl_->acceptThread.joinable())
+        impl_->acceptThread.join();
+
+    // Unblock every connection reader stuck in recv(); in-flight pool
+    // tasks still hold shared_ptrs to their Conn, so late responses
+    // hit a closed socket harmlessly instead of a dangling pointer.
+    std::lock_guard<std::mutex> lock(impl_->connMutex);
+    for (const auto &conn : impl_->conns)
+        conn->pipe.shutdown();
+    for (std::thread &t : impl_->connThreads)
+        if (t.joinable())
+            t.join();
+    // ~ThreadPool drains the queue when impl_ is destroyed.
+}
+
+} // namespace ltp

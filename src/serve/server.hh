@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The `ltp serve` daemon: a shared simulation service answering sweep
+ * cells over TCP so many clients (or repeated CI runs) share one
+ * result cache and one thread pool.
+ *
+ * Protocol (one compact-JSON frame per line, see serve/wire.hh):
+ *
+ *   → {"id":N,"type":"run","key":"<64-hex>","workload":"<name>",
+ *      "config":{...},"lengths":{"funcWarm":F,"pipeWarm":P,"detail":D}}
+ *   ← {"id":N,"type":"result","hit":B,"deduped":B,"metrics":{...}}
+ *   ← {"type":"progress","done":D,"total":T,"hits":H}   (per connection)
+ *   → {"id":N,"type":"ping"}       ← {"id":N,"type":"pong","version":V}
+ *   → {"id":N,"type":"stats"}      ← {"id":N,"type":"stats",...}
+ *   → {"id":N,"type":"shutdown"}   ← {"id":N,"type":"ok"}  (then exits)
+ *   ← {"id":N,"type":"error","message":"..."}            (any failure)
+ *
+ * Requests are pipelined: each connection has one reader thread that
+ * parses frames and submits `run` cells to the shared pool, so
+ * responses can arrive out of submission order — clients match them by
+ * id.  Identical cells in flight at the same moment (same CellKey hex,
+ * possibly from different clients) are deduped: one computes, the rest
+ * wait on its shared_future and reply with deduped=true.  Results are
+ * answered from — and persisted to — the same on-disk ResultCache the
+ * local CachedBackend uses, so a warm serve daemon and a warm local
+ * cache are interchangeable.
+ */
+
+#ifndef LTP_SERVE_SERVER_HH
+#define LTP_SERVE_SERVER_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/wire.hh"
+
+namespace ltp {
+
+class ResultCache;
+class ThreadPool;
+struct ServerImpl;
+
+/** Bump when the frame schema changes incompatibly. */
+inline constexpr int kServeProtocolVersion = 1;
+
+/** `ltp serve` configuration. */
+struct ServeOptions
+{
+    int port = kDefaultServePort; ///< 0 = ephemeral (tests read port())
+    int threads = 0;         ///< pool size; <= 0 = hardware concurrency
+    std::string cacheDir;    ///< "" = ResultCache::defaultDir()
+    bool useCache = true;    ///< false = compute-only (still dedupes)
+    bool quiet = false;      ///< suppress per-connection stderr notes
+};
+
+/** The daemon: accept loop + per-connection readers + shared pool. */
+class Server
+{
+  public:
+    /** Binds and listens immediately (so port() is valid), but serves
+     *  nothing until start().  @throws std::runtime_error on bind
+     *  failure. */
+    explicit Server(const ServeOptions &opts);
+
+    /** Stops and joins everything still running. */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** The bound port (resolves an ephemeral request). */
+    int port() const;
+
+    /** Spawn the accept loop; returns immediately. */
+    void start();
+
+    /** Block until a client sends `shutdown` (or stop() is called). */
+    void waitForShutdown();
+
+    /** Initiate shutdown: close the listener, unblock readers, drain
+     *  the pool, join all threads.  Idempotent. */
+    void stop();
+
+  private:
+    std::unique_ptr<ServerImpl> impl_;
+};
+
+} // namespace ltp
+
+#endif // LTP_SERVE_SERVER_HH

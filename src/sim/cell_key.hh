@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Content-addressed identity of one sweep cell.
+ *
+ * A cell's Metrics are a pure function of (config, workload, staging,
+ * seed) — PR 2's exact SimConfig JSON round-trip and PR 3's
+ * golden/replay harness prove it bit for bit.  This module turns that
+ * purity into a stable SHA-256 key:
+ *
+ *  - the config (seed included) is serialized and re-rendered in
+ *    canonical form (sorted keys, compact), so the key is independent
+ *    of field order and formatting;
+ *  - the workload contributes a content identity, not a spelling:
+ *    kernels by name, `trace:<path>` members by the kernel name and
+ *    CRC-32 stored in the `.lttr` file (so a renamed or copied trace
+ *    file keys identically, and a re-recorded one does not), `smt:`
+ *    tuples decomposed per member;
+ *  - the staging plan and the Metrics schema version round out the
+ *    preimage, so staging changes and format bumps never alias.
+ *
+ * The preimage is kept alongside the hex digest for observability
+ * (`ltp cache ls`, wire-protocol debugging).
+ */
+
+#ifndef LTP_SIM_CELL_KEY_HH
+#define LTP_SIM_CELL_KEY_HH
+
+#include <string>
+
+#include "sim/config.hh"
+#include "sim/simulator.hh"
+
+namespace ltp {
+
+/** Version salt of the key derivation itself: bump on any change to
+ *  the preimage layout so old cache entries can never alias. */
+inline constexpr int kCellKeyVersion = 1;
+
+/** Stable identity of one (config, workload, staging, seed) cell. */
+struct CellKey
+{
+    std::string hex;      ///< 64-char SHA-256 digest — the cache address
+    std::string workload; ///< content identity (debugging / `cache ls`)
+
+    bool empty() const { return hex.empty(); }
+};
+
+/** Canonical single-line rendering of a JSON text: parse + compact
+ *  re-render with sorted keys, so field order and whitespace cannot
+ *  affect a key.  @throws std::runtime_error on malformed input. */
+std::string canonicalJson(const std::string &text);
+
+/**
+ * Content identity of a workload name: "kernel/<name>" for DSL
+ * kernels, "trace/<kernel>@crc32:<hex>" for `trace:<path>` replays
+ * (reads the file via the process-wide trace cache), and
+ * "smt[<a>+<b>]" over member identities for `smt:` tuples.
+ * @throws std::runtime_error on unreadable or malformed trace files.
+ */
+std::string workloadIdentity(const std::string &name);
+
+/** Derive the cell key.  @p cfg.seed rides in the config JSON. */
+CellKey cellKeyFor(const SimConfig &cfg, const std::string &workload,
+                   const RunLengths &lengths);
+
+} // namespace ltp
+
+#endif // LTP_SIM_CELL_KEY_HH

@@ -1,0 +1,42 @@
+#include "sim/exec_backend.hh"
+
+namespace ltp {
+
+CellResult
+LocalBackend::runCell(const CellKey &, const SimConfig &cfg,
+                      const std::string &workload,
+                      const RunLengths &lengths)
+{
+    return CellResult{Simulator::runOnce(cfg, workload, lengths), false};
+}
+
+ExecBackendPtr
+LocalBackend::instance()
+{
+    static ExecBackendPtr shared = std::make_shared<LocalBackend>();
+    return shared;
+}
+
+CachedBackend::CachedBackend(ExecBackendPtr inner,
+                             std::shared_ptr<ResultCache> cache)
+    : inner_(std::move(inner)), cache_(std::move(cache))
+{
+}
+
+CellResult
+CachedBackend::runCell(const CellKey &key, const SimConfig &cfg,
+                       const std::string &workload,
+                       const RunLengths &lengths)
+{
+    Metrics cached;
+    if (cache_->lookup(key, &cached)) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return CellResult{std::move(cached), true};
+    }
+    CellResult fresh = inner_->runCell(key, cfg, workload, lengths);
+    cache_->store(key, cfg, lengths, fresh.metrics);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return fresh;
+}
+
+} // namespace ltp

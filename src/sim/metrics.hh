@@ -16,6 +16,20 @@
 namespace ltp {
 
 /**
+ * Schema version stamped into every serialized Metrics object
+ * (`schemaVersion` in metricsToJson) so cache entries and golden
+ * snapshots are forward-checkable.  History:
+ *
+ *   1 — implicit: the unversioned pre-PR-6 format (no field)
+ *   2 — adds the schemaVersion field itself
+ *
+ * Readers accept any version up to the current one (missing = 1,
+ * absent fields keep their zero defaults) and reject newer versions,
+ * so an old binary can never silently misread a future cache entry.
+ */
+inline constexpr int kMetricsSchemaVersion = 2;
+
+/**
  * Per-hardware-thread slice of an SMT run, measured with the standard
  * fixed-instruction-sample methodology: each thread's detail region
  * ends the cycle it commits its instruction quota.  A finished thread

@@ -36,7 +36,8 @@ classifyMlp(const std::string &kernel, const RunLengths &lengths,
 }
 
 SuiteGroups
-classifySuite(const RunLengths &lengths, std::uint64_t seed, int threads)
+classifySuite(const RunLengths &lengths, std::uint64_t seed, int threads,
+              ExecBackendPtr backend)
 {
     SimConfig small =
         SimConfig::baseline().withIq(32).withSeed(seed).withName("IQ32");
@@ -45,7 +46,7 @@ classifySuite(const RunLengths &lengths, std::uint64_t seed, int threads)
 
     SweepSpec spec = SweepSpec::cross("mlp_classification", {small, big},
                                       allKernelNames(), lengths);
-    SweepResult result = Runner(threads).run(spec);
+    SweepResult result = Runner(threads, std::move(backend)).run(spec);
 
     SuiteGroups groups;
     for (const std::string &name : allKernelNames()) {

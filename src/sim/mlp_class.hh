@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/exec_backend.hh"
 #include "sim/simulator.hh"
 
 namespace ltp {
@@ -54,9 +55,13 @@ struct SuiteGroups
  * Classify every kernel in the registered suite.  The 2 × N-kernel
  * run matrix is sharded across @p threads workers (1 = serial,
  * <= 0 = hardware concurrency); grouping is identical either way.
+ * @p backend routes the classification cells like any sweep cell
+ * (null = in-process), so a cached or served run skips re-simulating
+ * the classification matrix too.
  */
 SuiteGroups classifySuite(const RunLengths &lengths,
-                          std::uint64_t seed = 1, int threads = 1);
+                          std::uint64_t seed = 1, int threads = 1,
+                          ExecBackendPtr backend = nullptr);
 
 } // namespace ltp
 

@@ -20,6 +20,7 @@ JsonObjectBuilder
 metricsObject(const Metrics &m, int indent)
 {
     JsonObjectBuilder o;
+    o.u64("schemaVersion", kMetricsSchemaVersion);
     o.str("config", m.config);
     o.str("workload", m.workload);
     o.u64("insts", m.insts);
@@ -127,6 +128,19 @@ metricsFromJson(const std::string &json)
     JsonValue root = parseJson(json);
     if (root.kind != JsonValue::Kind::Object)
         throw std::runtime_error("metricsFromJson: not a JSON object");
+
+    // Tolerant versioning: a missing field is the unversioned v1
+    // format; anything newer than this reader must be rejected rather
+    // than half-read with silently-defaulted fields.
+    std::uint64_t version =
+        root.object.count("schemaVersion") ? u64At(root, "schemaVersion")
+                                           : 1;
+    if (version < 1 || version > std::uint64_t(kMetricsSchemaVersion))
+        throw std::runtime_error(strprintf(
+            "metricsFromJson: unsupported schemaVersion %llu (this "
+            "reader supports 1..%d)",
+            static_cast<unsigned long long>(version),
+            kMetricsSchemaVersion));
 
     Metrics m;
     m.config = strAt(root, "config");

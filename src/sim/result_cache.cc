@@ -1,0 +1,260 @@
+#include "sim/result_cache.hh"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "sim/report.hh"
+
+namespace fs = std::filesystem;
+
+namespace ltp {
+
+namespace {
+
+/** Monotone suffix so concurrent writers in one process never share a
+ *  temp file; cross-process uniqueness comes from the pid. */
+std::atomic<std::uint64_t> tmp_counter{0};
+
+bool
+isHexKey(const std::string &s)
+{
+    if (s.size() != 64)
+        return false;
+    for (char c : s)
+        if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')))
+            return false;
+    return true;
+}
+
+/** Parse one entry file; throws on any structural or version defect. */
+CacheEntryInfo
+parseEntry(const std::string &key, const std::string &text,
+           Metrics *metrics_out)
+{
+    JsonValue root = parseJson(text);
+    if (!root.isObject())
+        throw std::runtime_error("entry is not a JSON object");
+    auto field = [&](const char *name) -> const JsonValue & {
+        auto it = root.object.find(name);
+        if (it == root.object.end())
+            throw std::runtime_error(std::string("missing field '") +
+                                     name + "'");
+        return it->second;
+    };
+    if (std::uint64_t(field("cacheSchema").num) !=
+        std::uint64_t(kCacheSchemaVersion))
+        throw std::runtime_error("cacheSchema version mismatch");
+    if (field("key").str != key)
+        throw std::runtime_error("stored key disagrees with file name");
+
+    CacheEntryInfo info;
+    info.key = key;
+    info.config = field("config").str;
+    info.workload = field("workload").str;
+    const JsonValue &lengths = field("lengths");
+    auto u64of = [&](const char *name) {
+        auto it = lengths.object.find(name);
+        return it == lengths.object.end()
+                   ? std::uint64_t(0)
+                   : std::uint64_t(it->second.num);
+    };
+    info.funcWarm = u64of("funcWarm");
+    info.pipeWarm = u64of("pipeWarm");
+    info.detail = u64of("detail");
+
+    // metricsFromJson re-checks the embedded schemaVersion and throws
+    // on anything newer than this reader.
+    Metrics m = metricsFromJson(writeJson(field("metrics")));
+    if (metrics_out)
+        *metrics_out = m;
+    info.valid = true;
+    return info;
+}
+
+} // namespace
+
+ResultCache::ResultCache(const std::string &dir)
+    : dir_(dir.empty() ? defaultDir() : dir)
+{
+}
+
+std::string
+ResultCache::defaultDir()
+{
+    if (const char *env = std::getenv("LTP_CACHE_DIR"); env && *env)
+        return env;
+    if (const char *xdg = std::getenv("XDG_CACHE_HOME"); xdg && *xdg)
+        return std::string(xdg) + "/ltp";
+    if (const char *home = std::getenv("HOME"); home && *home)
+        return std::string(home) + "/.cache/ltp";
+    return ".ltp-cache"; // homeless environments (some CI sandboxes)
+}
+
+std::string
+ResultCache::entryPath(const std::string &hexKey) const
+{
+    return dir_ + "/" + hexKey.substr(0, 2) + "/" + hexKey.substr(2, 2) +
+           "/" + hexKey + ".json";
+}
+
+bool
+ResultCache::lookup(const CellKey &key, Metrics *out) const
+{
+    std::ifstream in(entryPath(key.hex), std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+        parseEntry(key.hex, text.str(), out);
+        return true;
+    } catch (const std::runtime_error &) {
+        return false; // corrupt or future-versioned: a miss, not data
+    }
+}
+
+void
+ResultCache::store(const CellKey &key, const SimConfig &cfg,
+                   const RunLengths &lengths, const Metrics &m) const
+{
+    std::string path = entryPath(key.hex);
+    fs::path target(path);
+
+    std::error_code ec;
+    fs::create_directories(target.parent_path(), ec);
+    if (ec) {
+        warn("result cache: cannot create %s: %s",
+             target.parent_path().string().c_str(),
+             ec.message().c_str());
+        return; // caching is an optimization; never fail the run
+    }
+
+    JsonObjectBuilder o;
+    o.u64("cacheSchema", kCacheSchemaVersion);
+    o.str("key", key.hex);
+    o.str("config", cfg.name);
+    o.str("workload", key.workload);
+    o.field("lengths",
+            strprintf("{\"funcWarm\": %llu, \"pipeWarm\": %llu, "
+                      "\"detail\": %llu}",
+                      static_cast<unsigned long long>(lengths.funcWarm),
+                      static_cast<unsigned long long>(lengths.pipeWarm),
+                      static_cast<unsigned long long>(lengths.detail)));
+    o.field("metrics", metricsToJson(m, 2));
+
+    std::string tmp = path + strprintf(".tmp.%d.%llu", getpid(),
+                                       static_cast<unsigned long long>(
+                                           tmp_counter.fetch_add(1)));
+    {
+        std::ofstream outf(tmp, std::ios::binary | std::ios::trunc);
+        if (!outf) {
+            warn("result cache: cannot write %s", tmp.c_str());
+            return;
+        }
+        outf << o.render(0) << "\n";
+    }
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        warn("result cache: rename to %s failed: %s", path.c_str(),
+             ec.message().c_str());
+        fs::remove(tmp, ec);
+    }
+}
+
+std::vector<CacheEntryInfo>
+ResultCache::list() const
+{
+    std::vector<CacheEntryInfo> out;
+    std::error_code ec;
+    fs::recursive_directory_iterator it(dir_, ec), end;
+    if (ec)
+        return out;
+    for (; it != end; it.increment(ec)) {
+        if (ec)
+            break;
+        if (!it->is_regular_file())
+            continue;
+        fs::path p = it->path();
+        if (p.extension() != ".json" || !isHexKey(p.stem().string()))
+            continue; // temp files and strays are not entries
+        CacheEntryInfo info;
+        info.key = p.stem().string();
+        info.bytes = std::uint64_t(fs::file_size(p, ec));
+        std::ifstream in(p, std::ios::binary);
+        std::ostringstream text;
+        text << in.rdbuf();
+        try {
+            std::uint64_t bytes = info.bytes;
+            info = parseEntry(info.key, text.str(), nullptr);
+            info.bytes = bytes;
+        } catch (const std::runtime_error &) {
+            info.valid = false;
+        }
+        out.push_back(std::move(info));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const CacheEntryInfo &a, const CacheEntryInfo &b) {
+                  return a.key < b.key;
+              });
+    return out;
+}
+
+CacheStats
+ResultCache::stats() const
+{
+    CacheStats s;
+    for (const CacheEntryInfo &e : list()) {
+        s.entries += 1;
+        s.bytes += e.bytes;
+        if (!e.valid)
+            s.invalid += 1;
+    }
+    return s;
+}
+
+std::size_t
+ResultCache::gc(double maxAgeDays) const
+{
+    std::size_t removed = 0;
+    std::error_code ec;
+    auto now = fs::file_time_type::clock::now();
+    for (const CacheEntryInfo &e : list()) {
+        fs::path p(entryPath(e.key));
+        bool drop = !e.valid;
+        if (!drop && maxAgeDays > 0.0) {
+            auto mtime = fs::last_write_time(p, ec);
+            if (!ec) {
+                double age_days =
+                    std::chrono::duration<double>(now - mtime).count() /
+                    86400.0;
+                drop = age_days > maxAgeDays;
+            }
+        }
+        if (drop && fs::remove(p, ec) && !ec)
+            removed += 1;
+    }
+    return removed;
+}
+
+std::size_t
+ResultCache::clear() const
+{
+    std::size_t removed = 0;
+    std::error_code ec;
+    for (const CacheEntryInfo &e : list())
+        if (fs::remove(entryPath(e.key), ec) && !ec)
+            removed += 1;
+    return removed;
+}
+
+} // namespace ltp

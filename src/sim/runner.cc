@@ -133,8 +133,9 @@ ResultGrid::size() const
     return n;
 }
 
-Runner::Runner(int threads)
-    : threads_(threads > 0 ? threads : ThreadPool::defaultThreads())
+Runner::Runner(int threads, ExecBackendPtr backend)
+    : threads_(threads > 0 ? threads : ThreadPool::defaultThreads()),
+      backend_(backend ? std::move(backend) : LocalBackend::instance())
 {
 }
 
@@ -152,12 +153,18 @@ struct Shard
     std::size_t kernel;
 };
 
-Metrics
-runShard(const SweepSpec &spec, const Shard &shard)
+CellResult
+runShard(ExecBackend &backend, const SweepSpec &spec, const Shard &shard)
 {
     const SweepJob &job = spec.jobs[shard.job];
-    return Simulator::runOnce(job.cfg, job.kernels[shard.kernel],
-                              spec.lengths);
+    const std::string &workload = job.kernels[shard.kernel];
+    // Key derivation (canonical config JSON + SHA-256) is skipped for
+    // backends that don't address results by content, so the pure
+    // local path pays nothing for the cache machinery.
+    CellKey key;
+    if (backend.wantsKey())
+        key = cellKeyFor(job.cfg, workload, spec.lengths);
+    return backend.runCell(key, job.cfg, workload, spec.lengths);
 }
 
 } // namespace
@@ -176,45 +183,62 @@ Runner::run(const SweepSpec &spec, const ProgressFn &progress) const
     // Per-shard Metrics, indexed like `shards` so reduction order is
     // independent of completion order.
     std::vector<Metrics> results(shards.size());
+    std::size_t cache_hits = 0;
 
     if (threads_ == 1) {
+        // The serial path reports through the same ProgressFn as the
+        // sharded one: once per completed cell, hits included.
         for (std::size_t i = 0; i < shards.size(); ++i) {
-            results[i] = runShard(spec, shards[i]);
+            CellResult r = runShard(*backend_, spec, shards[i]);
+            results[i] = std::move(r.metrics);
+            cache_hits += r.cacheHit ? 1 : 0;
             if (progress)
-                progress(i + 1, shards.size());
+                progress(Progress{i + 1, shards.size(), cache_hits});
         }
     } else {
-        // Workers bump `done` as shards finish; the coordinating
-        // thread polls it while waiting so the heartbeat reflects
-        // out-of-order completions, not just the next future in line.
+        // Workers bump `done`/`hits` as shards finish; the
+        // coordinating thread polls them while waiting so the
+        // heartbeat reflects out-of-order completions, not just the
+        // next future in line.
         std::atomic<std::size_t> done{0};
+        std::atomic<std::size_t> hits{0};
         ThreadPool pool(threads_);
         std::vector<std::future<Metrics>> futures;
         futures.reserve(shards.size());
+        ExecBackend &backend = *backend_;
         for (const Shard &shard : shards)
-            futures.push_back(pool.submit([&spec, shard, &done]() {
-                Metrics m = runShard(spec, shard);
-                done.fetch_add(1, std::memory_order_relaxed);
-                return m;
-            }));
+            futures.push_back(
+                pool.submit([&backend, &spec, shard, &done, &hits]() {
+                    CellResult r = runShard(backend, spec, shard);
+                    if (r.cacheHit)
+                        hits.fetch_add(1, std::memory_order_relaxed);
+                    done.fetch_add(1, std::memory_order_relaxed);
+                    return std::move(r.metrics);
+                }));
         for (std::size_t i = 0; i < futures.size(); ++i) {
             if (progress) {
                 while (futures[i].wait_for(
                            std::chrono::milliseconds(250)) !=
                        std::future_status::ready)
-                    progress(done.load(std::memory_order_relaxed),
-                             shards.size());
+                    progress(Progress{
+                        done.load(std::memory_order_relaxed),
+                        shards.size(),
+                        hits.load(std::memory_order_relaxed)});
             }
             results[i] = futures[i].get();
         }
+        cache_hits = hits.load(std::memory_order_relaxed);
         if (progress)
-            progress(shards.size(), shards.size());
+            progress(
+                Progress{shards.size(), shards.size(), cache_hits});
     }
 
     SweepResult out;
     out.name = spec.name;
     out.threads = threads_;
+    out.backend = backend_->name();
     out.simulations = shards.size();
+    out.cacheHits = cache_hits;
 
     std::size_t next = 0;
     for (const SweepJob &job : spec.jobs) {

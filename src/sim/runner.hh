@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/exec_backend.hh"
 #include "sim/metrics.hh"
 #include "sim/simulator.hh"
 
@@ -112,30 +113,47 @@ struct SweepResult
 {
     std::string name;
     int threads = 1;
+    std::string backend = "local";
     std::size_t simulations = 0;
+    std::size_t cacheHits = 0; ///< cells answered by a cache layer
     double wallMs = 0.0;
     ResultGrid grid;
 };
 
-/**
- * Heartbeat callback for long sweeps: invoked with (cells done, cells
- * total).  Called from the coordinating thread only — implementations
- * need no locking — at least once per completed shard in serial runs
- * and every ~250 ms in threaded runs (plus once at completion).
- */
-using ProgressFn = std::function<void(std::size_t, std::size_t)>;
+/** One heartbeat sample: cells finished, cells total, cache hits so
+ *  far.  `hits` generalizes the old (done, total) pair for the cached
+ *  and serve backends; it stays 0 on the pure-local path. */
+struct Progress
+{
+    std::size_t done = 0;
+    std::size_t total = 0;
+    std::size_t hits = 0;
+};
 
 /**
- * Shards a SweepSpec's jobs across a fixed-size thread pool.
- * threads == 1 runs fully inline (the serial reference); threads <= 0
- * selects the hardware concurrency.
+ * Heartbeat callback for long sweeps.  Called from the coordinating
+ * thread only — implementations need no locking — on every completed
+ * shard in serial (threads == 1) runs and every ~250 ms in threaded
+ * runs (plus once at completion), so `--threads=1` sweeps report
+ * progress through the exact same path as sharded ones.
+ */
+using ProgressFn = std::function<void(const Progress &)>;
+
+/**
+ * Schedules a SweepSpec's jobs over an ExecBackend, sharded across a
+ * fixed-size thread pool.  threads == 1 runs fully inline (the serial
+ * reference); threads <= 0 selects the hardware concurrency.  The
+ * default backend is the shared in-process LocalBackend; pass a
+ * CachedBackend or ServeBackend to make the same sweep hit the
+ * content-addressed cache or an `ltp serve` daemon instead.
  */
 class Runner
 {
   public:
-    explicit Runner(int threads = 0);
+    explicit Runner(int threads = 0, ExecBackendPtr backend = nullptr);
 
     int threads() const { return threads_; }
+    ExecBackend &backend() const { return *backend_; }
 
     /** Run every job; blocks until the grid is complete. */
     SweepResult run(const SweepSpec &spec,
@@ -143,6 +161,7 @@ class Runner
 
   private:
     int threads_;
+    ExecBackendPtr backend_;
 };
 
 } // namespace ltp

@@ -17,12 +17,13 @@ namespace ltp {
 // ---------------------------------------------------------------------------
 
 Panels
-classifyPanels(const RunLengths &lengths, std::uint64_t seed, int threads)
+classifyPanels(const RunLengths &lengths, std::uint64_t seed, int threads,
+               ExecBackendPtr backend)
 {
     Panels p;
     RunLengths quick = lengths;
     quick.detail = std::min<std::uint64_t>(lengths.detail, 20000);
-    p.groups = classifySuite(quick, seed, threads);
+    p.groups = classifySuite(quick, seed, threads, std::move(backend));
     return p;
 }
 
@@ -464,7 +465,7 @@ Scenario::buildConfig(const ScenarioConfig &sc) const
 }
 
 SweepSpec
-Scenario::compile(int threads) const
+Scenario::compile(int threads, ExecBackendPtr backend) const
 {
     SweepSpec spec;
     spec.name = name;
@@ -512,7 +513,7 @@ Scenario::compile(int threads) const
         }
         break;
       case WorkloadKind::Panels: {
-        Panels p = classifyPanels(lengths, seed, threads);
+        Panels p = classifyPanels(lengths, seed, threads, backend);
         std::vector<std::string> ids =
             panels.empty() ? panelNames(p) : panels;
         for (const std::string &id : ids)

@@ -56,9 +56,10 @@ struct Panels
 /**
  * Classify the registered suite with the Section 4.1 runtime criteria
  * (detail capped at 20k instructions, as all panel consumers do).
+ * @p backend routes the classification cells (null = in-process).
  */
 Panels classifyPanels(const RunLengths &lengths, std::uint64_t seed,
-                      int threads = 0);
+                      int threads = 0, ExecBackendPtr backend = nullptr);
 
 /** The kernels behind a panel name (single kernel or a whole group). */
 std::vector<std::string> panelKernels(const Panels &panels,
@@ -134,9 +135,12 @@ struct Scenario
     /**
      * Compile to a runnable SweepSpec.  Panels scenarios classify the
      * suite first, sharded over @p threads workers (grouping is
-     * thread-count independent).
+     * thread-count independent) and routed through @p backend (null =
+     * in-process), so a cached/served sweep also answers its
+     * classification matrix from the cache.
      */
-    SweepSpec compile(int threads = 1) const;
+    SweepSpec compile(int threads = 1,
+                      ExecBackendPtr backend = nullptr) const;
 
     /** Materialize one series config: preset(mode) + seed + overrides. */
     SimConfig buildConfig(const ScenarioConfig &sc) const;

@@ -159,6 +159,41 @@ TEST(Runner, GroupAveragesBitIdenticalToSerial)
     expectIdentical(serial.grid.at("g", "ilp"), direct);
 }
 
+TEST(Runner, SerialPathReportsProgressPerCell)
+{
+    // --threads=1 sweeps go through the same ProgressFn as sharded
+    // ones: one callback per completed cell, done climbing to total.
+    SweepSpec spec = SweepSpec::cross(
+        "serial_progress", {SimConfig::baseline()},
+        {"paper_loop", "dense_compute", "graph_walk"}, RunLengths::quick());
+
+    std::vector<Progress> seen;
+    Runner(1).run(spec,
+                  [&seen](const Progress &p) { seen.push_back(p); });
+
+    ASSERT_EQ(seen.size(), spec.simulationCount());
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+        EXPECT_EQ(seen[i].done, i + 1);
+        EXPECT_EQ(seen[i].total, spec.simulationCount());
+        EXPECT_EQ(seen[i].hits, 0u); // local backend: nothing cached
+    }
+}
+
+TEST(Runner, ThreadedPathReportsFinalProgress)
+{
+    SweepSpec spec = SweepSpec::cross(
+        "threaded_progress", {SimConfig::baseline()},
+        {"paper_loop", "dense_compute"}, RunLengths::quick());
+
+    std::vector<Progress> seen;
+    Runner(2).run(spec,
+                  [&seen](const Progress &p) { seen.push_back(p); });
+
+    ASSERT_FALSE(seen.empty());
+    EXPECT_EQ(seen.back().done, spec.simulationCount());
+    EXPECT_EQ(seen.back().total, spec.simulationCount());
+}
+
 TEST(Runner, ExperimentHelpersMatchDirectSimulation)
 {
     std::vector<Metrics> suite =

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * The `ltp serve` daemon and its client backend, in-process: an
+ * ephemeral-port Server plus ServeBackend exercising the whole wire
+ * protocol — run cells (metrics identical to local execution), cache
+ * hits on re-request, in-flight dedupe, control RPCs, and error
+ * propagation for malformed work.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "serve/client.hh"
+#include "serve/server.hh"
+#include "sim/cell_key.hh"
+#include "sim/report.hh"
+#include "sim/runner.hh"
+#include "sim/simulator.hh"
+
+namespace {
+
+using namespace ltp;
+
+RunLengths
+tiny()
+{
+    RunLengths l;
+    l.funcWarm = 2000;
+    l.pipeWarm = 400;
+    l.detail = 1000;
+    return l;
+}
+
+/** One daemon on an ephemeral port + scratch cache dir per test. */
+class ServeTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        cacheDir_ =
+            (std::filesystem::temp_directory_path() /
+             ("ltp_serve_test_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()
+                  ->current_test_info()
+                  ->name()))
+                .string();
+        std::filesystem::remove_all(cacheDir_);
+
+        ServeOptions opts;
+        opts.port = 0; // ephemeral: tests never collide on a port
+        opts.threads = 4;
+        opts.cacheDir = cacheDir_;
+        opts.quiet = true;
+        server_ = std::make_unique<Server>(opts);
+        server_->start();
+    }
+
+    void
+    TearDown() override
+    {
+        server_->stop();
+        server_.reset();
+        std::error_code ec;
+        std::filesystem::remove_all(cacheDir_, ec);
+    }
+
+    std::unique_ptr<ServeBackend>
+    connect()
+    {
+        return std::make_unique<ServeBackend>("127.0.0.1",
+                                              server_->port());
+    }
+
+    std::string cacheDir_;
+    std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServeTest, PingReportsProtocolVersion)
+{
+    auto client = connect();
+    JsonValue reply = client->rpc("ping");
+    ASSERT_TRUE(reply.isObject());
+    EXPECT_EQ(reply.object.at("type").str, "pong");
+    EXPECT_EQ(std::uint64_t(reply.object.at("version").num),
+              std::uint64_t(kServeProtocolVersion));
+}
+
+TEST_F(ServeTest, ServedMetricsMatchLocalExecution)
+{
+    auto client = connect();
+    SimConfig cfg = SimConfig::baseline().withSeed(3);
+    CellKey key = cellKeyFor(cfg, "graph_walk", tiny());
+
+    CellResult served =
+        client->runCell(key, cfg, "graph_walk", tiny());
+    EXPECT_FALSE(served.cacheHit);
+
+    Metrics local = Simulator::runOnce(cfg, "graph_walk", tiny());
+    EXPECT_EQ(metricsToJson(served.metrics), metricsToJson(local));
+}
+
+TEST_F(ServeTest, SecondRequestIsACacheHit)
+{
+    auto client = connect();
+    SimConfig cfg = SimConfig::baseline();
+    CellKey key = cellKeyFor(cfg, "paper_loop", tiny());
+
+    CellResult first = client->runCell(key, cfg, "paper_loop", tiny());
+    EXPECT_FALSE(first.cacheHit);
+    // Same cell again — answered from the daemon's cache, even from a
+    // brand-new connection.
+    CellResult again = client->runCell(key, cfg, "paper_loop", tiny());
+    EXPECT_TRUE(again.cacheHit);
+    auto fresh = connect();
+    CellResult other = fresh->runCell(key, cfg, "paper_loop", tiny());
+    EXPECT_TRUE(other.cacheHit);
+    EXPECT_EQ(metricsToJson(first.metrics),
+              metricsToJson(other.metrics));
+}
+
+TEST_F(ServeTest, ConcurrentIdenticalCellsComputeOnce)
+{
+    // Hammer one cell from many client threads at once: whichever
+    // requests overlap must dedupe onto a single computation, and
+    // every response must carry identical metrics.  (hit || deduped
+    // is not asserted per-response because the first wave may all
+    // arrive before the cell finishes — the stats RPC gives the
+    // ground truth: exactly one compute.)
+    SimConfig cfg = SimConfig::baseline().withSeed(11);
+    CellKey key = cellKeyFor(cfg, "linked_list", tiny());
+
+    constexpr int kClients = 6;
+    std::vector<std::string> results(kClients);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kClients; ++i)
+        threads.emplace_back([this, i, &results, &cfg, &key]() {
+            ServeBackend client("127.0.0.1", server_->port());
+            results[size_t(i)] = metricsToJson(
+                client.runCell(key, cfg, "linked_list", tiny())
+                    .metrics);
+        });
+    for (std::thread &t : threads)
+        t.join();
+
+    for (int i = 1; i < kClients; ++i)
+        EXPECT_EQ(results[size_t(i)], results[0]);
+
+    auto client = connect();
+    JsonValue stats = client->rpc("stats");
+    EXPECT_EQ(std::uint64_t(stats.object.at("computed").num), 1u)
+        << "identical concurrent cells were re-simulated";
+}
+
+TEST_F(ServeTest, RunnerSweepOverServeMatchesLocal)
+{
+    SweepSpec spec = SweepSpec::cross(
+        "serve_sweep",
+        {SimConfig::baseline().withName("base"),
+         SimConfig::baseline().withIq(32).withName("iq32")},
+        {"paper_loop", "graph_walk"}, tiny());
+
+    SweepResult local = Runner(1).run(spec);
+    SweepResult served =
+        Runner(2, std::make_shared<ServeBackend>(
+                      "127.0.0.1", server_->port()))
+            .run(spec);
+    EXPECT_EQ(served.backend, "serve");
+    EXPECT_EQ(served.cacheHits, 0u);
+
+    for (const std::string &row : local.grid.rows())
+        for (const std::string &series : local.grid.series(row))
+            EXPECT_EQ(metricsToJson(served.grid.at(row, series)),
+                      metricsToJson(local.grid.at(row, series)))
+                << row << "/" << series;
+
+    // The whole sweep again: every cell comes back as a hit.
+    SweepResult warm =
+        Runner(2, std::make_shared<ServeBackend>(
+                      "127.0.0.1", server_->port()))
+            .run(spec);
+    EXPECT_EQ(warm.cacheHits, warm.simulations);
+}
+
+TEST_F(ServeTest, ServerStreamsProgressFrames)
+{
+    auto client = connect();
+    SimConfig cfg = SimConfig::baseline();
+    for (int i = 0; i < 3; ++i) {
+        SimConfig c = cfg;
+        c.seed = std::uint64_t(100 + i);
+        client->runCell(cellKeyFor(c, "paper_loop", tiny()), c,
+                        "paper_loop", tiny());
+    }
+    // One {done,total,hits} push per completed cell.
+    EXPECT_EQ(client->progressFrames(), 3u);
+}
+
+TEST_F(ServeTest, UnknownWorkloadComesBackAsError)
+{
+    auto client = connect();
+    SimConfig cfg = SimConfig::baseline();
+    CellKey key = cellKeyFor(cfg, "paper_loop", tiny());
+    EXPECT_THROW(
+        client->runCell(key, cfg, "no_such_kernel_anywhere", tiny()),
+        std::runtime_error);
+    // The connection survives a failed cell.
+    EXPECT_NO_THROW(client->rpc("ping"));
+}
+
+TEST_F(ServeTest, StatsCountsRequestsAndShutdownStopsTheServer)
+{
+    auto client = connect();
+    client->rpc("ping");
+    JsonValue stats = client->rpc("stats");
+    EXPECT_GE(std::uint64_t(stats.object.at("requests").num), 2u);
+    EXPECT_EQ(stats.object.at("cacheDir").str, cacheDir_);
+
+    JsonValue ok = client->rpc("shutdown");
+    EXPECT_EQ(ok.object.at("type").str, "ok");
+    server_->waitForShutdown(); // returns promptly after the RPC
+}
+
+} // namespace

@@ -34,9 +34,13 @@
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
 #include "sim/config.hh"
+#include "sim/exec_backend.hh"
 #include "sim/experiment.hh"
 #include "sim/report.hh"
+#include "sim/result_cache.hh"
 #include "sim/runner.hh"
 #include "sim/scenario.hh"
 #include "sim/simspeed.hh"
@@ -70,11 +74,21 @@ usage(int status)
         "  list-kernels   print the registered kernel suite\n"
         "  classify       Section 4.1 MLP-sensitivity classification\n"
         "  print-config <preset>   print a preset's config as JSON\n"
+        "  cache <ls|stat|gc|clear>   inspect / prune the result cache\n"
+        "  serve [ping|stats|stop]    run (or control) the cell daemon\n"
         "\n"
-        "every command accepts --help; simulation commands accept\n"
-        "--warm/--pipewarm/--detail, --seed, --threads, --json, --csv,\n"
-        "and repeatable --set <dotted.path>=<value> config overrides\n"
-        "(see `ltp print-config --paths` for the full path list)\n");
+        "every command accepts --help and the shared global flags:\n"
+        "--warm/--pipewarm/--detail staging, --seed, --threads=N\n"
+        "(0 = all cores), --json/--csv result archiving, repeatable\n"
+        "--set <dotted.path>=<value> config overrides (see `ltp\n"
+        "print-config --paths`), and the execution-backend flags:\n"
+        "  --no-cache          bypass the content-addressed result cache\n"
+        "  --cache-dir=<dir>   cache root (default $LTP_CACHE_DIR or\n"
+        "                      ~/.cache/ltp)\n"
+        "  --backend=local|serve   where cells run (default local)\n"
+        "  --server=host:port  serve daemon address (implies\n"
+        "                      --backend=serve; default 127.0.0.1:%d)\n",
+        kDefaultServePort);
     return status;
 }
 
@@ -120,6 +134,53 @@ presetConfig(const std::string &preset, const Cli &cli)
     fatal("unknown preset '%s' (expected "
           "baseline|ltpProposal|limitStudy)",
           preset.c_str());
+}
+
+/**
+ * The execution backend the shared flags select: an `ltp serve` client
+ * (--backend=serve / --server=...), the cache-wrapped local backend
+ * (the default — sweeps are answered from ~/.cache/ltp when the exact
+ * cell was run before), or the bare local backend (--no-cache).
+ * Returning nullptr lets the Runner use its zero-overhead default.
+ */
+ExecBackendPtr
+makeBackend(const Cli &cli)
+{
+    std::string kind =
+        cli.str("backend", cli.has("server") ? "serve" : "local");
+    if (kind == "serve") {
+        std::string host = "127.0.0.1";
+        int port = kDefaultServePort;
+        try {
+            parseHostPort(cli.str("server", ""), &host, &port);
+            return std::make_shared<ServeBackend>(host, port);
+        } catch (const std::exception &e) {
+            fatal("%s", e.what());
+        }
+    }
+    if (kind != "local")
+        fatal("unknown --backend '%s' (expected local|serve)",
+              kind.c_str());
+    if (cli.flag("no-cache"))
+        return nullptr;
+    try {
+        return std::make_shared<CachedBackend>(
+            LocalBackend::instance(),
+            std::make_shared<ResultCache>(cli.str("cache-dir", "")));
+    } catch (const std::exception &e) {
+        fatal("%s", e.what());
+    }
+}
+
+/** One stderr line of cache effectiveness for non-local backends. */
+void
+printBackendSummary(const SweepResult &result)
+{
+    if (result.backend != "local")
+        std::fprintf(stderr,
+                     "backend %s: %zu/%zu cells answered from cache\n",
+                     result.backend.c_str(), result.cacheHits,
+                     result.simulations);
 }
 
 void
@@ -219,7 +280,8 @@ cmdRun(const Cli &cli)
         spec.add(k, cfg.name, cfg, k);
 
     SweepResult result =
-        Runner(int(cli.integer("threads", 0))).run(spec);
+        Runner(int(cli.integer("threads", 0)), makeBackend(cli))
+            .run(spec);
 
     Table t({"kernel", "IPC", "CPI", "cycles", "parked", "LTP occ"});
     for (const std::string &k : kernels) {
@@ -231,6 +293,7 @@ cmdRun(const Cli &cli)
     }
     t.print(strprintf("config %s (seed %llu)", cfg.name.c_str(),
                       static_cast<unsigned long long>(cfg.seed)));
+    printBackendSummary(result);
     maybeArchive(cli, result);
     return 0;
 }
@@ -253,9 +316,13 @@ cmdSweep(const std::string &path, const Cli &cli)
     }
 
     int threads = int(cli.integer("threads", 0));
+    ExecBackendPtr backend = makeBackend(cli);
     SweepSpec spec;
     try {
-        spec = scenario.compile(threads);
+        // The backend also serves the classification matrix a panels
+        // scenario runs at compile time, so a warm cache answers the
+        // whole invocation without simulating.
+        spec = scenario.compile(threads, backend);
     } catch (const std::runtime_error &e) {
         fatal("%s", e.what());
     }
@@ -268,22 +335,27 @@ cmdSweep(const std::string &path, const Cli &cli)
                 spec.name.c_str(), spec.jobs.size(),
                 spec.simulationCount());
     ProgressFn progress;
+    bool caching = backend && backend->wantsKey();
     if (cli.flag("progress")) {
-        // Heartbeat for long sharded runs: cells done / total, elapsed.
+        // Heartbeat for long runs (serial and sharded alike): cells
+        // done / total, cache hits when a caching backend is in play.
         auto start = std::chrono::steady_clock::now();
         std::string name = spec.name;
-        progress = [start, name](std::size_t done, std::size_t total) {
+        progress = [start, name, caching](const Progress &p) {
             double secs = std::chrono::duration<double>(
                               std::chrono::steady_clock::now() - start)
                               .count();
-            std::fprintf(stderr, "\r%s: %zu/%zu cells, %.1fs elapsed%s",
-                         name.c_str(), done, total,
-                         secs, done == total ? "\n" : "");
+            std::string hits =
+                caching ? strprintf(", %zu hits", p.hits) : "";
+            std::fprintf(stderr, "\r%s: %zu/%zu cells%s, %.1fs elapsed%s",
+                         name.c_str(), p.done, p.total, hits.c_str(),
+                         secs, p.done == p.total ? "\n" : "");
             std::fflush(stderr);
         };
     }
-    SweepResult result = Runner(threads).run(spec, progress);
+    SweepResult result = Runner(threads, backend).run(spec, progress);
     printGrid(result);
+    printBackendSummary(result);
     maybeArchive(cli, result);
     return 0;
 }
@@ -414,7 +486,8 @@ recordTargets(const std::string &what, const Cli &cli,
             seed = scenario.seed;
         SweepSpec spec;
         try {
-            spec = scenario.compile(int(cli.integer("threads", 0)));
+            spec = scenario.compile(int(cli.integer("threads", 0)),
+                                    makeBackend(cli));
         } catch (const std::runtime_error &e) {
             fatal("%s", e.what());
         }
@@ -617,7 +690,7 @@ cmdClassify(const Cli &cli)
     std::uint64_t seed = cli.integer("seed", 1);
     int threads = int(cli.integer("threads", 0));
 
-    Panels p = classifyPanels(lengths, seed, threads);
+    Panels p = classifyPanels(lengths, seed, threads, makeBackend(cli));
     Table t({"kernel", "class", "speedup", "outstanding x",
              "avg load lat"});
     for (const auto &d : p.groups.details)
@@ -658,6 +731,102 @@ cmdClassify(const Cli &cli)
 }
 
 int
+cmdCache(const std::string &action, const Cli &cli)
+{
+    ResultCache cache(cli.str("cache-dir", ""));
+
+    if (action.empty() || action == "stat") {
+        CacheStats s = cache.stats();
+        std::printf("cache %s: %llu entries (%llu invalid), %llu "
+                    "bytes\n",
+                    cache.dir().c_str(),
+                    static_cast<unsigned long long>(s.entries),
+                    static_cast<unsigned long long>(s.invalid),
+                    static_cast<unsigned long long>(s.bytes));
+        return 0;
+    }
+    if (action == "ls") {
+        Table t({"key", "config", "workload", "staging", "bytes",
+                 "state"});
+        for (const CacheEntryInfo &e : cache.list())
+            t.addRow({e.key.substr(0, 12), e.config, e.workload,
+                      strprintf("%llu/%llu/%llu",
+                                static_cast<unsigned long long>(
+                                    e.funcWarm),
+                                static_cast<unsigned long long>(
+                                    e.pipeWarm),
+                                static_cast<unsigned long long>(
+                                    e.detail)),
+                      std::to_string(e.bytes),
+                      e.valid ? "ok" : "INVALID"});
+        t.print(strprintf("result cache at %s", cache.dir().c_str()));
+        return 0;
+    }
+    if (action == "gc") {
+        double days = cli.real("max-age-days", 0.0);
+        std::size_t removed = cache.gc(days);
+        std::printf("cache gc: removed %zu entr%s%s\n", removed,
+                    removed == 1 ? "y" : "ies",
+                    days > 0.0
+                        ? strprintf(" (invalid or older than %g days)",
+                                    days)
+                              .c_str()
+                        : " (invalid)");
+        return 0;
+    }
+    if (action == "clear") {
+        std::size_t removed = cache.clear();
+        std::printf("cache clear: removed %zu entr%s from %s\n",
+                    removed, removed == 1 ? "y" : "ies",
+                    cache.dir().c_str());
+        return 0;
+    }
+    fatal("unknown cache action '%s' (expected ls|stat|gc|clear)",
+          action.c_str());
+}
+
+int
+cmdServe(const std::string &action, const Cli &cli)
+{
+    if (!action.empty()) {
+        // Control plane: one-shot RPCs against a running daemon.
+        if (action != "ping" && action != "stats" && action != "stop")
+            fatal("unknown serve action '%s' (expected ping|stats|stop "
+                  "or no action to run the daemon)",
+                  action.c_str());
+        std::string host = "127.0.0.1";
+        int port = int(cli.integer("port", kDefaultServePort));
+        try {
+            parseHostPort(cli.str("server", ""), &host, &port);
+            ServeBackend client(host, port);
+            JsonValue reply =
+                client.rpc(action == "stop" ? "shutdown" : action);
+            reply.object.erase("id");
+            std::printf("%s\n", writeJson(reply).c_str());
+        } catch (const std::exception &e) {
+            fatal("%s", e.what());
+        }
+        return 0;
+    }
+
+    ServeOptions opts;
+    opts.port = int(cli.integer("port", kDefaultServePort));
+    opts.threads = int(cli.integer("threads", 0));
+    opts.cacheDir = cli.str("cache-dir", "");
+    opts.useCache = !cli.flag("no-cache");
+    opts.quiet = cli.flag("quiet");
+    try {
+        Server server(opts);
+        server.start();
+        server.waitForShutdown();
+        server.stop();
+    } catch (const std::exception &e) {
+        fatal("%s", e.what());
+    }
+    return 0;
+}
+
+int
 cmdPrintConfig(const std::string &preset, const Cli &cli)
 {
     if (cli.flag("paths")) {
@@ -690,9 +859,9 @@ main(int argc, char **argv)
     // valueless flag is read as that flag's value, not the positional.
     // Boolean switches never take a value, so a bare token after one
     // (e.g. `ltp replay --verify traces/`) stays the positional.
-    const std::set<std::string> boolean_flags = {"--verify", "--paths",
-                                                 "--progress", "--quick",
-                                                 "--check"};
+    const std::set<std::string> boolean_flags = {
+        "--verify", "--paths", "--progress", "--quick", "--check",
+        "--no-cache", "--quiet"};
     std::string positional;
     std::vector<char *> args;
     std::string prog = std::string(argv[0]) + " " + cmd;
@@ -719,24 +888,29 @@ main(int argc, char **argv)
     }
     int nargs = static_cast<int>(args.size());
 
-    const std::set<std::string> staging = {"warm", "pipewarm", "detail"};
+    // Every subcommand accepts the same global flag set through the
+    // same parser — staging, seed, threading, archiving, overrides,
+    // and the execution-backend/caching flags — so a flag learned on
+    // one command works on all of them (commands that have no use for
+    // a given global simply don't consult it).
+    const std::set<std::string> global = {
+        "warm",     "pipewarm",  "detail", "seed",    "threads",
+        "set",      "json",      "csv",    "no-cache", "cache-dir",
+        "backend",  "server"};
     auto flags = [&](std::set<std::string> extra) {
-        extra.insert(staging.begin(), staging.end());
+        extra.insert(global.begin(), global.end());
         return extra;
     };
 
     if (cmd == "run") {
         Cli cli(nargs, args.data(),
-                flags({"preset", "mode", "kernel", "set", "seed",
-                       "threads", "json", "csv"}),
+                flags({"preset", "mode", "kernel"}),
                 "ltp run — simulate one config over kernels");
         rejectPositional(cmd, positional);
         return cmdRun(cli);
     }
     if (cmd == "sweep") {
-        Cli cli(nargs, args.data(),
-                flags({"seed", "threads", "set", "json", "csv",
-                       "progress"}),
+        Cli cli(nargs, args.data(), flags({"progress"}),
                 "ltp sweep <scenario.json> — compile and run a "
                 "scenario file");
         if (positional.empty())
@@ -746,48 +920,60 @@ main(int argc, char **argv)
     }
     if (cmd == "bench") {
         Cli cli(nargs, args.data(),
-                flags({"quick", "seed", "scenario", "baseline", "check",
-                       "json"}),
+                flags({"quick", "scenario", "baseline", "check"}),
                 "ltp bench — measure simulator throughput (kIPS) and "
                 "write BENCH_simspeed.json; --baseline + --check fails "
-                "on >25% regression");
+                "on >25% regression (always runs in-process and "
+                "uncached: it times the simulator, not the cache)");
         rejectPositional(cmd, positional);
         return cmdBench(cli);
     }
     if (cmd == "record") {
-        Cli cli(nargs, args.data(),
-                flags({"out", "seed", "threads"}),
+        Cli cli(nargs, args.data(), flags({"out"}),
                 "ltp record <kernel[,kernel...]|scenario.json|all> "
                 "--out=<dir> — record .lttr micro-op traces");
         return cmdRecord(positional, cli);
     }
     if (cmd == "replay") {
         Cli cli(nargs, args.data(),
-                flags({"preset", "mode", "set", "seed", "verify"}),
+                flags({"preset", "mode", "verify"}),
                 "ltp replay <trace.lttr|dir> — replay recorded traces; "
                 "--verify diffs the Metrics against execute mode");
         return cmdReplay(positional, cli);
     }
     if (cmd == "list-kernels") {
-        Cli cli(nargs, args.data(), {},
+        Cli cli(nargs, args.data(), flags({}),
                 "ltp list-kernels — print the registered kernel suite");
         rejectPositional(cmd, positional);
         return cmdListKernels();
     }
     if (cmd == "classify") {
-        Cli cli(nargs, args.data(),
-                flags({"seed", "threads", "json", "csv"}),
+        Cli cli(nargs, args.data(), flags({}),
                 "ltp classify — Section 4.1 MLP-sensitivity "
                 "classification");
         rejectPositional(cmd, positional);
         return cmdClassify(cli);
     }
     if (cmd == "print-config") {
-        Cli cli(nargs, args.data(),
-                flags({"mode", "set", "paths"}),
+        Cli cli(nargs, args.data(), flags({"mode", "paths"}),
                 "ltp print-config <preset> — print a preset's config "
                 "as JSON");
         return cmdPrintConfig(positional, cli);
+    }
+    if (cmd == "cache") {
+        Cli cli(nargs, args.data(), flags({"max-age-days"}),
+                "ltp cache <ls|stat|gc|clear> — inspect or prune the "
+                "content-addressed result cache; --cache-dir selects "
+                "the root, gc takes --max-age-days=N");
+        return cmdCache(positional, cli);
+    }
+    if (cmd == "serve") {
+        Cli cli(nargs, args.data(), flags({"port", "quiet"}),
+                "ltp serve [ping|stats|stop] — run the shared "
+                "simulation daemon (no action), or control a running "
+                "one; --port/--server address it, --threads sizes the "
+                "pool, --no-cache disables the shared result cache");
+        return cmdServe(positional, cli);
     }
 
     std::fprintf(stderr, "ltp: unknown command '%s'\n\n", cmd.c_str());

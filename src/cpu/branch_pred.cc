@@ -73,6 +73,28 @@ BranchPredictor::update(Addr pc, bool taken, Addr target)
     trainEntry(index(pc), pc, taken, target);
 }
 
+BranchPredictor::Image
+BranchPredictor::image() const
+{
+    Image img;
+    img.tableBits = table_bits_;
+    img.history = history_;
+    img.counters = counters_;
+    img.btb = btb_;
+    return img;
+}
+
+void
+BranchPredictor::restore(const Image &img)
+{
+    sim_assert(img.tableBits == table_bits_);
+    sim_assert(img.counters.size() == counters_.size());
+    sim_assert(img.btb.size() == btb_.size());
+    history_ = img.history;
+    counters_ = img.counters;
+    btb_ = img.btb;
+}
+
 double
 BranchPredictor::accuracy() const
 {

@@ -43,6 +43,32 @@ class BranchPredictor
 
     double accuracy() const;
 
+    struct BtbEntry
+    {
+        Addr pc = 0;
+        Addr target = 0;
+        bool valid = false;
+    };
+
+    /**
+     * Checkpointable predictor state: pattern table, BTB, and global
+     * history — everything the next prediction depends on.  The
+     * lookup/mispredict counters are *statistics*, not architecture,
+     * and are excluded (a restored predictor starts counting fresh).
+     */
+    struct Image
+    {
+        int tableBits = 0;
+        std::uint64_t history = 0;
+        std::vector<std::uint8_t> counters;
+        std::vector<BtbEntry> btb;
+    };
+
+    Image image() const;
+
+    /** Install @p img; geometry must match this predictor's config. */
+    void restore(const Image &img);
+
     Counter lookups;
     Counter mispredicts;
 
@@ -51,12 +77,6 @@ class BranchPredictor
     void trainEntry(std::size_t idx, Addr pc, bool taken, Addr target);
 
     std::vector<std::uint8_t> counters_; ///< 2-bit saturating
-    struct BtbEntry
-    {
-        Addr pc = 0;
-        Addr target = 0;
-        bool valid = false;
-    };
     std::vector<BtbEntry> btb_;
     std::uint64_t history_ = 0;
     int table_bits_;

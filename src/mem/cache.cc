@@ -129,6 +129,23 @@ Cache::invalidate(Addr block)
 }
 
 void
+Cache::restoreLines(const std::vector<Line> &lines,
+                    std::uint64_t use_stamp)
+{
+    sim_assert(lines.size() == lines_.size());
+    lines_ = lines;
+    use_stamp_ = use_stamp;
+    settle();
+}
+
+void
+Cache::settle()
+{
+    for (Line &line : lines_)
+        line.dataReady = 0;
+}
+
+void
 Cache::resetStats()
 {
     demandHits.reset();

@@ -77,6 +77,43 @@ class Cache
     int assoc() const { return cfg_.assoc; }
     const std::string &name() const { return name_; }
 
+    /** One tag-array line (exposed for architectural checkpoints). */
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        bool prefetched = false;
+        Addr tag = 0;
+        Cycle dataReady = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    /// @name Architectural checkpointing and inter-sample settling
+    /// @{
+
+    /** The raw tag array, set-major (numSets * assoc lines). */
+    const std::vector<Line> &lines() const { return lines_; }
+
+    /** LRU clock value (restored with the lines it stamped). */
+    std::uint64_t useStamp() const { return use_stamp_; }
+
+    /**
+     * Install a checkpointed tag array.  @p lines must match this
+     * cache's geometry; in-flight fill timing is settled (every
+     * restored line reads as resident at cycle 0).
+     */
+    void restoreLines(const std::vector<Line> &lines,
+                      std::uint64_t use_stamp);
+
+    /**
+     * Collapse transient fill timing: every valid line becomes
+     * resident now, so a detailed phase can restart at cycle 0
+     * without observing data-ready cycles from a previous clock.
+     */
+    void settle();
+
+    /// @}
+
     /// @name Statistics
     /// @{
     Counter demandHits;
@@ -90,16 +127,6 @@ class Cache
     /// @}
 
   private:
-    struct Line
-    {
-        bool valid = false;
-        bool dirty = false;
-        bool prefetched = false;
-        Addr tag = 0;
-        Cycle dataReady = 0;
-        std::uint64_t lastUse = 0;
-    };
-
     Line *findLine(Addr block);
     const Line *findLine(Addr block) const;
 

@@ -102,6 +102,16 @@ Dram::typicalLatency() const
 }
 
 void
+Dram::settle()
+{
+    for (Bank &bank : banks_)
+        bank = Bank{};
+    std::fill(bus_next_free_.begin(), bus_next_free_.end(), 0);
+    read_completions_ = {};
+    inflight_ = OccupancyStat{};
+}
+
+void
 Dram::resetStats(Cycle now)
 {
     reads.reset();

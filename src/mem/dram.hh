@@ -68,6 +68,14 @@ class Dram
 
     void resetStats(Cycle now);
 
+    /**
+     * Drop all transient timing state — open rows, bank/bus next-free
+     * times, in-flight reads — so the model can serve a fresh detailed
+     * phase starting at cycle 0.  DRAM timing is deliberately *not*
+     * checkpointed: it decays within one access anyway.
+     */
+    void settle();
+
     Counter reads;
     Counter writes;
     Counter rowHits;

@@ -212,6 +212,18 @@ MemSystem::warmAccess(Addr pc, Addr addr, bool is_write, Cycle now)
 }
 
 void
+MemSystem::settle()
+{
+    l1i_.settle();
+    l1d_.settle();
+    l2_.settle();
+    l3_.settle();
+    dram_.settle();
+    l1d_mshrs_.settle();
+    load_lat_.reset();
+}
+
+void
 MemSystem::resetStats(Cycle now)
 {
     l1i_.resetStats();

@@ -101,6 +101,16 @@ class MemSystem
 
     void resetStats(Cycle now);
 
+    /**
+     * Collapse every transient timing artifact — in-flight cache
+     * fills, MSHR entries, DRAM bank/bus state, latency averages — so
+     * the warmed hierarchy can serve a fresh detailed phase starting
+     * at cycle 0.  Tag contents, LRU order, dirty bits, and prefetcher
+     * training all survive; this is the boundary between one detailed
+     * sample and the next fast-forward stretch.
+     */
+    void settle();
+
     /// @name Component access for stats reporting and tests
     /// @{
     Cache &l1i() { return l1i_; }

@@ -40,6 +40,15 @@ class MshrFile
 
     void resetStats(Cycle now) { occ_.reset(now); }
 
+    /** Drop all in-flight entries (inter-sample settling; the fills
+     *  they tracked are settled to "resident" in the caches). */
+    void
+    settle()
+    {
+        live_.clear();
+        occ_ = OccupancyStat{};
+    }
+
     Counter allocations;
     Counter fullStalls; ///< times available() returned false
 

@@ -35,10 +35,6 @@ class StridePrefetcher
      */
     void observe(Addr pc, Addr addr, std::vector<Addr> &out);
 
-    Counter issued;
-    Counter trainings;
-
-  private:
     struct Entry
     {
         Addr pc = 0;
@@ -48,6 +44,23 @@ class StridePrefetcher
         bool valid = false;
     };
 
+    /// @name Architectural checkpointing
+    /// @{
+    const std::vector<Entry> &table() const { return table_; }
+
+    /** Install a checkpointed table (size must match). */
+    void
+    restoreTable(const std::vector<Entry> &table)
+    {
+        sim_assert(table.size() == table_.size());
+        table_ = table;
+    }
+    /// @}
+
+    Counter issued;
+    Counter trainings;
+
+  private:
     int degree_;
     std::vector<Entry> table_;
 };

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Functional fast-forward engine: retires instructions architecturally
+ * — branch-predictor training, cache/prefetcher image, architectural
+ * register writers — with no pipeline modeling (no IQ/ROB/LSQ/LTP, no
+ * cycles), so the stream position advances at an order of magnitude
+ * higher rate than detailed simulation.
+ *
+ * The engine owns the master per-thread workload streams of a sampled
+ * run.  Detailed samples consume the *same* streams through counting
+ * wrappers (stream()), so the position bookkeeping is exact: whatever
+ * a sample's trace window fetched ahead is already counted, and the
+ * next advanceTo() continues from there rather than re-playing it.
+ *
+ * Warming fidelity, per op:
+ *  - branches: BranchPredictor::predict trains tables + history in
+ *    stream order, exactly as detailed fetch does (raw PC — the core
+ *    indexes its predictor with unoffset PCs);
+ *  - loads/stores: MemSystem::warmAccess with the per-thread address
+ *    base, warming tags/LRU/dirty bits/prefetcher without timing;
+ *  - register writes: per-thread last-writer positions (the
+ *    architectural register image of a timing-only simulation).
+ */
+
+#ifndef LTP_SAMPLE_FAST_FORWARD_HH
+#define LTP_SAMPLE_FAST_FORWARD_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/branch_pred.hh"
+#include "isa/reg.hh"
+#include "mem/mem_system.hh"
+#include "sim/config.hh"
+#include "trace/workload.hh"
+
+namespace ltp {
+
+/**
+ * A workload wrapper that counts every micro-op pulled from the master
+ * stream — by the fast-forward loop *and* by a detailed sample's trace
+ * window — so the stream position is a single shared number.
+ */
+class CountingStream : public Workload
+{
+  public:
+    explicit CountingStream(WorkloadPtr master)
+        : master_(std::move(master))
+    {
+    }
+
+    std::string name() const override { return master_->name(); }
+
+    void
+    reset(std::uint64_t seed) override
+    {
+        master_->reset(seed);
+        consumed_ = 0;
+    }
+
+    MicroOp
+    next() override
+    {
+        ++consumed_;
+        return master_->next();
+    }
+
+    void
+    skip(std::uint64_t n) override
+    {
+        master_->skip(n);
+        consumed_ += n;
+    }
+
+    /** Micro-ops pulled from the master since the last reset(). */
+    std::uint64_t consumed() const { return consumed_; }
+
+  private:
+    WorkloadPtr master_;
+    std::uint64_t consumed_ = 0;
+};
+
+/** Functional-only fast-forward over one run's thread streams. */
+class FastForward
+{
+  public:
+    /**
+     * Build the engine over freshly-reset streams (position 0) for
+     * @p members (one workload name per thread, tid order), warming
+     * into the shared @p mem hierarchy.
+     */
+    FastForward(const SimConfig &cfg,
+                const std::vector<std::string> &members, MemSystem &mem);
+
+    /**
+     * Functionally retire until every thread's stream position reaches
+     * @p target, round-robin interleaved across threads (the shared
+     * hierarchy warms under the same mix it will serve).  Threads
+     * already past @p target — a detailed sample's fetch-ahead
+     * overshoot — are left untouched.
+     */
+    void advanceTo(std::uint64_t target);
+
+    int numThreads() const { return int(threads_.size()); }
+
+    /** The counting stream a detailed sample's trace window feeds from. */
+    CountingStream &stream(int tid) { return *threads_[std::size_t(tid)].stream; }
+
+    /** Current stream position of @p tid (ops pulled from the master). */
+    std::uint64_t
+    consumed(int tid) const
+    {
+        return threads_[std::size_t(tid)].stream->consumed();
+    }
+
+    /** The functionally-warmed predictor (copied into each sample core). */
+    BranchPredictor &branchPred(int tid) { return threads_[std::size_t(tid)].bpred; }
+    const BranchPredictor &branchPred(int tid) const
+    {
+        return threads_[std::size_t(tid)].bpred;
+    }
+
+    /** Last-writer stream positions, flat arch-reg order (checkpoints). */
+    const std::array<std::uint64_t, kTotalArchRegs> &
+    lastWriters(int tid) const
+    {
+        return threads_[std::size_t(tid)].last_writer;
+    }
+
+    std::array<std::uint64_t, kTotalArchRegs> &
+    lastWriters(int tid)
+    {
+        return threads_[std::size_t(tid)].last_writer;
+    }
+
+    /** Functionally-retired instructions (excludes detailed samples). */
+    std::uint64_t retired() const { return retired_; }
+
+    /** Measured fast-forward rate over all advanceTo() calls so far,
+     *  in thousands of instructions per wall-clock second. */
+    double kips() const;
+
+  private:
+    struct ThreadState
+    {
+        std::unique_ptr<CountingStream> stream;
+        BranchPredictor bpred;
+        std::array<std::uint64_t, kTotalArchRegs> last_writer{};
+
+        ThreadState(WorkloadPtr master, const CoreConfig &cfg)
+            : stream(std::make_unique<CountingStream>(std::move(master))),
+              bpred(cfg.bpTableBits, cfg.btbEntries)
+        {
+        }
+    };
+
+    /** Pull and functionally retire one op on thread @p tid. */
+    void retireOne(int tid);
+
+    MemSystem &mem_;
+    std::vector<ThreadState> threads_;
+    std::uint64_t retired_ = 0;
+    double elapsed_sec_ = 0.0; ///< wall time inside advanceTo()
+};
+
+} // namespace ltp
+
+#endif // LTP_SAMPLE_FAST_FORWARD_HH

@@ -130,7 +130,8 @@ ServeBackend::call(JsonValue frame)
 CellResult
 ServeBackend::runCell(const CellKey &key, const SimConfig &cfg,
                       const std::string &workload,
-                      const RunLengths &lengths)
+                      const RunLengths &lengths,
+                      const SamplePlan &sampling)
 {
     JsonValue frame;
     frame.kind = JsonValue::Kind::Object;
@@ -145,6 +146,17 @@ ServeBackend::runCell(const CellKey &key, const SimConfig &cfg,
     len.object["pipeWarm"] = jsonU64(lengths.pipeWarm);
     len.object["detail"] = jsonU64(lengths.detail);
     frame.object["lengths"] = len;
+    // Omitted when disabled: non-sampled clients stay wire-compatible
+    // with protocol-v1 daemons.
+    if (sampling.enabled()) {
+        JsonValue sp;
+        sp.kind = JsonValue::Kind::Object;
+        sp.object["fastForward"] = jsonU64(sampling.fastForward);
+        sp.object["warmup"] = jsonU64(sampling.warmup);
+        sp.object["detail"] = jsonU64(sampling.detail);
+        sp.object["samples"] = jsonU64(std::uint64_t(sampling.samples));
+        frame.object["sampling"] = sp;
+    }
 
     JsonValue reply = call(std::move(frame));
 

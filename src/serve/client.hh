@@ -48,7 +48,8 @@ class ServeBackend : public ExecBackend
 
     CellResult runCell(const CellKey &key, const SimConfig &cfg,
                        const std::string &workload,
-                       const RunLengths &lengths) override;
+                       const RunLengths &lengths,
+                       const SamplePlan &sampling) override;
 
     /** Send a bare `{"type":<type>}` request and return the reply
      *  frame (ping/stats/shutdown).  @throws on transport failure or

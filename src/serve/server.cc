@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/thread_pool.hh"
+#include "sample/sampler.hh"
 #include "sim/cell_key.hh"
 #include "sim/config.hh"
 #include "sim/report.hh"
@@ -310,6 +311,20 @@ ServerImpl::handleRun(const std::shared_ptr<Conn> &conn, std::uint64_t id,
     lengths.pipeWarm = frameU64(lenIt->second, "pipeWarm");
     lengths.detail = frameU64(lenIt->second, "detail");
 
+    // Optional interval-sampling plan (protocol v2); absent = full
+    // detail, exactly as v1 clients expect.
+    SamplePlan sampling;
+    auto spIt = frame.object.find("sampling");
+    if (spIt != frame.object.end()) {
+        if (!spIt->second.isObject())
+            throw std::runtime_error(
+                "run frame 'sampling' is not an object");
+        sampling.fastForward = frameU64(spIt->second, "fastForward");
+        sampling.warmup = frameU64(spIt->second, "warmup");
+        sampling.detail = frameU64(spIt->second, "detail");
+        sampling.samples = int(frameU64(spIt->second, "samples"));
+    }
+
     // Clients normally send the key they derived; a raw client may
     // omit it, in which case the server derives the identical one.
     std::string key;
@@ -317,12 +332,12 @@ ServerImpl::handleRun(const std::shared_ptr<Conn> &conn, std::uint64_t id,
     if (keyIt != frame.object.end() && keyIt->second.isString())
         key = keyIt->second.str;
     if (key.empty())
-        key = cellKeyFor(cfg, workload, lengths).hex;
+        key = cellKeyFor(cfg, workload, lengths, &sampling).hex;
 
     conn->total.fetch_add(1, std::memory_order_relaxed);
 
     pool.submit([this, conn, id, key, cfg = std::move(cfg),
-                 workload = std::move(workload), lengths]() {
+                 workload = std::move(workload), lengths, sampling]() {
         bool hit = false;
         bool was_deduped = false;
         std::shared_ptr<ComputedCell> cell;
@@ -361,7 +376,10 @@ ServerImpl::handleRun(const std::shared_ptr<Conn> &conn, std::uint64_t id,
             } else {
                 try {
                     cell->metrics =
-                        Simulator::runOnce(cfg, workload, lengths);
+                        sampling.enabled()
+                            ? Sampler::runOnce(cfg, workload, sampling)
+                            : Simulator::runOnce(cfg, workload,
+                                                 lengths);
                     computed.fetch_add(1, std::memory_order_relaxed);
                     if (cache)
                         cache->store(cellKey, cfg, lengths,

@@ -7,7 +7,9 @@
  * Protocol (one compact-JSON frame per line, see serve/wire.hh):
  *
  *   → {"id":N,"type":"run","key":"<64-hex>","workload":"<name>",
- *      "config":{...},"lengths":{"funcWarm":F,"pipeWarm":P,"detail":D}}
+ *      "config":{...},"lengths":{"funcWarm":F,"pipeWarm":P,"detail":D},
+ *      "sampling":{"fastForward":F,"warmup":W,"detail":D,"samples":N}}
+ *      (the optional "sampling" object selects interval sampling)
  *   ← {"id":N,"type":"result","hit":B,"deduped":B,"metrics":{...}}
  *   ← {"type":"progress","done":D,"total":T,"hits":H}   (per connection)
  *   → {"id":N,"type":"ping"}       ← {"id":N,"type":"pong","version":V}
@@ -45,8 +47,10 @@ class ResultCache;
 class ThreadPool;
 struct ServerImpl;
 
-/** Bump when the frame schema changes incompatibly. */
-inline constexpr int kServeProtocolVersion = 1;
+/** Bump when the frame schema changes incompatibly.  v2 added the
+ *  optional `sampling` object to `run` frames (interval sampling);
+ *  frames without it behave exactly as v1. */
+inline constexpr int kServeProtocolVersion = 2;
 
 /** `ltp serve` configuration. */
 struct ServeOptions

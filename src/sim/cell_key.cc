@@ -53,7 +53,7 @@ workloadIdentity(const std::string &name)
 
 CellKey
 cellKeyFor(const SimConfig &cfg, const std::string &workload,
-           const RunLengths &lengths)
+           const RunLengths &lengths, const SamplePlan *sampling)
 {
     CellKey key;
     key.workload = workloadIdentity(workload);
@@ -67,6 +67,10 @@ cellKeyFor(const SimConfig &cfg, const std::string &workload,
                        static_cast<unsigned long long>(lengths.pipeWarm),
                        static_cast<unsigned long long>(lengths.detail)));
     h.update(strprintf("metricsSchema: %d\n", kMetricsSchemaVersion));
+    // Appended only when enabled: full-detail keys are byte-identical
+    // to the pre-sampling derivation, so existing caches stay valid.
+    if (sampling && sampling->enabled())
+        h.update("sampling: " + sampling->toString() + "\n");
     key.hex = h.hex();
     return key;
 }

@@ -27,6 +27,7 @@
 
 #include <string>
 
+#include "sample/sample_plan.hh"
 #include "sim/config.hh"
 #include "sim/simulator.hh"
 
@@ -59,9 +60,18 @@ std::string canonicalJson(const std::string &text);
  */
 std::string workloadIdentity(const std::string &name);
 
-/** Derive the cell key.  @p cfg.seed rides in the config JSON. */
+/**
+ * Derive the cell key.  @p cfg.seed rides in the config JSON.
+ *
+ * @p sampling, when non-null and enabled, contributes a `sampling:`
+ * line to the preimage so a sampled run's (approximate) Metrics can
+ * never alias the full-detail run of the same cell; a null or
+ * disabled plan contributes nothing, keeping every pre-sampling key
+ * (and cache entry) byte-identical.
+ */
 CellKey cellKeyFor(const SimConfig &cfg, const std::string &workload,
-                   const RunLengths &lengths);
+                   const RunLengths &lengths,
+                   const SamplePlan *sampling = nullptr);
 
 } // namespace ltp
 

@@ -1,13 +1,35 @@
 #include "sim/exec_backend.hh"
 
+#include "sample/sampler.hh"
+
 namespace ltp {
 
 CellResult
 LocalBackend::runCell(const CellKey &, const SimConfig &cfg,
                       const std::string &workload,
-                      const RunLengths &lengths)
+                      const RunLengths &lengths,
+                      const SamplePlan &sampling)
 {
+    if (sampling.enabled()) {
+        Metrics m = Sampler::runOnce(
+            cfg, workload, sampling, [this](const std::string &p) {
+                std::lock_guard<std::mutex> lock(phase_mutex_);
+                phase_ = p;
+            });
+        {
+            std::lock_guard<std::mutex> lock(phase_mutex_);
+            phase_.clear();
+        }
+        return CellResult{std::move(m), false};
+    }
     return CellResult{Simulator::runOnce(cfg, workload, lengths), false};
+}
+
+std::string
+LocalBackend::currentPhase() const
+{
+    std::lock_guard<std::mutex> lock(phase_mutex_);
+    return phase_;
 }
 
 ExecBackendPtr
@@ -26,14 +48,16 @@ CachedBackend::CachedBackend(ExecBackendPtr inner,
 CellResult
 CachedBackend::runCell(const CellKey &key, const SimConfig &cfg,
                        const std::string &workload,
-                       const RunLengths &lengths)
+                       const RunLengths &lengths,
+                       const SamplePlan &sampling)
 {
     Metrics cached;
     if (cache_->lookup(key, &cached)) {
         hits_.fetch_add(1, std::memory_order_relaxed);
         return CellResult{std::move(cached), true};
     }
-    CellResult fresh = inner_->runCell(key, cfg, workload, lengths);
+    CellResult fresh =
+        inner_->runCell(key, cfg, workload, lengths, sampling);
     cache_->store(key, cfg, lengths, fresh.metrics);
     misses_.fetch_add(1, std::memory_order_relaxed);
     return fresh;

@@ -27,8 +27,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 
+#include "sample/sample_plan.hh"
 #include "sim/cell_key.hh"
 #include "sim/config.hh"
 #include "sim/metrics.hh"
@@ -63,13 +65,25 @@ class ExecBackend
 
     /**
      * Produce the Metrics of one cell.  @p key is empty unless
-     * wantsKey().  Thread-safe; blocking.
+     * wantsKey().  @p sampling selects interval sampling when
+     * enabled(); the default (disabled) plan runs full detail.
+     * Thread-safe; blocking.
      * @throws std::runtime_error on unknown workloads or, for remote
      *         backends, transport failures.
      */
     virtual CellResult runCell(const CellKey &key, const SimConfig &cfg,
                                const std::string &workload,
-                               const RunLengths &lengths) = 0;
+                               const RunLengths &lengths,
+                               const SamplePlan &sampling) = 0;
+
+    /**
+     * The most recent sampling phase label ("fast-forward 3/8",
+     * "warmup 3/8", "sample 3/8") reported by a cell this backend is
+     * currently running, or "" outside sampled runs.  Thread-safe;
+     * display-only (concurrent cells share one label, last write
+     * wins).
+     */
+    virtual std::string currentPhase() const { return std::string(); }
 };
 
 using ExecBackendPtr = std::shared_ptr<ExecBackend>;
@@ -82,10 +96,17 @@ class LocalBackend : public ExecBackend
 
     CellResult runCell(const CellKey &key, const SimConfig &cfg,
                        const std::string &workload,
-                       const RunLengths &lengths) override;
+                       const RunLengths &lengths,
+                       const SamplePlan &sampling) override;
+
+    std::string currentPhase() const override;
 
     /** The process-wide shared instance (the Runner's default). */
     static ExecBackendPtr instance();
+
+  private:
+    mutable std::mutex phase_mutex_;
+    std::string phase_;
 };
 
 /** Content-addressed cache decorator over any inner backend. */
@@ -104,7 +125,13 @@ class CachedBackend : public ExecBackend
 
     CellResult runCell(const CellKey &key, const SimConfig &cfg,
                        const std::string &workload,
-                       const RunLengths &lengths) override;
+                       const RunLengths &lengths,
+                       const SamplePlan &sampling) override;
+
+    std::string currentPhase() const override
+    {
+        return inner_->currentPhase();
+    }
 
     const ResultCache &cache() const { return *cache_; }
 

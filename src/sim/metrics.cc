@@ -1,5 +1,6 @@
 #include "sim/metrics.hh"
 
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 
@@ -83,7 +84,47 @@ averageMetrics(const std::vector<Metrics> &runs, const std::string &label)
             }
         }
     }
+    // A group of sampled runs combines into a sampled aggregate: the
+    // plan carries over (groups are uniform per scenario), the mean of
+    // means is the group IPC estimate, and the independent per-cell
+    // intervals combine in quadrature onto the mean of n cells:
+    // halfwidth = sqrt(sum ci_i^2) / n.  Mixed groups (some cells
+    // sampled, some not) have no coherent interval and stay disabled.
+    bool all_sampled = true;
+    for (const Metrics &m : runs)
+        all_sampled = all_sampled && m.sampling.enabled();
+    if (all_sampled) {
+        double ci_sq = 0.0;
+        for (const Metrics &m : runs) {
+            avg.sampling.samples += m.sampling.samples;
+            avg.sampling.meanIpc += m.sampling.meanIpc / n;
+            avg.sampling.ipcStdDev += m.sampling.ipcStdDev / n;
+            avg.sampling.ffKips += m.sampling.ffKips / n;
+            ci_sq += m.sampling.ci95Half * m.sampling.ci95Half;
+        }
+        avg.sampling.fastForward = runs.front().sampling.fastForward;
+        avg.sampling.warmup = runs.front().sampling.warmup;
+        avg.sampling.detail = runs.front().sampling.detail;
+        avg.sampling.ci95Half = std::sqrt(ci_sq) / n;
+    }
     return avg;
+}
+
+double
+studentT95(int df)
+{
+    // Two-sided 95% critical values, df = 1..30; the asymptotic
+    // normal value beyond (the standard printed table).
+    static const double kTable[30] = {
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+        2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,
+        2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060,  2.056, 2.052, 2.048, 2.045, 2.042};
+    if (df < 1)
+        return 0.0;
+    if (df <= 30)
+        return kTable[df - 1];
+    return 1.960;
 }
 
 double

@@ -46,6 +46,28 @@ struct ThreadMetrics
     double ipc = 0.0;
 };
 
+/**
+ * Interval-sampling summary of a sampled run (src/sample/): the plan
+ * that produced it, the measured fast-forward rate, and the per-sample
+ * IPC distribution reduced to a mean and a Student-t 95% confidence
+ * half-width.  `samples == 0` means the run was full-detail and the
+ * block is absent from serialized Metrics (full-run JSON unchanged).
+ */
+struct SamplingStats
+{
+    int samples = 0;                ///< 0 = not a sampled run
+    std::uint64_t fastForward = 0;  ///< plan: functional ops / period
+    std::uint64_t warmup = 0;       ///< plan: discarded detail ops
+    std::uint64_t detail = 0;       ///< plan: measured ops / sample
+    double meanIpc = 0.0;           ///< mean of per-sample IPCs
+    double ipcStdDev = 0.0;         ///< sample std-dev (n-1)
+    double ci95Half = 0.0;          ///< t(n-1) * s / sqrt(n)
+    double ffKips = 0.0;            ///< fast-forward rate, kinsts/sec
+    std::vector<double> sampleIpcs; ///< per-sample IPCs, period order
+
+    bool enabled() const { return samples > 0; }
+};
+
 /** Results of one (config, workload) run over the detailed region. */
 struct Metrics
 {
@@ -107,6 +129,9 @@ struct Metrics
     double weightedSpeedup = 0.0;
     /// @}
 
+    /** Interval-sampling summary; disabled for full-detail runs. */
+    SamplingStats sampling;
+
     /** IPC speedup of this run over @p base, as a fraction. */
     double
     speedupOver(const Metrics &base) const
@@ -134,6 +159,13 @@ struct Metrics
 /** Arithmetic-mean aggregate of a group of runs (paper group averages). */
 Metrics averageMetrics(const std::vector<Metrics> &runs,
                        const std::string &label);
+
+/**
+ * Two-sided 95% Student-t critical value for @p df degrees of freedom
+ * (exact table through df=30, asymptotic 1.96 beyond) — the multiplier
+ * behind every reported sampling confidence interval.
+ */
+double studentT95(int df);
 
 /**
  * Multiprogrammed weighted speedup: sum over hardware threads of

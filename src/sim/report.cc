@@ -80,6 +80,31 @@ metricsObject(const Metrics &m, int indent)
         smt.field("threads", arr);
         o.field("smt", smt.render(indent + 2));
     }
+
+    // Sampling summary: emitted only for sampled runs, so full-detail
+    // Metrics JSON (and golden snapshots) is byte-identical to the
+    // pre-sampling format.
+    if (m.sampling.enabled()) {
+        const SamplingStats &s = m.sampling;
+        JsonObjectBuilder so;
+        so.u64("samples", std::uint64_t(s.samples));
+        so.u64("fastForward", s.fastForward);
+        so.u64("warmup", s.warmup);
+        so.u64("detail", s.detail);
+        so.num("meanIpc", s.meanIpc);
+        so.num("ipcStdDev", s.ipcStdDev);
+        so.num("ci95Half", s.ci95Half);
+        so.num("ffKips", s.ffKips);
+        std::string ipcs = "[";
+        for (std::size_t i = 0; i < s.sampleIpcs.size(); ++i) {
+            if (i)
+                ipcs += ", ";
+            ipcs += jsonNum(s.sampleIpcs[i]);
+        }
+        ipcs += "]";
+        so.field("sampleIpcs", ipcs);
+        o.field("sampling", so.render(indent + 2));
+    }
     return o;
 }
 
@@ -180,6 +205,25 @@ metricsFromJson(const std::string &json)
     m.ed2p = numAt(root, "ed2p");
     m.edp = numAt(root, "edp");
 
+    auto sampling = root.object.find("sampling");
+    if (sampling != root.object.end() && sampling->second.isObject()) {
+        SamplingStats &s = m.sampling;
+        s.samples = int(u64At(sampling->second, "samples"));
+        s.fastForward = u64At(sampling->second, "fastForward");
+        s.warmup = u64At(sampling->second, "warmup");
+        s.detail = u64At(sampling->second, "detail");
+        s.meanIpc = numAt(sampling->second, "meanIpc");
+        s.ipcStdDev = numAt(sampling->second, "ipcStdDev");
+        s.ci95Half = numAt(sampling->second, "ci95Half");
+        s.ffKips = numAt(sampling->second, "ffKips");
+        auto ipcs = sampling->second.object.find("sampleIpcs");
+        if (ipcs != sampling->second.object.end() &&
+            ipcs->second.isArray()) {
+            for (const JsonValue &v : ipcs->second.array)
+                s.sampleIpcs.push_back(v.num);
+        }
+    }
+
     auto smt = root.object.find("smt");
     if (smt != root.object.end() && smt->second.isObject()) {
         m.weightedSpeedup = numAt(smt->second, "weightedSpeedup");
@@ -269,7 +313,7 @@ reportToCsv(const SweepResult &result)
         << "avgOutstanding,avgLoadLatency,dramReads,iqOcc,rfOcc,ltpOcc,"
         << "parkedFrac,ed2p,edp,"
         << "threads,threadWorkloads,threadInsts,threadCycles,"
-        << "threadIpcs,weightedSpeedup\n";
+        << "threadIpcs,weightedSpeedup,samples,ipcCi95\n";
     for (const std::string &row : result.grid.rows()) {
         for (const std::string &series : result.grid.series(row)) {
             const Metrics &m = result.grid.at(row, series);
@@ -302,7 +346,9 @@ reportToCsv(const SweepResult &result)
                                    v << t.ipc;
                                    return v.str();
                                })
-                << ',' << m.weightedSpeedup << '\n';
+                << ',' << m.weightedSpeedup << ','
+                << m.sampling.samples << ',' << m.sampling.ci95Half
+                << '\n';
         }
     }
     return out.str();

@@ -223,25 +223,61 @@ ResultCache::stats() const
 }
 
 std::size_t
-ResultCache::gc(double maxAgeDays) const
+ResultCache::gc(double maxAgeDays, std::uint64_t maxBytes) const
 {
     std::size_t removed = 0;
     std::error_code ec;
     auto now = fs::file_time_type::clock::now();
+
+    // Survivors of the invalid/age pass, with mtime and size, so the
+    // size pass can evict coldest-first without re-statting.
+    struct Survivor
+    {
+        std::string key;
+        std::uint64_t bytes;
+        fs::file_time_type mtime;
+    };
+    std::vector<Survivor> kept;
+    std::uint64_t kept_bytes = 0;
+
     for (const CacheEntryInfo &e : list()) {
         fs::path p(entryPath(e.key));
         bool drop = !e.valid;
+        auto mtime = fs::last_write_time(p, ec);
+        if (ec)
+            mtime = now; // unstattable: treat as fresh, not evictable
         if (!drop && maxAgeDays > 0.0) {
-            auto mtime = fs::last_write_time(p, ec);
-            if (!ec) {
-                double age_days =
-                    std::chrono::duration<double>(now - mtime).count() /
-                    86400.0;
-                drop = age_days > maxAgeDays;
+            double age_days =
+                std::chrono::duration<double>(now - mtime).count() /
+                86400.0;
+            drop = age_days > maxAgeDays;
+        }
+        if (drop) {
+            if (fs::remove(p, ec) && !ec)
+                removed += 1;
+        } else {
+            kept.push_back(Survivor{e.key, e.bytes, mtime});
+            kept_bytes += e.bytes;
+        }
+    }
+
+    if (maxBytes > 0 && kept_bytes > maxBytes) {
+        // Least-recently-written first; key as tiebreak so the
+        // eviction order is deterministic under equal mtimes.
+        std::sort(kept.begin(), kept.end(),
+                  [](const Survivor &a, const Survivor &b) {
+                      if (a.mtime != b.mtime)
+                          return a.mtime < b.mtime;
+                      return a.key < b.key;
+                  });
+        for (const Survivor &s : kept) {
+            if (kept_bytes <= maxBytes)
+                break;
+            if (fs::remove(entryPath(s.key), ec) && !ec) {
+                removed += 1;
+                kept_bytes -= s.bytes;
             }
         }
-        if (drop && fs::remove(p, ec) && !ec)
-            removed += 1;
     }
     return removed;
 }

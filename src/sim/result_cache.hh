@@ -82,9 +82,12 @@ class ResultCache
 
     /**
      * Remove invalid entries, plus valid ones older than @p maxAgeDays
-     * (0 = keep all valid entries).  @return entries removed.
+     * (0 = no age limit), then — if @p maxBytes is nonzero and the
+     * surviving entries still exceed it — evict oldest-mtime-first
+     * until the total fits.  @return entries removed.
      */
-    std::size_t gc(double maxAgeDays = 0.0) const;
+    std::size_t gc(double maxAgeDays = 0.0,
+                   std::uint64_t maxBytes = 0) const;
 
     /** Remove every entry.  @return entries removed. */
     std::size_t clear() const;

@@ -163,8 +163,10 @@ runShard(ExecBackend &backend, const SweepSpec &spec, const Shard &shard)
     // local path pays nothing for the cache machinery.
     CellKey key;
     if (backend.wantsKey())
-        key = cellKeyFor(job.cfg, workload, spec.lengths);
-    return backend.runCell(key, job.cfg, workload, spec.lengths);
+        key = cellKeyFor(job.cfg, workload, spec.lengths,
+                         &spec.sampling);
+    return backend.runCell(key, job.cfg, workload, spec.lengths,
+                           spec.sampling);
 }
 
 } // namespace
@@ -193,7 +195,8 @@ Runner::run(const SweepSpec &spec, const ProgressFn &progress) const
             results[i] = std::move(r.metrics);
             cache_hits += r.cacheHit ? 1 : 0;
             if (progress)
-                progress(Progress{i + 1, shards.size(), cache_hits});
+                progress(Progress{i + 1, shards.size(), cache_hits,
+                                  backend_->currentPhase()});
         }
     } else {
         // Workers bump `done`/`hits` as shards finish; the
@@ -223,14 +226,15 @@ Runner::run(const SweepSpec &spec, const ProgressFn &progress) const
                     progress(Progress{
                         done.load(std::memory_order_relaxed),
                         shards.size(),
-                        hits.load(std::memory_order_relaxed)});
+                        hits.load(std::memory_order_relaxed),
+                        backend.currentPhase()});
             }
             results[i] = futures[i].get();
         }
         cache_hits = hits.load(std::memory_order_relaxed);
         if (progress)
-            progress(
-                Progress{shards.size(), shards.size(), cache_hits});
+            progress(Progress{shards.size(), shards.size(),
+                              cache_hits, std::string()});
     }
 
     SweepResult out;

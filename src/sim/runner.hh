@@ -49,6 +49,11 @@ struct SweepSpec
     std::string name = "sweep";
     RunLengths lengths;
 
+    /** Interval-sampling plan shared by every cell; the default
+     *  (disabled) plan runs full detail.  When enabled it joins the
+     *  cell-key preimage, so sampled results never alias full ones. */
+    SamplePlan sampling;
+
     std::vector<SweepJob> jobs;
 
     /** Append a single-kernel job. */
@@ -128,6 +133,10 @@ struct Progress
     std::size_t done = 0;
     std::size_t total = 0;
     std::size_t hits = 0;
+    /** Sampling phase label of a currently running cell
+     *  ("fast-forward 3/8", "warmup 3/8", "sample 3/8"), or "" outside
+     *  sampled runs.  Display-only. */
+    std::string phase;
 };
 
 /**

@@ -225,6 +225,35 @@ parseLengths(const JsonValue &v, const std::string &where)
     return out;
 }
 
+/** The `sampling` block: interval-sampling plan for every cell. */
+SamplePlan
+parseSampling(const JsonValue &v, const std::string &where)
+{
+    if (v.isString()) {
+        if (v.str == "default")
+            return SamplePlan::defaults();
+        bad("unknown sampling preset '" + v.str + "' at " + where +
+            " (expected \"default\" or an object)");
+    }
+    if (!v.isObject())
+        wrongKind(v, "an object or preset name", where);
+    checkKeys(v, {"fastForward", "warmup", "detail", "samples"}, where);
+    SamplePlan out = SamplePlan::defaults();
+    auto u64At = [&](const char *key, std::uint64_t dflt) {
+        const JsonValue *f = find(v, key);
+        return f ? u64FromJson(*f, where + "." + key) : dflt;
+    };
+    out.fastForward = u64At("fastForward", out.fastForward);
+    out.warmup = u64At("warmup", out.warmup);
+    out.detail = u64At("detail", out.detail);
+    out.samples = int(u64At("samples", std::uint64_t(out.samples)));
+    if (out.samples <= 0)
+        bad(where + ".samples must be positive");
+    if (out.detail == 0)
+        bad(where + ".detail must be positive");
+    return out;
+}
+
 void
 parseWorkloads(Scenario &sc, const JsonValue &v,
                const std::string &baseDir)
@@ -470,6 +499,7 @@ Scenario::compile(int threads, ExecBackendPtr backend) const
     SweepSpec spec;
     spec.name = name;
     spec.lengths = lengths;
+    spec.sampling = sampling;
 
     if (explicitJobs) {
         spec.jobs = jobs;
@@ -569,14 +599,16 @@ scenarioFromJson(const std::string &text, const std::string &baseDir)
     if (!root.isObject())
         wrongKind(root, "an object", "<top level>");
     checkKeys(root,
-              {"name", "lengths", "seed", "workloads", "configs", "sweep",
-               "jobs"},
+              {"name", "lengths", "sampling", "seed", "workloads",
+               "configs", "sweep", "jobs"},
               "");
 
     Scenario sc;
     sc.name = strAt(root, "name", "<top level>");
     if (const JsonValue *l = find(root, "lengths"))
         sc.lengths = parseLengths(*l, "lengths");
+    if (const JsonValue *sp = find(root, "sampling"))
+        sc.sampling = parseSampling(*sp, "sampling");
     if (const JsonValue *s = find(root, "seed")) {
         sc.seed = u64FromJson(*s, "seed");
         sc.hasSeed = true;
@@ -674,6 +706,14 @@ sweepSpecToJson(const SweepSpec &spec)
            ", \"pipeWarm\": " + std::to_string(spec.lengths.pipeWarm) +
            ", \"detail\": " + std::to_string(spec.lengths.detail) +
            "},\n";
+    if (spec.sampling.enabled()) {
+        out += "  \"sampling\": {\"fastForward\": " +
+               std::to_string(spec.sampling.fastForward) +
+               ", \"warmup\": " + std::to_string(spec.sampling.warmup) +
+               ", \"detail\": " + std::to_string(spec.sampling.detail) +
+               ", \"samples\": " + std::to_string(spec.sampling.samples) +
+               "},\n";
+    }
     out += "  \"jobs\": [\n";
     for (std::size_t i = 0; i < spec.jobs.size(); ++i) {
         const SweepJob &job = spec.jobs[i];

@@ -107,6 +107,9 @@ struct Scenario
 {
     std::string name = "scenario";
     RunLengths lengths;
+    /** Optional `sampling` block: interval sampling for every cell
+     *  (disabled by default = full detail). */
+    SamplePlan sampling;
     std::uint64_t seed = 1;
     /** True when the file (or a driver flag) set the seed explicitly —
      *  only then does it override the per-job seeds of an

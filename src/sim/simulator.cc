@@ -69,9 +69,8 @@ smtName(const std::vector<std::string> &members)
 // Simulator
 // ---------------------------------------------------------------------------
 
-Simulator::Simulator(const SimConfig &cfg, const std::string &kernel,
-                     const RunLengths &lengths)
-    : cfg_(cfg), lengths_(lengths)
+std::vector<std::string>
+resolveWorkloadMembers(SimConfig &cfg, const std::string &kernel)
 {
     // Resolve the workload tuple: an smt:<a>+<b> name carries one
     // member per hardware thread; a plain name runs on every context
@@ -80,20 +79,30 @@ Simulator::Simulator(const SimConfig &cfg, const std::string &kernel,
         isSmtName(kernel) ? smtMembers(kernel)
                           : std::vector<std::string>{kernel};
     if (members.size() > 1) {
-        if (cfg_.core.numThreads <= 1)
-            cfg_.core.numThreads = static_cast<int>(members.size());
-        else if (cfg_.core.numThreads !=
+        if (cfg.core.numThreads <= 1)
+            cfg.core.numThreads = static_cast<int>(members.size());
+        else if (cfg.core.numThreads !=
                  static_cast<int>(members.size()))
             throw std::runtime_error(
                 "workload '" + kernel + "' names " +
                 std::to_string(members.size()) + " contexts but "
                 "core.numThreads is " +
-                std::to_string(cfg_.core.numThreads));
+                std::to_string(cfg.core.numThreads));
     }
-    int n = std::max(cfg_.core.numThreads, 1);
-    cfg_.core.numThreads = n;
+    int n = std::max(cfg.core.numThreads, 1);
+    cfg.core.numThreads = n;
     while (static_cast<int>(members.size()) < n)
         members.push_back(members.front());
+    return members;
+}
+
+Simulator::Simulator(const SimConfig &cfg, const std::string &kernel,
+                     const RunLengths &lengths)
+    : cfg_(cfg), lengths_(lengths)
+{
+    std::vector<std::string> members =
+        resolveWorkloadMembers(cfg_, kernel);
+    int n = cfg_.core.numThreads;
 
     for (const std::string &member : members)
         workloads_.push_back(makeKernel(member));
@@ -161,79 +170,11 @@ Simulator::Simulator(const SimConfig &cfg, const std::string &kernel,
 Metrics
 Simulator::run()
 {
-    int n = core_->numThreads();
-
-    // A context that has committed its quota for the current phase
-    // stops fetching and drains: co-runners keep contending until
-    // their own quotas close, but a finished thread never runs
-    // arbitrarily far ahead — which keeps bounded `trace:` members
-    // inside their recorded fetch-ahead slack.
-    std::vector<bool> done(std::size_t(n), false);
-    auto gateOnQuota = [&](std::uint64_t quota) {
-        for (int tid = 0; tid < n; ++tid) {
-            if (!done[std::size_t(tid)] &&
-                core_->committedInsts(tid) >= quota) {
-                done[std::size_t(tid)] = true;
-                core_->setFetchEnabled(tid, false);
-            }
-        }
-    };
-    auto reopenFetch = [&] {
-        done.assign(std::size_t(n), false);
-        for (int tid = 0; tid < n; ++tid)
-            core_->setFetchEnabled(tid, true);
-    };
-
-    // Phase 2: detailed pipeline warm — until every context has
-    // committed its warm quota (stats discarded).
-    if (n == 1) {
-        core_->runUntilCommitted(lengths_.pipeWarm);
-    } else {
-        core_->runUntilCommitted(
-            lengths_.pipeWarm, kCycleNever,
-            [&] { gateOnQuota(lengths_.pipeWarm); });
-        reopenFetch();
-    }
-    core_->resetStats();
-    mem_->resetStats(core_->cycle());
-    Cycle detail_start = core_->cycle();
-
-    // Phase 3: measured detail region, fixed instruction samples.
-    // Each thread's slice closes the cycle it commits its quota; the
-    // region runs until the last thread closes.  At N=1 this is
-    // exactly the classic "run until n committed".
-    cross_cycles_.assign(std::size_t(n), 0);
-    cross_insts_.assign(std::size_t(n), 0);
-    std::vector<bool> crossed(std::size_t(n), false);
-    auto noteCrossings = [&] {
-        for (int tid = 0; tid < n; ++tid) {
-            if (crossed[std::size_t(tid)])
-                continue;
-            if (core_->committedInsts(tid) >= lengths_.detail) {
-                crossed[std::size_t(tid)] = true;
-                cross_cycles_[std::size_t(tid)] = core_->cycle();
-                cross_insts_[std::size_t(tid)] =
-                    core_->committedInsts(tid);
-            }
-        }
-    };
-
-    if (n == 1) {
-        // Single-threaded: the quota check is the run loop's own stop
-        // condition — no per-tick crossing scan (or fetch gating) on
-        // the hot path.
-        core_->runUntilCommitted(lengths_.detail);
-        noteCrossings();
-    } else {
-        auto onTick = [&] {
-            noteCrossings();
-            gateOnQuota(lengths_.detail);
-        };
-        onTick();
-        core_->runUntilCommitted(lengths_.detail, kCycleNever, onTick);
-        reopenFetch();
-    }
-    return extractMetrics(core_->cycle() - detail_start);
+    std::vector<Workload *> workloads;
+    for (const WorkloadPtr &w : workloads_)
+        workloads.push_back(w.get());
+    return runDetailPhases(cfg_, *core_, *mem_, workloads,
+                           lengths_.pipeWarm, lengths_.detail);
 }
 
 Metrics
@@ -244,31 +185,35 @@ Simulator::runOnce(const SimConfig &cfg, const std::string &kernel,
     return sim.run();
 }
 
-Metrics
-Simulator::extractMetrics(Cycle detail_cycles)
+/** The detail-region stats harvest shared by full and sampled runs. */
+static Metrics
+extractMetrics(const SimConfig &cfg, Core &core, MemSystem &mem,
+               const std::vector<Workload *> &workloads,
+               const std::vector<Cycle> &cross_cycles,
+               const std::vector<std::uint64_t> &cross_insts,
+               Cycle detail_cycles)
 {
     Metrics m;
-    Core &core = *core_;
     int n = core.numThreads();
     Cycle now = core.cycle();
     Cycle detail_start = now - detail_cycles;
 
-    m.config = cfg_.name;
+    m.config = cfg.name;
     // The workload's own name, not the lookup key: a `trace:<path>`
     // replay reports the source kernel name embedded in the trace, so
     // its Metrics are bit-identical to the execute-mode run.  SMT runs
     // report the members joined in tid order ("a+b").
-    m.workload = workloads_[0]->name();
+    m.workload = workloads[0]->name();
     for (int tid = 1; tid < n; ++tid)
-        m.workload += "+" + workloads_[std::size_t(tid)]->name();
+        m.workload += "+" + workloads[std::size_t(tid)]->name();
 
     // Per-thread slices (fixed instruction samples).
     m.threads.resize(std::size_t(n));
     for (int tid = 0; tid < n; ++tid) {
         ThreadMetrics &tm = m.threads[std::size_t(tid)];
-        tm.workload = workloads_[std::size_t(tid)]->name();
-        tm.insts = cross_insts_[std::size_t(tid)];
-        tm.cycles = cross_cycles_[std::size_t(tid)] - detail_start;
+        tm.workload = workloads[std::size_t(tid)]->name();
+        tm.insts = cross_insts[std::size_t(tid)];
+        tm.cycles = cross_cycles[std::size_t(tid)] - detail_start;
         tm.ipc = safeDiv(double(tm.insts), double(tm.cycles));
     }
 
@@ -282,9 +227,9 @@ Simulator::extractMetrics(Cycle detail_cycles)
     m.ipc = safeDiv(double(m.insts), double(m.cycles));
     m.cpi = safeDiv(double(m.cycles), double(m.insts));
 
-    m.avgOutstanding = mem_->avgOutstanding(now);
-    m.avgLoadLatency = mem_->avgLoadLatency();
-    m.dramReads = mem_->dram().reads.value();
+    m.avgOutstanding = mem.avgOutstanding(now);
+    m.avgLoadLatency = mem.avgLoadLatency();
+    m.dramReads = mem.dram().reads.value();
 
     // Shared structures report directly; thread-owned structures sum
     // across contexts (a per-context view lives in Metrics::threads).
@@ -308,7 +253,7 @@ Simulator::extractMetrics(Cycle detail_cycles)
         renamed += cs.renamed.value();
         m.llpredAccuracy += core.llpred(tid).accuracy() / n;
         m.bpAccuracy += core.branchPred(tid).accuracy() / n;
-        if (cfg_.core.ltp.mode != LtpMode::Off)
+        if (cfg.core.ltp.mode != LtpMode::Off)
             m.ltpEnabledFrac +=
                 core.monitor(tid).enabledFraction(now) / n;
     }
@@ -322,15 +267,15 @@ Simulator::extractMetrics(Cycle detail_cycles)
     auto energySize = [](int entries, int cap) {
         return isInfinite(entries) ? cap : entries;
     };
-    ein.iqEntries = energySize(cfg_.core.iqSize, 1024);
-    ein.issueWidth = cfg_.core.issueWidth;
-    ein.totalRegs = energySize(cfg_.core.intRegs, 1024) +
-                    energySize(cfg_.core.fpRegs, 1024);
-    if (cfg_.core.ltp.mode != LtpMode::Off) {
-        ein.ltpEntries = energySize(cfg_.core.ltp.entries, 1024);
-        ein.ltpPorts = cfg_.core.ltp.insertPorts;
-        ein.uitEntries = energySize(cfg_.core.ltp.uitEntries, 4096);
-        ein.ltpCam = cfg_.core.ltp.mode != LtpMode::NU;
+    ein.iqEntries = energySize(cfg.core.iqSize, 1024);
+    ein.issueWidth = cfg.core.issueWidth;
+    ein.totalRegs = energySize(cfg.core.intRegs, 1024) +
+                    energySize(cfg.core.fpRegs, 1024);
+    if (cfg.core.ltp.mode != LtpMode::Off) {
+        ein.ltpEntries = energySize(cfg.core.ltp.entries, 1024);
+        ein.ltpPorts = cfg.core.ltp.insertPorts;
+        ein.uitEntries = energySize(cfg.core.ltp.uitEntries, 4096);
+        ein.ltpCam = cfg.core.ltp.mode != LtpMode::NU;
         ein.ltpEnabledFraction = m.ltpEnabledFrac;
     }
     ein.iqInserts = core.iq().inserts.value();
@@ -352,6 +297,91 @@ Simulator::extractMetrics(Cycle detail_cycles)
     m.edp = m.energy.edp(m.cycles);
 
     return m;
+}
+
+Metrics
+runDetailPhases(const SimConfig &cfg, Core &core, MemSystem &mem,
+                const std::vector<Workload *> &workloads,
+                std::uint64_t pipe_warm, std::uint64_t detail,
+                const std::function<void(const char *)> &phase)
+{
+    int n = core.numThreads();
+    if (phase)
+        phase("warmup");
+
+    // A context that has committed its quota for the current phase
+    // stops fetching and drains: co-runners keep contending until
+    // their own quotas close, but a finished thread never runs
+    // arbitrarily far ahead — which keeps bounded `trace:` members
+    // inside their recorded fetch-ahead slack.
+    std::vector<bool> done(std::size_t(n), false);
+    auto gateOnQuota = [&](std::uint64_t quota) {
+        for (int tid = 0; tid < n; ++tid) {
+            if (!done[std::size_t(tid)] &&
+                core.committedInsts(tid) >= quota) {
+                done[std::size_t(tid)] = true;
+                core.setFetchEnabled(tid, false);
+            }
+        }
+    };
+    auto reopenFetch = [&] {
+        done.assign(std::size_t(n), false);
+        for (int tid = 0; tid < n; ++tid)
+            core.setFetchEnabled(tid, true);
+    };
+
+    // Phase 2: detailed pipeline warm — until every context has
+    // committed its warm quota (stats discarded).
+    if (n == 1) {
+        core.runUntilCommitted(pipe_warm);
+    } else {
+        core.runUntilCommitted(pipe_warm, kCycleNever,
+                               [&] { gateOnQuota(pipe_warm); });
+        reopenFetch();
+    }
+    core.resetStats();
+    mem.resetStats(core.cycle());
+    Cycle detail_start = core.cycle();
+    if (phase)
+        phase("detail");
+
+    // Phase 3: measured detail region, fixed instruction samples.
+    // Each thread's slice closes the cycle it commits its quota; the
+    // region runs until the last thread closes.  At N=1 this is
+    // exactly the classic "run until n committed".
+    std::vector<Cycle> cross_cycles(std::size_t(n), 0);
+    std::vector<std::uint64_t> cross_insts(std::size_t(n), 0);
+    std::vector<bool> crossed(std::size_t(n), false);
+    auto noteCrossings = [&] {
+        for (int tid = 0; tid < n; ++tid) {
+            if (crossed[std::size_t(tid)])
+                continue;
+            if (core.committedInsts(tid) >= detail) {
+                crossed[std::size_t(tid)] = true;
+                cross_cycles[std::size_t(tid)] = core.cycle();
+                cross_insts[std::size_t(tid)] =
+                    core.committedInsts(tid);
+            }
+        }
+    };
+
+    if (n == 1) {
+        // Single-threaded: the quota check is the run loop's own stop
+        // condition — no per-tick crossing scan (or fetch gating) on
+        // the hot path.
+        core.runUntilCommitted(detail);
+        noteCrossings();
+    } else {
+        auto onTick = [&] {
+            noteCrossings();
+            gateOnQuota(detail);
+        };
+        onTick();
+        core.runUntilCommitted(detail, kCycleNever, onTick);
+        reopenFetch();
+    }
+    return extractMetrics(cfg, core, mem, workloads, cross_cycles,
+                          cross_insts, core.cycle() - detail_start);
 }
 
 } // namespace ltp

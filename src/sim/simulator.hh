@@ -26,6 +26,7 @@
 #define LTP_SIM_SIMULATOR_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -128,6 +129,34 @@ class TraceWindow : public InstSource
 };
 
 /**
+ * Resolve a workload name into one member per hardware thread,
+ * reconciling the tuple size with @p cfg.core.numThreads (which is
+ * updated in place): an `smt:<a>+<b>` name carries one member per
+ * context; a plain name runs on every context (homogeneous SMT).
+ * @throws std::runtime_error on a tuple/threads mismatch.
+ */
+std::vector<std::string> resolveWorkloadMembers(SimConfig &cfg,
+                                                const std::string &kernel);
+
+/**
+ * Run the detailed phases — pipeline warm (stats discarded) then the
+ * measured fixed-instruction-sample detail region — on an
+ * already-constructed core/memory pair, and extract the Metrics.
+ *
+ * This is the shared timing engine behind both a full `Simulator::run`
+ * and each detailed sample of the interval-sampling controller
+ * (src/sample/sampler.*): the core must be freshly warmed (functional
+ * or checkpoint-restored state), and @p workloads provides per-thread
+ * names for the report.  @p phase, when set, is called at the start of
+ * each internal phase ("warmup", then "detail") for progress display.
+ */
+Metrics runDetailPhases(
+    const SimConfig &cfg, Core &core, MemSystem &mem,
+    const std::vector<Workload *> &workloads, std::uint64_t pipe_warm,
+    std::uint64_t detail,
+    const std::function<void(const char *)> &phase = {});
+
+/**
  * Owns one complete simulation instance (memory, core, traces,
  * oracles — one workload pipeline per hardware thread).
  * Construct, run(), read the metrics; or use the one-shot helper.
@@ -156,8 +185,6 @@ class Simulator
     /// @}
 
   private:
-    Metrics extractMetrics(Cycle detail_cycles);
-
     SimConfig cfg_;
     RunLengths lengths_;
     std::vector<WorkloadPtr> workloads_;   ///< one per thread
@@ -165,12 +192,6 @@ class Simulator
     std::unique_ptr<MemSystem> mem_;
     std::vector<std::unique_ptr<TraceWindow>> sources_;
     std::unique_ptr<Core> core_;
-
-    /// @name Fixed-sample bookkeeping (filled by run())
-    /// @{
-    std::vector<Cycle> cross_cycles_;          ///< quota-reached cycle
-    std::vector<std::uint64_t> cross_insts_;   ///< committed at quota
-    /// @}
 };
 
 } // namespace ltp

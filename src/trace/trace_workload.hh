@@ -69,6 +69,9 @@ class TraceWorkload : public Workload
     /** Next record; fatal() with re-record guidance when exhausted. */
     MicroOp next() override;
 
+    /** O(1) seek past @p n records (random-access trace storage). */
+    void skip(std::uint64_t n) override { pos_ += n; }
+
   private:
     std::shared_ptr<const TraceReader> trace_;
     std::uint64_t pos_ = 0;

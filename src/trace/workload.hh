@@ -38,6 +38,20 @@ class Workload
 
     /** Produce the next micro-op.  Streams never terminate. */
     virtual MicroOp next() = 0;
+
+    /**
+     * Advance the stream by @p n micro-ops without observing them.
+     * Equivalent to n calls to next() with the results dropped;
+     * sources with random access (trace replays) override this with
+     * an O(1) seek.  Used by the fast-forward engine to resume from
+     * an architectural checkpoint.
+     */
+    virtual void
+    skip(std::uint64_t n)
+    {
+        for (std::uint64_t i = 0; i < n; ++i)
+            (void)next();
+    }
 };
 
 using WorkloadPtr = std::unique_ptr<Workload>;

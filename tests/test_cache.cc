@@ -250,10 +250,10 @@ TEST_F(CacheTest, CachedBackendHitsOnSecondRun)
     SimConfig cfg = SimConfig::baseline();
     CellKey key = cellKeyFor(cfg, "paper_loop", tiny());
 
-    CellResult first = backend.runCell(key, cfg, "paper_loop", tiny());
+    CellResult first = backend.runCell(key, cfg, "paper_loop", tiny(), SamplePlan{});
     EXPECT_FALSE(first.cacheHit);
     CellResult second =
-        backend.runCell(key, cfg, "paper_loop", tiny());
+        backend.runCell(key, cfg, "paper_loop", tiny(), SamplePlan{});
     EXPECT_TRUE(second.cacheHit);
     EXPECT_EQ(metricsToJson(first.metrics),
               metricsToJson(second.metrics));

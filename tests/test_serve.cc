@@ -100,7 +100,7 @@ TEST_F(ServeTest, ServedMetricsMatchLocalExecution)
     CellKey key = cellKeyFor(cfg, "graph_walk", tiny());
 
     CellResult served =
-        client->runCell(key, cfg, "graph_walk", tiny());
+        client->runCell(key, cfg, "graph_walk", tiny(), SamplePlan{});
     EXPECT_FALSE(served.cacheHit);
 
     Metrics local = Simulator::runOnce(cfg, "graph_walk", tiny());
@@ -113,14 +113,14 @@ TEST_F(ServeTest, SecondRequestIsACacheHit)
     SimConfig cfg = SimConfig::baseline();
     CellKey key = cellKeyFor(cfg, "paper_loop", tiny());
 
-    CellResult first = client->runCell(key, cfg, "paper_loop", tiny());
+    CellResult first = client->runCell(key, cfg, "paper_loop", tiny(), SamplePlan{});
     EXPECT_FALSE(first.cacheHit);
     // Same cell again — answered from the daemon's cache, even from a
     // brand-new connection.
-    CellResult again = client->runCell(key, cfg, "paper_loop", tiny());
+    CellResult again = client->runCell(key, cfg, "paper_loop", tiny(), SamplePlan{});
     EXPECT_TRUE(again.cacheHit);
     auto fresh = connect();
-    CellResult other = fresh->runCell(key, cfg, "paper_loop", tiny());
+    CellResult other = fresh->runCell(key, cfg, "paper_loop", tiny(), SamplePlan{});
     EXPECT_TRUE(other.cacheHit);
     EXPECT_EQ(metricsToJson(first.metrics),
               metricsToJson(other.metrics));
@@ -144,7 +144,7 @@ TEST_F(ServeTest, ConcurrentIdenticalCellsComputeOnce)
         threads.emplace_back([this, i, &results, &cfg, &key]() {
             ServeBackend client("127.0.0.1", server_->port());
             results[size_t(i)] = metricsToJson(
-                client.runCell(key, cfg, "linked_list", tiny())
+                client.runCell(key, cfg, "linked_list", tiny(), SamplePlan{})
                     .metrics);
         });
     for (std::thread &t : threads)
@@ -197,7 +197,7 @@ TEST_F(ServeTest, ServerStreamsProgressFrames)
         SimConfig c = cfg;
         c.seed = std::uint64_t(100 + i);
         client->runCell(cellKeyFor(c, "paper_loop", tiny()), c,
-                        "paper_loop", tiny());
+                        "paper_loop", tiny(), SamplePlan{});
     }
     // One {done,total,hits} push per completed cell.
     EXPECT_EQ(client->progressFrames(), 3u);
@@ -209,7 +209,7 @@ TEST_F(ServeTest, UnknownWorkloadComesBackAsError)
     SimConfig cfg = SimConfig::baseline();
     CellKey key = cellKeyFor(cfg, "paper_loop", tiny());
     EXPECT_THROW(
-        client->runCell(key, cfg, "no_such_kernel_anywhere", tiny()),
+        client->runCell(key, cfg, "no_such_kernel_anywhere", tiny(), SamplePlan{}),
         std::runtime_error);
     // The connection survives a failed cell.
     EXPECT_NO_THROW(client->rpc("ping"));

@@ -21,11 +21,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <map>
 #include <memory>
 #include <set>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -34,6 +38,8 @@
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "sample/checkpoint.hh"
+#include "sample/sampler.hh"
 #include "serve/client.hh"
 #include "serve/server.hh"
 #include "sim/config.hh"
@@ -71,6 +77,14 @@ usage(int status)
         "                 scenario file, or 'all') into --out=<dir>\n"
         "  replay <path>  replay .lttr traces (a file or directory);\n"
         "                 --verify re-executes and diffs the Metrics\n"
+        "  sample <kernel>  interval-sampled simulation: repeating\n"
+        "                 fast-forward/warmup/detail periods, mean IPC\n"
+        "                 with a 95%% confidence interval; `ltp sample\n"
+        "                 compare --full=a.json --sampled=b.json` gates\n"
+        "                 a sampled report against a full-detail one\n"
+        "  checkpoint <create|ls|verify>   architectural .ltcp\n"
+        "                 checkpoints (fast-forwarded register/predictor/\n"
+        "                 cache state) for `ltp sample --from=<file>`\n"
         "  list-kernels   print the registered kernel suite\n"
         "  classify       Section 4.1 MLP-sensitivity classification\n"
         "  print-config <preset>   print a preset's config as JSON\n"
@@ -232,6 +246,8 @@ printGrid(const SweepResult &result)
                       result.threads, result.wallMs));
 }
 
+SamplePlan samplePlanFromCli(const Cli &cli, SamplePlan base);
+
 /** Commands without a positional must not silently swallow one. */
 void
 rejectPositional(const std::string &cmd, const std::string &positional)
@@ -327,18 +343,26 @@ cmdSweep(const std::string &path, const Cli &cli)
         fatal("%s", e.what());
     }
 
-    // --set overrides apply to every job of the compiled spec.
+    // --set overrides apply to every job of the compiled spec; the
+    // --samples/--sample-* flags override the scenario's sampling plan.
     for (SweepJob &job : spec.jobs)
         applySets(job.cfg, cli);
+    spec.sampling = samplePlanFromCli(cli, spec.sampling);
 
-    std::printf("scenario %s: %zu jobs, %zu simulations\n",
+    std::printf("scenario %s: %zu jobs, %zu simulations%s\n",
                 spec.name.c_str(), spec.jobs.size(),
-                spec.simulationCount());
+                spec.simulationCount(),
+                spec.sampling.enabled()
+                    ? strprintf(" (sampled, plan %s)",
+                                spec.sampling.toString().c_str())
+                          .c_str()
+                    : "");
     ProgressFn progress;
     bool caching = backend && backend->wantsKey();
     if (cli.flag("progress")) {
         // Heartbeat for long runs (serial and sharded alike): cells
-        // done / total, cache hits when a caching backend is in play.
+        // done / total, cache hits when a caching backend is in play,
+        // and the live sampling phase label under a sampled plan.
         auto start = std::chrono::steady_clock::now();
         std::string name = spec.name;
         progress = [start, name, caching](const Progress &p) {
@@ -347,9 +371,14 @@ cmdSweep(const std::string &path, const Cli &cli)
                               .count();
             std::string hits =
                 caching ? strprintf(", %zu hits", p.hits) : "";
-            std::fprintf(stderr, "\r%s: %zu/%zu cells%s, %.1fs elapsed%s",
+            std::string phase =
+                p.phase.empty() ? "" : " [" + p.phase + "]";
+            // Trailing spaces wipe a longer previous phase label.
+            std::fprintf(stderr,
+                         "\r%s: %zu/%zu cells%s, %.1fs elapsed%s      %s",
                          name.c_str(), p.done, p.total, hits.c_str(),
-                         secs, p.done == p.total ? "\n" : "");
+                         secs, phase.c_str(),
+                         p.done == p.total ? "\n" : "");
             std::fflush(stderr);
         };
     }
@@ -730,6 +759,314 @@ cmdClassify(const Cli &cli)
     return 0;
 }
 
+/** The sampling plan the shared --samples/--sample-* flags select,
+ *  layered over @p base (a scenario's plan or the defaults). */
+SamplePlan
+samplePlanFromCli(const Cli &cli, SamplePlan base)
+{
+    if (cli.has("samples"))
+        base.samples = int(cli.integer("samples", base.samples));
+    if (cli.has("sample-ff"))
+        base.fastForward =
+            std::uint64_t(cli.integer("sample-ff", 0));
+    if (cli.has("sample-warmup"))
+        base.warmup = std::uint64_t(cli.integer("sample-warmup", 0));
+    if (cli.has("sample-detail"))
+        base.detail = std::uint64_t(cli.integer("sample-detail", 0));
+    return base;
+}
+
+/** Phase-labelled stderr heartbeat shared by sample and sweep. */
+ProgressFn
+sampleProgressFn(const Cli &cli, const std::string &name, bool caching)
+{
+    if (!cli.flag("progress"))
+        return {};
+    auto start = std::chrono::steady_clock::now();
+    return [start, name, caching](const Progress &p) {
+        double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+        std::string hits = caching ? strprintf(", %zu hits", p.hits) : "";
+        std::string phase =
+            p.phase.empty() ? "" : " [" + p.phase + "]";
+        // The trailing spaces wipe a longer previous phase label.
+        std::fprintf(stderr,
+                     "\r%s: %zu/%zu cells%s, %.1fs elapsed%s      %s",
+                     name.c_str(), p.done, p.total, hits.c_str(), secs,
+                     phase.c_str(), p.done == p.total ? "\n" : "");
+        std::fflush(stderr);
+    };
+}
+
+std::string
+readFileText(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open '%s'", path.c_str());
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+/** Gate a sampled report against a full-detail one (CI smoke). */
+int
+cmdSampleCompare(const Cli &cli)
+{
+    std::string full_path = cli.str("full", "");
+    std::string sampled_path = cli.str("sampled", "");
+    if (full_path.empty() || sampled_path.empty())
+        fatal("sample compare needs --full=<report.json> and "
+              "--sampled=<report.json> (both from --json=<file>)");
+    double min_speedup = cli.real("min-speedup", 0.0);
+    double rtol = cli.real("rtol", 0.05);
+
+    struct Report
+    {
+        double wallMs = 0.0;
+        std::map<std::string, Metrics> cells; ///< "row|series" keyed
+    };
+    auto load = [](const std::string &path) {
+        Report r;
+        JsonValue root;
+        try {
+            root = parseJson(readFileText(path));
+        } catch (const std::runtime_error &e) {
+            fatal("%s: %s", path.c_str(), e.what());
+        }
+        if (!root.isObject())
+            fatal("%s: not a JSON report", path.c_str());
+        auto wall = root.object.find("wall_ms");
+        if (wall != root.object.end() && wall->second.isNumber())
+            r.wallMs = wall->second.num;
+        auto results = root.object.find("results");
+        if (results == root.object.end() ||
+            !results->second.isArray())
+            fatal("%s: missing 'results' array", path.c_str());
+        for (const JsonValue &cell : results->second.array) {
+            if (!cell.isObject())
+                fatal("%s: non-object result cell", path.c_str());
+            auto get = [&](const char *key) -> const JsonValue & {
+                auto it = cell.object.find(key);
+                if (it == cell.object.end())
+                    fatal("%s: result cell missing '%s'", path.c_str(),
+                          key);
+                return it->second;
+            };
+            r.cells[get("row").str + "|" + get("series").str] =
+                metricsFromJson(writeJsonCompact(get("metrics")));
+        }
+        return r;
+    };
+    Report full = load(full_path);
+    Report sampled = load(sampled_path);
+
+    Table t({"cell", "full IPC", "sampled IPC", "ci95", "tolerance",
+             "state"});
+    int failures = 0;
+    for (const auto &[key, sm] : sampled.cells) {
+        auto it = full.cells.find(key);
+        if (it == full.cells.end())
+            fatal("cell '%s' in %s has no counterpart in %s",
+                  key.c_str(), sampled_path.c_str(), full_path.c_str());
+        const Metrics &fm = it->second;
+        double sampled_ipc =
+            sm.sampling.enabled() ? sm.sampling.meanIpc : sm.ipc;
+        // The statistical tolerance is the sample CI; the rtol floor
+        // covers low-variance runs whose CI collapses below the bias
+        // the phase model introduces (cold-start, period alignment).
+        double tol = std::max(sm.sampling.ci95Half, rtol * fm.ipc);
+        bool ok = std::fabs(sampled_ipc - fm.ipc) <= tol;
+        failures += ok ? 0 : 1;
+        t.addRow({key, Table::num(fm.ipc, 4), Table::num(sampled_ipc, 4),
+                  Table::num(sm.sampling.ci95Half, 4),
+                  Table::num(tol, 4), ok ? "ok" : "OUT OF TOLERANCE"});
+    }
+    double speedup =
+        sampled.wallMs > 0.0 ? full.wallMs / sampled.wallMs : 0.0;
+    t.print(strprintf("sampled vs full: %zu cells, wall %.0f ms vs "
+                      "%.0f ms = %.2fx",
+                      sampled.cells.size(), sampled.wallMs, full.wallMs,
+                      speedup));
+    if (failures) {
+        std::fprintf(stderr,
+                     "sample compare: %d cell(s) out of tolerance\n",
+                     failures);
+        return 1;
+    }
+    if (min_speedup > 0.0 && speedup < min_speedup) {
+        std::fprintf(stderr,
+                     "sample compare: speedup %.2fx below required "
+                     "%.2fx\n",
+                     speedup, min_speedup);
+        return 1;
+    }
+    return 0;
+}
+
+int
+cmdSample(const std::string &positional, const Cli &cli)
+{
+    if (positional == "compare")
+        return cmdSampleCompare(cli);
+
+    std::string what =
+        positional.empty() ? cli.str("kernel", "") : positional;
+    if (what.empty())
+        fatal("sample needs a workload: ltp sample <kernel[,kernel...]>"
+              " (or `ltp sample compare --full=... --sampled=...`)");
+    std::vector<std::string> kernels = splitCommas(what);
+
+    SimConfig cfg = presetConfig(cli.str("preset", "baseline"), cli);
+    cfg.seed = cli.integer("seed", 1);
+    applySets(cfg, cli);
+
+    SamplePlan plan = samplePlanFromCli(cli, SamplePlan::defaults());
+    if (plan.samples <= 0 || plan.detail == 0)
+        fatal("sampling needs --samples > 0 and --sample-detail > 0 "
+              "(got %s)", plan.toString().c_str());
+
+    std::string from = cli.str("from", "");
+    SweepResult result;
+    if (!from.empty()) {
+        // Checkpoint restore binds the run to one concrete stream
+        // state, so it bypasses the backends (a cached or remote cell
+        // could not see the local file) and runs in-process.
+        if (kernels.size() != 1)
+            fatal("sample --from restores one workload, got %zu",
+                  kernels.size());
+        auto start = std::chrono::steady_clock::now();
+        Checkpoint ckpt;
+        try {
+            ckpt = loadCheckpointFile(from);
+            Sampler sampler(cfg, kernels[0], plan);
+            sampler.restoreFrom(ckpt);
+            PhaseFn phase;
+            if (cli.flag("progress"))
+                phase = [](const std::string &p) {
+                    std::fprintf(stderr, "\r[%s]        ", p.c_str());
+                    std::fflush(stderr);
+                };
+            Metrics m = sampler.run(phase);
+            if (phase)
+                std::fprintf(stderr, "\n");
+            result.grid.put(kernels[0], cfg.name, m);
+        } catch (const std::runtime_error &e) {
+            fatal("%s", e.what());
+        }
+        result.name = "sample:" + cfg.name;
+        result.threads = 1;
+        result.backend = "local";
+        result.simulations = 1;
+        result.wallMs = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    } else {
+        SweepSpec spec;
+        spec.name = "sample:" + cfg.name;
+        spec.lengths = stagingLengths(cli, RunLengths::bench());
+        spec.sampling = plan;
+        for (const std::string &k : kernels)
+            spec.add(k, cfg.name, cfg, k);
+        ExecBackendPtr backend = makeBackend(cli);
+        bool caching = backend && backend->wantsKey();
+        result = Runner(int(cli.integer("threads", 0)), backend)
+                     .run(spec, sampleProgressFn(cli, spec.name,
+                                                 caching));
+    }
+
+    Table t({"kernel", "samples", "mean IPC", "±95% CI", "stddev",
+             "ff kIPS"});
+    for (const std::string &k : kernels) {
+        const Metrics &m = result.grid.at(k, cfg.name);
+        t.addRow({k, std::to_string(m.sampling.samples),
+                  Table::num(m.sampling.meanIpc, 4),
+                  Table::num(m.sampling.ci95Half, 4),
+                  Table::num(m.sampling.ipcStdDev, 4),
+                  Table::num(m.sampling.ffKips, 0)});
+    }
+    t.print(strprintf("sampled %s (plan %s, seed %llu, %.0f ms)",
+                      cfg.name.c_str(), plan.toString().c_str(),
+                      static_cast<unsigned long long>(cfg.seed),
+                      result.wallMs));
+    printBackendSummary(result);
+    maybeArchive(cli, result);
+    return 0;
+}
+
+int
+cmdCheckpoint(const std::string &action, const Cli &cli)
+{
+    if (action == "create") {
+        std::string kernel = cli.str("kernel", "");
+        if (kernel.empty())
+            fatal("checkpoint create needs --kernel=<workload>");
+        std::string out = cli.str("out", "");
+        if (out.empty())
+            fatal("checkpoint create needs --out=<file.ltcp>");
+        std::uint64_t at = std::uint64_t(cli.integer("at", 0));
+        if (at == 0)
+            fatal("checkpoint create needs --at=<instructions> > 0");
+
+        SimConfig cfg = presetConfig(cli.str("preset", "baseline"), cli);
+        cfg.seed = cli.integer("seed", 1);
+        applySets(cfg, cli);
+        try {
+            std::vector<std::string> members =
+                resolveWorkloadMembers(cfg, kernel);
+            MemSystem mem(cfg.mem);
+            FastForward ff(cfg, members, mem);
+            ff.advanceTo(at);
+            std::string name = ff.stream(0).name();
+            for (int tid = 1; tid < ff.numThreads(); ++tid)
+                name += "+" + ff.stream(tid).name();
+            Checkpoint ckpt =
+                captureCheckpoint(ff, mem, name, cfg.seed);
+            std::string bytes = checkpointToBytes(ckpt);
+            writeCheckpointFile(out, bytes);
+            std::printf("%s: %s (%zu bytes, fast-forward %.0f kIPS)\n",
+                        out.c_str(), checkpointSummary(ckpt).c_str(),
+                        bytes.size(), ff.kips());
+        } catch (const std::runtime_error &e) {
+            fatal("%s", e.what());
+        }
+        return 0;
+    }
+    if (action == "ls" || action == "verify") {
+        std::string file = cli.str("file", "");
+        if (file.empty())
+            fatal("checkpoint %s needs --file=<file.ltcp>",
+                  action.c_str());
+        try {
+            std::string bytes = readFileText(file);
+            Checkpoint ckpt = checkpointFromBytes(bytes);
+            if (action == "ls") {
+                std::printf("%s: %s\n", file.c_str(),
+                            checkpointSummary(ckpt).c_str());
+                return 0;
+            }
+            // verify: the decode above already validated magic,
+            // version, CRC, and semantics; a byte-exact re-encode
+            // proves the file is canonical (no mutation survives).
+            if (checkpointToBytes(ckpt) != bytes) {
+                std::fprintf(stderr,
+                             "%s: decodes but re-encodes differently "
+                             "(non-canonical)\n",
+                             file.c_str());
+                return 1;
+            }
+            std::printf("%s: OK (%zu bytes, CRC + round-trip verified)\n",
+                        file.c_str(), bytes.size());
+        } catch (const std::runtime_error &e) {
+            fatal("%s", e.what());
+        }
+        return 0;
+    }
+    fatal("unknown checkpoint action '%s' (expected create|ls|verify)",
+          action.c_str());
+}
+
 int
 cmdCache(const std::string &action, const Cli &cli)
 {
@@ -764,14 +1101,18 @@ cmdCache(const std::string &action, const Cli &cli)
     }
     if (action == "gc") {
         double days = cli.real("max-age-days", 0.0);
-        std::size_t removed = cache.gc(days);
+        std::uint64_t max_bytes =
+            std::uint64_t(cli.integer("max-bytes", 0));
+        std::size_t removed = cache.gc(days, max_bytes);
+        std::string why = " (invalid";
+        if (days > 0.0)
+            why += strprintf(", older than %g days", days);
+        if (max_bytes > 0)
+            why += strprintf(", evicted down to %llu bytes",
+                             static_cast<unsigned long long>(max_bytes));
+        why += ")";
         std::printf("cache gc: removed %zu entr%s%s\n", removed,
-                    removed == 1 ? "y" : "ies",
-                    days > 0.0
-                        ? strprintf(" (invalid or older than %g days)",
-                                    days)
-                              .c_str()
-                        : " (invalid)");
+                    removed == 1 ? "y" : "ies", why.c_str());
         return 0;
     }
     if (action == "clear") {
@@ -910,9 +1251,12 @@ main(int argc, char **argv)
         return cmdRun(cli);
     }
     if (cmd == "sweep") {
-        Cli cli(nargs, args.data(), flags({"progress"}),
+        Cli cli(nargs, args.data(),
+                flags({"progress", "samples", "sample-ff",
+                       "sample-warmup", "sample-detail"}),
                 "ltp sweep <scenario.json> — compile and run a "
-                "scenario file");
+                "scenario file; --samples/--sample-* override the "
+                "scenario's sampling plan");
         if (positional.empty())
             fatal("sweep needs a scenario file: ltp sweep "
                   "<scenario.json>");
@@ -960,11 +1304,36 @@ main(int argc, char **argv)
                 "as JSON");
         return cmdPrintConfig(positional, cli);
     }
+    if (cmd == "sample") {
+        Cli cli(nargs, args.data(),
+                flags({"preset", "mode", "kernel", "samples",
+                       "sample-ff", "sample-warmup", "sample-detail",
+                       "from", "progress", "full", "sampled",
+                       "min-speedup", "rtol"}),
+                "ltp sample <kernel[,kernel...]> — interval-sampled "
+                "simulation (mean IPC + 95% CI); --samples/--sample-ff/"
+                "--sample-warmup/--sample-detail set the plan, "
+                "--from=<file.ltcp> restores a checkpoint; `ltp sample "
+                "compare --full=a.json --sampled=b.json "
+                "[--min-speedup=N --rtol=X]` gates a sampled report "
+                "against a full-detail one");
+        return cmdSample(positional, cli);
+    }
+    if (cmd == "checkpoint") {
+        Cli cli(nargs, args.data(),
+                flags({"preset", "mode", "kernel", "at", "out", "file"}),
+                "ltp checkpoint <create|ls|verify> — architectural "
+                ".ltcp checkpoints: create --kernel=<w> --at=<insts> "
+                "--out=<file>; ls/verify take --file=<file>");
+        return cmdCheckpoint(positional, cli);
+    }
     if (cmd == "cache") {
-        Cli cli(nargs, args.data(), flags({"max-age-days"}),
+        Cli cli(nargs, args.data(),
+                flags({"max-age-days", "max-bytes"}),
                 "ltp cache <ls|stat|gc|clear> — inspect or prune the "
                 "content-addressed result cache; --cache-dir selects "
-                "the root, gc takes --max-age-days=N");
+                "the root, gc takes --max-age-days=N and "
+                "--max-bytes=N (oldest-first size eviction)");
         return cmdCache(positional, cli);
     }
     if (cmd == "serve") {

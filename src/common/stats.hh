@@ -71,13 +71,17 @@ class Average
  *
  *  - Timed: call set(level, now) whenever the occupancy changes; each
  *    call integrates the old level over the elapsed cycles.
- *  - Sampled: call the untimed set/add/sub mutators freely, and call
- *    advanceTo(now) once at the start of every cycle *before* any
- *    mutation (the core hoists this into Core::tick() so structure
- *    code never threads `now` through its mutators).
+ *  - Clocked: bindClock(&now) once, then call the untimed set/add/sub
+ *    mutators freely — each one reads the bound cycle counter and
+ *    integrates the old level up to it first.  This keeps structure
+ *    code free of `now` plumbing *without* a per-cycle advance pass:
+ *    a stat that does not change this cycle costs nothing (the core
+ *    binds every structure stat to Core::now_ at construction).
  *
  * mean(now) returns the per-cycle average over the measured window.
- * Integration is exact either way: level * elapsed cycles.
+ * Integration is exact either way — level * elapsed cycles — because
+ * the level is piecewise constant between mutations, so deferring the
+ * multiply to the next mutation (or to mean()) loses nothing.
  */
 class OccupancyStat
 {
@@ -93,19 +97,31 @@ class OccupancyStat
     void add(std::int64_t d, Cycle now) { set(level_ + d, now); }
     void sub(std::int64_t d, Cycle now) { set(level_ - d, now); }
 
-    /// @name Sampled style: untimed mutators + one advanceTo per cycle
+    /// @name Clocked style: bind once, then untimed mutators
     /// @{
 
     /**
-     * Integrate the current level up to @p now.  Must run before any
-     * untimed mutation in the cycle @p now (Core::tick() does this for
-     * every core-structure stat in one place).
+     * Bind the cycle counter the untimed mutators integrate against.
+     * Must happen before the first untimed mutation; the pointee must
+     * outlive the stat and never move backwards.  Unbound stats fall
+     * back to pure level tracking — integrate them explicitly with
+     * advanceTo() (standalone structure tests do this).
      */
+    void bindClock(const Cycle *clock) { clock_ = clock; }
+
+    /** Explicitly integrate the current level up to @p now. */
     void advanceTo(Cycle now) { accumulate(now); }
 
-    void set(std::int64_t level) { level_ = level; }
-    void add(std::int64_t d) { level_ += d; }
-    void sub(std::int64_t d) { level_ -= d; }
+    void
+    set(std::int64_t level)
+    {
+        if (clock_)
+            accumulate(*clock_);
+        level_ = level;
+    }
+
+    void add(std::int64_t d) { set(level_ + d); }
+    void sub(std::int64_t d) { set(level_ - d); }
     /// @}
 
     std::int64_t level() const { return level_; }
@@ -141,6 +157,7 @@ class OccupancyStat
     std::int64_t integral_ = 0;
     Cycle start_ = 0;
     Cycle last_ = 0;
+    const Cycle *clock_ = nullptr; ///< untimed mutators' time source
 };
 
 /** Fixed-bucket histogram with overflow bucket. */

@@ -1,6 +1,7 @@
 #include "cpu/core.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.hh"
 
@@ -106,6 +107,7 @@ Core::Core(const CoreConfig &cfg, MemSystem &mem,
             tid, cfg, *sources[std::size_t(tid)], oracle,
             mem.dramLatency()));
     }
+    bindOccupancyClocks();
 }
 
 Core::~Core() = default;
@@ -191,21 +193,26 @@ Core::scheduleCompletion(DynInst *inst, Cycle when)
 void
 Core::scheduleTicketClear(ThreadContext &t, int ticket, Cycle when)
 {
-    ticket_events_.push(
-        TicketEv{when, ticket, t.ticket_epoch[std::size_t(ticket)],
-                 t.tid});
+    ticket_events_.schedule(
+        when, TicketEv{when, ticket,
+                       t.ticket_epoch[std::size_t(ticket)], t.tid});
 }
 
 void
 Core::processTicketEvents()
 {
-    while (!ticket_events_.empty() && ticket_events_.top().when <= now_) {
-        TicketEv ev = ticket_events_.top();
-        ticket_events_.pop();
+    ticket_events_.advanceTo(now_, [this](const TicketEv &ev) {
         ThreadContext &t = thread(ev.tid);
-        if (t.ticket_epoch[std::size_t(ev.ticket)] == ev.epoch)
-            t.tickets.clearPending(ev.ticket);
-    }
+        if (t.ticket_epoch[std::size_t(ev.ticket)] != ev.epoch)
+            return;
+        // The broadcast counter charges every (epoch-valid) clear, but
+        // only an actual pending→cleared transition wakes the ticket's
+        // parked subscriber cohort.
+        bool was_pending = t.tickets.pending().test(ev.ticket);
+        t.tickets.clearPending(ev.ticket);
+        if (was_pending)
+            t.ltp.onTicketCleared(ev.ticket);
+    });
 }
 
 // ---------------------------------------------------------------------
@@ -243,7 +250,10 @@ Core::completeInst(DynInst *inst)
         t.fetch_resume_at = now_ + cfg_.redirectPenalty;
     }
 
-    t.ll_inflight.erase(inst->seq);
+    // Only predicted/actual long-latency instructions ever enter the
+    // set — everything else skips the lookup.
+    if (inst->predictedLL || inst->actualLL)
+        t.ll_inflight.erase(inst->seq);
 }
 
 void
@@ -318,6 +328,7 @@ void
 Core::commit(ThreadContext &t)
 {
     bool learned = cfg_.ltp.classifier == ClassifierKind::Learned;
+    SeqNum last_committed = kSeqNone;
 
     for (int i = 0; i < cfg_.commitWidth; ++i) {
         DynInst *head = t.rob.head();
@@ -363,6 +374,8 @@ Core::commit(ThreadContext &t)
 
         if (head->ownTicket >= 0) {
             t.ticket_epoch[std::size_t(head->ownTicket)] += 1;
+            if (t.tickets.pending().test(head->ownTicket))
+                t.ltp.onTicketCleared(head->ownTicket);
             t.tickets.release(head->ownTicket);
         }
 
@@ -372,8 +385,13 @@ Core::commit(ThreadContext &t)
         head->committed = true;
         t.rob.popHead();
         t.stats.committed++;
-        t.source->retire(head->seq);
+        last_committed = head->seq;
     }
+
+    // Retirement is a prefix trim, so one call with the youngest
+    // committed seq releases the whole group's trace storage.
+    if (last_committed != kSeqNone)
+        t.source->retire(last_committed);
 }
 
 // ---------------------------------------------------------------------
@@ -395,14 +413,15 @@ Core::nuWakeupBoundary(const ThreadContext &t) const
     // retire in a burst.
     if (t.ll_inflight.size() < 2)
         return kSeqNone; // unbounded
-    auto it = t.ll_inflight.begin();
-    ++it;
-    return *it;
+    return t.ll_inflight.nth(1);
 }
 
 bool
 Core::tryUnpark(ThreadContext &t, DynInst *inst, bool forced)
 {
+    if (forced ? !iq_.hasEmergencySpace() : !iq_.hasSpace())
+        return false;
+
     // Sources produced by still-parked instructions cannot be resolved.
     std::int32_t resolved[kMaxSrcs];
     for (int i = 0; i < kMaxSrcs; ++i) {
@@ -413,9 +432,6 @@ Core::tryUnpark(ThreadContext &t, DynInst *inst, bool forced)
                 return false;
         }
     }
-
-    if (forced ? !iq_.hasEmergencySpace() : !iq_.hasSpace())
-        return false;
 
     std::int32_t dst = -1;
     if (inst->hasDst()) {
@@ -487,6 +503,14 @@ Core::ltpWakeup(ThreadContext &t)
         }
     }
 
+    // Everything below unparks with forced=false, which requires
+    // regular IQ space — with none, every attempt fails without side
+    // effects, so skip the selection work outright.
+    if (!iq_.hasSpace()) {
+        t.rename_pressure = false;
+        return;
+    }
+
     // 2) Pressure: rename starved for a committed-freed resource last
     //    cycle; draining the oldest parked instruction frees resources
     //    at its commit.
@@ -518,38 +542,48 @@ Core::ltpWakeup(ThreadContext &t)
         return;
     }
 
-    // NR and NR+NU: CAM-style extraction, oldest first.
+    // NR and NR+NU: CAM-style extraction, oldest first.  Eligibility
+    // decomposes onto the queue's two ticket-clear ready lists:
+    //
+    //   NR:   eligible = tickets clear                (window ignored)
+    //   NRNU: urgent     → tickets clear
+    //         non-urgent → tickets clear && in window
+    //
+    // (A parked instruction that was not Non-Ready has an empty ticket
+    // mask, so "tickets clear" holds trivially — the old per-entry
+    // scan's NU+R case folds into the non-urgent list.)  Candidates
+    // come from a seq-ordered merge of the two lists, bounded by the
+    // extract ports; the non-urgent side stops at the wakeup boundary
+    // since its list is seq-ordered too.
     scratch_select_.clear();
     auto &selected = scratch_select_;
-    t.ltp.forEach([&](DynInst *inst) {
-        if (!t.ltp.canExtract() ||
-            static_cast<int>(selected.size()) >= cfg_.ltp.extractPorts)
-            return;
-        bool tickets_clear = !t.tickets.liveSubset(inst->tickets).any();
-        bool in_window = boundary == kSeqNone || inst->seq < boundary;
-        bool eligible;
-        if (mode == LtpMode::NR) {
-            eligible = tickets_clear;
-        } else { // NRNU
-            if (inst->urgent) {
-                eligible = tickets_clear; // U+NR: leave the moment ready
-            } else if (inst->nonReady) {
-                eligible = tickets_clear && in_window; // NU+NR
+    if (t.ltp.canExtract()) {
+        DynInst *u = t.ltp.urgentReadyFront();
+        DynInst *r = t.ltp.nonUrgentReadyFront();
+        while (static_cast<int>(selected.size()) < cfg_.ltp.extractPorts) {
+            if (mode == LtpMode::NRNU && r && boundary != kSeqNone &&
+                r->seq >= boundary)
+                r = nullptr;
+            if (u && (!r || u->seq < r->seq)) {
+                selected.push_back(u);
+                u = LtpQueue::readyNext(u);
+            } else if (r) {
+                selected.push_back(r);
+                r = LtpQueue::readyNext(r);
             } else {
-                eligible = in_window; // NU+R
+                break;
             }
         }
-        if (eligible && static_cast<int>(selected.size()) <
-                            cfg_.ltp.extractPorts)
-            selected.push_back(inst);
-    });
+    }
     for (DynInst *inst : selected) {
         if (!t.ltp.canExtract())
             break;
         if (tryUnpark(t, inst, false)) {
             t.ltp.remove(inst);
-            if (!t.tickets.liveSubset(inst->tickets).any() &&
-                inst->nonReady)
+            // Selected instructions have clear tickets by construction;
+            // the old scan's ticket/boundary attribution reduces to the
+            // Non-Ready classification.
+            if (inst->nonReady)
                 t.stats.ticketUnparks++;
             else
                 t.stats.boundaryUnparks++;
@@ -747,6 +781,10 @@ Core::renameOne(ThreadContext &t, DynInst *inst)
         if (ticket >= 0) {
             t.ticket_epoch[std::size_t(ticket)] += 1;
             inst->ownTicket = ticket;
+            // The reused id's pending bit is set again: any still-
+            // parked subscriber from a previous life of this ticket is
+            // re-blocked until the new owner clears it.
+            t.ltp.onTicketPending(ticket);
             dst_tickets.reset();
             dst_tickets.set(ticket);
         }
@@ -952,15 +990,14 @@ Core::execute()
     scratch_select_.clear();
     auto &selected = scratch_select_;
     iq_.forEachReady([&](DynInst *inst) {
-        if (budget <= 0)
-            return;
         if (inst->earliestIssue > now_)
-            return;
+            return true;
         if (!fu_.canIssue(inst->op.opc, now_))
-            return;
+            return true;
         fu_.issue(inst->op.opc, now_);
         selected.push_back(inst);
         budget -= 1;
+        return budget > 0;
     });
 
     for (DynInst *inst : selected) {
@@ -1106,9 +1143,12 @@ Core::squashAfter(SeqNum keep, int tid)
         }
         if (inst->ownTicket >= 0) {
             t.ticket_epoch[std::size_t(inst->ownTicket)] += 1;
+            if (t.tickets.pending().test(inst->ownTicket))
+                t.ltp.onTicketCleared(inst->ownTicket);
             t.tickets.release(inst->ownTicket);
         }
-        t.ll_inflight.erase(inst->seq);
+        if (inst->predictedLL || inst->actualLL)
+            t.ll_inflight.erase(inst->seq);
         inst->squashed = true;
     });
 
@@ -1134,14 +1174,35 @@ Core::squashAfter(SeqNum keep, int tid)
 // ---------------------------------------------------------------------
 // Top level
 
+const char *
+TickProfile::stageName(int s)
+{
+    switch (s) {
+      case BeginCycle: return "beginCycle";
+      case TicketEvents: return "ticketEvents";
+      case Writeback: return "writeback";
+      case Commit: return "commit";
+      case LtpWakeup: return "ltpWakeup";
+      case Rename: return "rename";
+      case Execute: return "execute";
+      case DrainStores: return "drainStores";
+      case Fetch: return "fetch";
+      case Monitor: return "monitor";
+    }
+    return "?";
+}
+
 void
 Core::tick()
 {
+    if (profile_) {
+        tickProfiled();
+        return;
+    }
+
+    // FU issue counts and LTP port budgets replenish lazily off the
+    // advanced cycle stamp — no begin-of-cycle pass at all.
     now_ += 1;
-    advanceOccupancyStats();
-    fu_.beginCycle();
-    for (auto &t : threads_)
-        t->ltp.beginCycle();
 
     processTicketEvents();
     writeback();
@@ -1154,9 +1215,53 @@ Core::tick()
     for (auto &t : threads_)
         drainStores(*t);
     fetch();
+}
 
+/**
+ * The profiled twin of tick(): identical stage sequence, with a
+ * steady_clock sample between stages accumulating into the attached
+ * TickProfile.  A separate function (rather than inline conditionals)
+ * keeps the unprofiled hot loop free of clock reads entirely.
+ */
+void
+Core::tickProfiled()
+{
+    using Clock = std::chrono::steady_clock;
+    TickProfile &p = *profile_;
+    Clock::time_point mark = Clock::now();
+    auto lap = [&mark, &p](TickProfile::Stage s) {
+        Clock::time_point t = Clock::now();
+        p.ns[s] += std::uint64_t(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t - mark)
+                .count());
+        mark = t;
+    };
+
+    now_ += 1;
+    lap(TickProfile::BeginCycle);
+
+    processTicketEvents();
+    lap(TickProfile::TicketEvents);
+    writeback();
+    lap(TickProfile::Writeback);
     for (auto &t : threads_)
-        t->monitor.tick(now_);
+        commit(*t);
+    lap(TickProfile::Commit);
+    for (auto &t : threads_)
+        ltpWakeup(*t);
+    lap(TickProfile::LtpWakeup);
+    rename();
+    lap(TickProfile::Rename);
+    execute();
+    lap(TickProfile::Execute);
+    for (auto &t : threads_)
+        drainStores(*t);
+    lap(TickProfile::DrainStores);
+    fetch();
+    lap(TickProfile::Fetch);
+    // Monitor bookkeeping went event-driven (LtpMonitor::settle); the
+    // stage slot stays so archived profiles keep a stable schema.
+    p.ticks += 1;
 }
 
 namespace {
@@ -1259,28 +1364,28 @@ Core::drain()
 }
 
 /**
- * The one place per-cycle occupancy sampling happens: integrate every
- * core-structure occupancy stat up to the new cycle *before* any stage
- * mutates a level.  Structure mutators are untimed — they no longer
- * thread `Cycle now` through every call (see OccupancyStat's sampled
- * style).
+ * Point every core-structure occupancy stat at the core clock, so the
+ * untimed mutators integrate lazily on change (see OccupancyStat's
+ * clocked style) and quiet cycles cost nothing — there is no per-cycle
+ * advance pass in tick().
  */
 void
-Core::advanceOccupancyStats()
+Core::bindOccupancyClocks()
 {
-    iq_.occupancy.advanceTo(now_);
+    iq_.occupancy.bindClock(&now_);
     for (auto &tp : threads_) {
         ThreadContext &t = *tp;
-        t.rob.occupancy.advanceTo(now_);
-        t.lsq.lqOccupancy.advanceTo(now_);
-        t.lsq.sqOccupancy.advanceTo(now_);
-        t.ltp.occupancy.advanceTo(now_);
-        t.ltp.parkedWithDest.advanceTo(now_);
-        t.ltp.parkedLoads.advanceTo(now_);
-        t.ltp.parkedStores.advanceTo(now_);
+        t.rob.occupancy.bindClock(&now_);
+        t.lsq.lqOccupancy.bindClock(&now_);
+        t.lsq.sqOccupancy.bindClock(&now_);
+        t.ltp.bindClock(&now_); // lazy port replenishment
+        t.ltp.occupancy.bindClock(&now_);
+        t.ltp.parkedWithDest.bindClock(&now_);
+        t.ltp.parkedLoads.bindClock(&now_);
+        t.ltp.parkedStores.bindClock(&now_);
     }
-    int_regs_.occupancy.advanceTo(now_);
-    fp_regs_.occupancy.advanceTo(now_);
+    int_regs_.occupancy.bindClock(&now_);
+    fp_regs_.occupancy.bindClock(&now_);
 }
 
 void

@@ -34,14 +34,16 @@
 #ifndef LTP_CPU_CORE_HH
 #define LTP_CPU_CORE_HH
 
+#include <algorithm>
+#include <array>
 #include <functional>
 #include <memory>
 #include <queue>
-#include <set>
 #include <vector>
 
 #include "common/ring.hh"
 #include "common/stats.hh"
+#include "common/timing_wheel.hh"
 #include "cpu/branch_pred.hh"
 #include "cpu/dyn_inst.hh"
 #include "cpu/exec.hh"
@@ -211,6 +213,85 @@ threadAddrBase(int tid)
     return Addr(tid) * kThreadAddrStride;
 }
 
+/**
+ * Per-stage wall-clock attribution of Core::tick, filled in when a
+ * profile is attached via Core::setProfiler (the `ltp bench --profile`
+ * path).  When no profile is attached the profiled tick variant is
+ * never entered, so measurement costs nothing in normal runs.
+ */
+struct TickProfile
+{
+    enum Stage
+    {
+        BeginCycle,
+        TicketEvents,
+        Writeback,
+        Commit,
+        LtpWakeup,
+        Rename,
+        Execute,
+        DrainStores,
+        Fetch,
+        Monitor,
+        kNumStages
+    };
+
+    std::array<std::uint64_t, kNumStages> ns{}; ///< per-stage wall ns
+    std::uint64_t ticks = 0;                    ///< ticks attributed
+
+    static const char *stageName(int s);
+
+    std::uint64_t
+    totalNs() const
+    {
+        std::uint64_t t = 0;
+        for (auto v : ns)
+            t += v;
+        return t;
+    }
+};
+
+/**
+ * Sorted-unique flat set of sequence numbers.
+ *
+ * Backs the per-thread in-flight long-latency tracking, whose access
+ * pattern a node-based set serves badly: inserts at rename arrive in
+ * program order (amortised O(1) push_back), out-of-order inserts and
+ * erases touch one contiguous cache-resident array bounded by the
+ * window size, and the ROB-proximity wakeup boundary reads are just
+ * the first two elements.  No allocation after warm-up.
+ */
+class SeqFlatSet
+{
+  public:
+    void
+    insert(SeqNum s)
+    {
+        if (v_.empty() || s > v_.back()) {
+            v_.push_back(s);
+            return;
+        }
+        auto it = std::lower_bound(v_.begin(), v_.end(), s);
+        if (it == v_.end() || *it != s)
+            v_.insert(it, s);
+    }
+
+    void
+    erase(SeqNum s)
+    {
+        auto it = std::lower_bound(v_.begin(), v_.end(), s);
+        if (it != v_.end() && *it == s)
+            v_.erase(it);
+    }
+
+    std::size_t size() const { return v_.size(); }
+    /** The i-th smallest element; i < size(). */
+    SeqNum nth(std::size_t i) const { return v_[i]; }
+
+  private:
+    std::vector<SeqNum> v_;
+};
+
 /** The OOO core: one shared back end, N hardware-thread contexts. */
 class Core
 {
@@ -286,6 +367,12 @@ class Core
     /** Reset measurement state at the start of the detailed region. */
     void resetStats();
 
+    /**
+     * Attach (or detach, with nullptr) a per-stage tick profile.  While
+     * attached, every tick's stage wall times accumulate into it.
+     */
+    void setProfiler(TickProfile *profile) { profile_ = profile; }
+
     /// @name Component access (tests, metrics extraction).  Thread-
     /// owned structures take a tid (default 0 keeps every existing
     /// single-threaded caller working unchanged).
@@ -353,7 +440,7 @@ class Core
         LoadLatencyPredictor llpred;
         TicketPool tickets;
         LtpMonitor monitor;
-        std::set<SeqNum> ll_inflight; ///< incomplete long-latency insts
+        SeqFlatSet ll_inflight; ///< incomplete long-latency insts
         bool rename_pressure = false; ///< resource-stall unpark trigger
         /** Whether the last rename stall was on a *full LTP* with a
          *  must-park instruction — the one stall that draining the LTP
@@ -433,7 +520,7 @@ class Core
     bool tryUnpark(ThreadContext &t, DynInst *inst, bool forced);
     void enqueueIq(DynInst *inst, bool emergency);
     void wakeDependents(PhysRegFile &rf, std::int32_t phys);
-    void advanceOccupancyStats();
+    void bindOccupancyClocks();
     SeqNum nuWakeupBoundary(const ThreadContext &t) const;
     void executeLoad(DynInst *inst, Cycle now);
     void scheduleCompletion(DynInst *inst, Cycle when);
@@ -490,13 +577,26 @@ class Core
     template <typename T>
     using MinHeap = std::priority_queue<T, std::vector<T>, std::greater<T>>;
     MinHeap<CompletionEv> completions_;
-    MinHeap<TicketEv> ticket_events_;
     MinHeap<RetryEv> retry_events_;
+    /**
+     * Ticket-expiry events ride a timing wheel, not a heap: clears are
+     * commutative within a cycle (the epoch guard plus the pending-bit
+     * transition check make processing order immaterial), which is
+     * exactly the property the wheel's insertion-order firing needs.
+     * The completion/retry heaps must stay heaps — their equal-cycle
+     * pop order is observable through the writeback width budget and
+     * MSHR allocation order.
+     */
+    TimingWheel<TicketEv> ticket_events_;
 
     // ---- scratch ----
     std::vector<DynInst *> scratch_loads_;  ///< store-wake collection
     std::vector<DynInst *> scratch_select_; ///< per-cycle select list
     std::vector<int> scratch_order_;        ///< per-cycle thread order
+
+    // ---- profiling ----
+    void tickProfiled();
+    TickProfile *profile_ = nullptr;
 };
 
 } // namespace ltp

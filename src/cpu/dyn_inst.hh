@@ -113,6 +113,23 @@ struct DynInst
     int pendingSrcs = 0; ///< physical sources not yet ready
     /// @}
 
+    /// @name LTP queue linkage (event-driven parking structure)
+    /// @{
+    DynInst *ltpPrev = nullptr;      ///< seq-ordered parked list
+    DynInst *ltpNext = nullptr;
+    DynInst *ltpReadyPrev = nullptr; ///< seq-ordered ticket-clear list
+    DynInst *ltpReadyNext = nullptr;
+    int pendingTickets = 0; ///< still-pending tickets in `tickets`
+    /**
+     * Park-episode counter: incremented every time this pool slot is
+     * parked, never reset.  Ticket subscriber entries snapshot it, so
+     * a subscription survives as long as (and only as long as) the
+     * park it was made for — a recycled slot re-parked under a new
+     * identity does not inherit stale subscriptions.
+     */
+    std::uint64_t ltpGen = 0;
+    /// @}
+
     /// @name Status
     /// @{
     bool dispatched = false;
@@ -148,7 +165,9 @@ struct DynInst
     void
     init(const MicroOp &o, SeqNum s, Cycle fetch_cycle, int thread = 0)
     {
-        *this = DynInst{};
+        std::uint64_t keep_ltp_gen = ltpGen; // park-episode counter
+        *this = DynInst{};                   // survives slot reuse
+        ltpGen = keep_ltp_gen;
         op = o;
         seq = s;
         tid = thread;

@@ -42,18 +42,14 @@ FuPool::groupOf(OpClass c)
     }
 }
 
-void
-FuPool::beginCycle()
-{
-    for (auto &g : groups_)
-        g.issuedThisCycle = 0;
-}
-
 bool
 FuPool::canIssue(OpClass c, Cycle now) const
 {
     const GroupState &g = groups_[groupOf(c)];
-    if (g.issuedThisCycle >= static_cast<int>(g.busyUntil.size()))
+    // The per-cycle issue count resets implicitly when the cycle moves
+    // on (stale stamp), so no per-cycle begin pass is needed.
+    int issued = g.stamp == now ? g.issuedThisCycle : 0;
+    if (issued >= static_cast<int>(g.busyUntil.size()))
         return false;
     for (Cycle busy : g.busyUntil)
         if (busy <= now)
@@ -65,6 +61,10 @@ int
 FuPool::issue(OpClass c, Cycle now)
 {
     GroupState &g = groups_[groupOf(c)];
+    if (g.stamp != now) {
+        g.stamp = now;
+        g.issuedThisCycle = 0;
+    }
     const OpClassInfo &info = opInfo(c);
     for (Cycle &busy : g.busyUntil) {
         if (busy <= now) {

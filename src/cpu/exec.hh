@@ -41,10 +41,12 @@ class FuPool
   public:
     explicit FuPool(const FuConfig &cfg);
 
-    /** Start-of-cycle: reset per-cycle issue counts. */
-    void beginCycle();
-
-    /** Can an op of class @p c start at cycle @p now? */
+    /**
+     * Can an op of class @p c start at cycle @p now?  Per-cycle issue
+     * counts are stamped with the cycle they were taken in and expire
+     * implicitly when @p now moves on — there is no per-cycle reset
+     * pass, and @p now must never move backwards.
+     */
     bool canIssue(OpClass c, Cycle now) const;
 
     /** Claim a unit; returns the execute latency of the op. */
@@ -58,6 +60,7 @@ class FuPool
     struct GroupState
     {
         std::vector<Cycle> busyUntil;
+        Cycle stamp = 0;          ///< cycle issuedThisCycle refers to
         int issuedThisCycle = 0;
     };
 

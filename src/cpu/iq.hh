@@ -136,8 +136,10 @@ class IssueQueue
     void
     forEachReady(Fn &&fn) const
     {
+        // fn returns false to stop the walk (issue budget exhausted).
         for (DynInst *inst = ready_head_; inst; inst = inst->readyNext)
-            fn(inst);
+            if (!fn(inst))
+                break;
     }
 
     /**

@@ -1,5 +1,7 @@
 #include "cpu/regfile.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace ltp {
@@ -8,10 +10,7 @@ PhysRegFile::PhysRegFile(int available, int reserve)
     : capacity_(available), reserve_(reserve), free_count_(available)
 {
     sim_assert(available > 0 && reserve >= 0 && reserve < available);
-    free_list_.reserve(capacity_);
-    for (std::int32_t r = capacity_ - 1; r >= 0; --r)
-        free_list_.push_back(r);
-    ready_.assign(capacity_, false);
+    ready_.assign(std::size_t(std::min(capacity_, 1024)), false);
 }
 
 int
@@ -34,9 +33,22 @@ PhysRegFile::allocate(AllocPriority prio)
 {
     if (freeFor(prio) <= 0)
         return -1;
-    std::int32_t phys = free_list_.back();
-    free_list_.pop_back();
+    // Released registers are reused LIFO; otherwise hand out the next
+    // never-used index.  This matches a pre-seeded [capacity-1 .. 0]
+    // stack exactly (fresh registers ascend, releases stack on top)
+    // without materialising megabytes of free list for an "infinite"
+    // limit-study file that only ever touches a dense prefix.
+    std::int32_t phys;
+    if (!free_list_.empty()) {
+        phys = free_list_.back();
+        free_list_.pop_back();
+    } else {
+        phys = next_fresh_;
+        next_fresh_ += 1;
+    }
     free_count_ -= 1;
+    if (std::size_t(phys) >= ready_.size())
+        ready_.resize(std::size_t(phys) + 1, false);
     ready_[phys] = false;
     clearDependents(phys); // stale squashed consumers, if any
     occupancy.set(allocatedCount());

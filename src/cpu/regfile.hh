@@ -136,7 +136,8 @@ class PhysRegFile
     int capacity_;
     int reserve_;
     int free_count_;
-    std::vector<std::int32_t> free_list_;
+    std::int32_t next_fresh_ = 0; ///< lowest never-allocated index
+    std::vector<std::int32_t> free_list_; ///< released registers (LIFO)
     std::vector<bool> ready_;
     std::vector<std::vector<RegDependent>> dependents_;
 };

@@ -1,15 +1,15 @@
 #include "ltp/ltp_queue.hh"
 
-#include <algorithm>
-
 #include "common/logging.hh"
+#include "ltp/tickets.hh"
 
 namespace ltp {
 
 LtpQueue::LtpQueue(int entries, int insert_ports, int extract_ports)
     : capacity_(entries),
       insert_ports_(insert_ports),
-      extract_ports_(extract_ports)
+      extract_ports_(extract_ports),
+      subs_(std::size_t(kMaxTickets))
 {
     sim_assert(entries > 0 && insert_ports > 0 && extract_ports > 0);
 }
@@ -24,17 +24,39 @@ LtpQueue::beginCycle()
 bool
 LtpQueue::canInsert() const
 {
-    return inserts_left_ > 0 && size() < capacity_;
+    refreshPorts();
+    return inserts_left_ > 0 && size_ < capacity_;
 }
 
 void
 LtpQueue::push(DynInst *inst)
 {
-    sim_assert(canInsert());
-    sim_assert(entries_.empty() || entries_.back()->seq < inst->seq);
+    sim_assert(canInsert()); // also refreshes stale port budgets
+    sim_assert(!tail_ || tail_->seq < inst->seq);
     inserts_left_ -= 1;
-    entries_.push_back(inst);
+
+    inst->ltpPrev = tail_;
+    inst->ltpNext = nullptr;
+    if (tail_)
+        tail_->ltpNext = inst;
+    else
+        head_ = inst;
+    tail_ = inst;
+    size_ += 1;
+
     inst->inLtp = true;
+    inst->ltpGen += 1;
+
+    // All mask bits are pending at park time (rename live-filtered the
+    // mask this same cycle), so the count is the mask population; the
+    // subscriptions are what keep it current from here on.
+    inst->pendingTickets = inst->tickets.count();
+    inst->tickets.forEachSet([&](int t) {
+        subs_[std::size_t(t)].push_back(Subscriber{inst, inst->ltpGen});
+    });
+    if (inst->pendingTickets == 0)
+        readyInsert(inst);
+
     pushes++;
     occupancy.add(1);
     if (inst->hasDst())
@@ -48,18 +70,75 @@ LtpQueue::push(DynInst *inst)
 bool
 LtpQueue::canExtract() const
 {
+    refreshPorts();
     return extracts_left_ > 0;
 }
 
-DynInst *
-LtpQueue::front() const
+void
+LtpQueue::unlink(DynInst *inst)
 {
-    return entries_.empty() ? nullptr : entries_.front();
+    if (inst->ltpPrev)
+        inst->ltpPrev->ltpNext = inst->ltpNext;
+    else
+        head_ = inst->ltpNext;
+    if (inst->ltpNext)
+        inst->ltpNext->ltpPrev = inst->ltpPrev;
+    else
+        tail_ = inst->ltpPrev;
+    inst->ltpPrev = nullptr;
+    inst->ltpNext = nullptr;
+    size_ -= 1;
+}
+
+void
+LtpQueue::readyInsert(DynInst *inst)
+{
+    DynInst *&rhead = inst->urgent ? uready_head_ : ready_head_;
+    DynInst *&rtail = inst->urgent ? uready_tail_ : ready_tail_;
+
+    // Insert from the tail: the common case (a newly parked or newly
+    // cleared instruction is among the youngest) is O(1).
+    DynInst *after = rtail;
+    while (after && inst->seq < after->seq)
+        after = after->ltpReadyPrev;
+
+    inst->ltpReadyPrev = after;
+    if (after) {
+        inst->ltpReadyNext = after->ltpReadyNext;
+        after->ltpReadyNext = inst;
+    } else {
+        inst->ltpReadyNext = rhead;
+        rhead = inst;
+    }
+    if (inst->ltpReadyNext)
+        inst->ltpReadyNext->ltpReadyPrev = inst;
+    else
+        rtail = inst;
+}
+
+void
+LtpQueue::readyRemove(DynInst *inst)
+{
+    DynInst *&rhead = inst->urgent ? uready_head_ : ready_head_;
+    DynInst *&rtail = inst->urgent ? uready_tail_ : ready_tail_;
+
+    if (inst->ltpReadyPrev)
+        inst->ltpReadyPrev->ltpReadyNext = inst->ltpReadyNext;
+    else
+        rhead = inst->ltpReadyNext;
+    if (inst->ltpReadyNext)
+        inst->ltpReadyNext->ltpReadyPrev = inst->ltpReadyPrev;
+    else
+        rtail = inst->ltpReadyPrev;
+    inst->ltpReadyPrev = nullptr;
+    inst->ltpReadyNext = nullptr;
 }
 
 void
 LtpQueue::accountRemove(DynInst *inst)
 {
+    if (inst->pendingTickets == 0)
+        readyRemove(inst);
     inst->inLtp = false;
     occupancy.sub(1);
     if (inst->hasDst())
@@ -73,10 +152,11 @@ LtpQueue::accountRemove(DynInst *inst)
 void
 LtpQueue::popFront()
 {
-    sim_assert(!entries_.empty() && extracts_left_ > 0);
+    refreshPorts();
+    sim_assert(head_ && extracts_left_ > 0);
     extracts_left_ -= 1;
-    DynInst *inst = entries_.front();
-    entries_.pop_front();
+    DynInst *inst = head_;
+    unlink(inst);
     accountRemove(inst);
     pops++;
 }
@@ -84,11 +164,11 @@ LtpQueue::popFront()
 void
 LtpQueue::remove(DynInst *inst)
 {
+    refreshPorts();
     sim_assert(extracts_left_ > 0);
-    auto it = std::find(entries_.begin(), entries_.end(), inst);
-    sim_assert(it != entries_.end());
+    sim_assert(inst->inLtp);
     extracts_left_ -= 1;
-    entries_.erase(it);
+    unlink(inst);
     accountRemove(inst);
     pops++;
     camExtractions++;
@@ -97,9 +177,49 @@ LtpQueue::remove(DynInst *inst)
 void
 LtpQueue::squashYoungerThan(SeqNum seq)
 {
-    while (!entries_.empty() && entries_.back()->seq > seq) {
-        accountRemove(entries_.back());
-        entries_.pop_back();
+    while (tail_ && tail_->seq > seq) {
+        DynInst *inst = tail_;
+        unlink(inst);
+        accountRemove(inst);
+    }
+}
+
+void
+LtpQueue::onTicketCleared(int t)
+{
+    auto &v = subs_[std::size_t(t)];
+    std::size_t i = 0;
+    while (i < v.size()) {
+        if (!subscriberLive(v[i])) {
+            v[i] = v.back();
+            v.pop_back();
+            continue;
+        }
+        DynInst *inst = v[i].inst;
+        sim_assert(inst->pendingTickets > 0);
+        inst->pendingTickets -= 1;
+        if (inst->pendingTickets == 0)
+            readyInsert(inst);
+        ++i;
+    }
+}
+
+void
+LtpQueue::onTicketPending(int t)
+{
+    auto &v = subs_[std::size_t(t)];
+    std::size_t i = 0;
+    while (i < v.size()) {
+        if (!subscriberLive(v[i])) {
+            v[i] = v.back();
+            v.pop_back();
+            continue;
+        }
+        DynInst *inst = v[i].inst;
+        if (inst->pendingTickets == 0)
+            readyRemove(inst);
+        inst->pendingTickets += 1;
+        ++i;
     }
 }
 

@@ -5,6 +5,10 @@ namespace ltp {
 LtpMonitor::LtpMonitor(bool use_timer, Cycle timeout)
     : use_timer_(use_timer), timeout_(timeout)
 {
+    // Always-on mode never sees a rearm edge, so the level must start
+    // at 1 for the integral to read "enabled the whole window".
+    if (!use_timer_)
+        on_.set(1, 0);
 }
 
 } // namespace ltp

@@ -14,6 +14,8 @@
 #ifndef LTP_LTP_MONITOR_HH
 #define LTP_LTP_MONITOR_HH
 
+#include <algorithm>
+
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -34,7 +36,10 @@ class LtpMonitor
     void
     onDramDemandMiss(Cycle now)
     {
+        settle(now);
         deadline_ = now + timeout_;
+        if (on_.level() == 0)
+            on_.set(1, now);
     }
 
     /** Is LTP enabled at cycle @p now? */
@@ -44,24 +49,44 @@ class LtpMonitor
         return !use_timer_ || now < deadline_;
     }
 
-    /** Per-cycle bookkeeping for the enabled-fraction statistic. */
-    void
-    tick(Cycle now)
+    /** Fraction of cycles LTP was powered on (Fig 7 bottom). */
+    double
+    enabledFraction(Cycle now)
     {
-        on_.set(enabled(now) ? 1 : 0, now);
+        settle(now);
+        return on_.mean(now);
     }
 
-    /** Fraction of cycles LTP was powered on (Fig 7 bottom). */
-    double enabledFraction(Cycle now) { return on_.mean(now); }
-
-    void resetStats(Cycle now) { on_.reset(now); }
+    void
+    resetStats(Cycle now)
+    {
+        settle(now);
+        on_.reset(now);
+        floor_ = now;
+    }
 
     Cycle timeout() const { return timeout_; }
 
   private:
+    /**
+     * Record the pending enable→disable edge, if any, at the cycle it
+     * actually happened.  The enabled level is piecewise constant —
+     * it rises only at a miss (rearm) and falls only at the deadline —
+     * so settling the fall edge lazily before any rearm or read makes
+     * the integral exactly equal to the old per-cycle sampling, with
+     * no work at all on the per-cycle path.
+     */
+    void
+    settle(Cycle now)
+    {
+        if (use_timer_ && deadline_ <= now && on_.level() == 1)
+            on_.set(0, std::max(deadline_, floor_));
+    }
+
     bool use_timer_;
     Cycle timeout_;
     Cycle deadline_ = 0;
+    Cycle floor_ = 0; ///< last resetStats cycle (edge clamp)
     OccupancyStat on_;
 };
 

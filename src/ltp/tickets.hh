@@ -74,6 +74,30 @@ class TicketMask
         return false;
     }
 
+    int
+    count() const
+    {
+        int n = 0;
+        for (auto v : w_)
+            n += __builtin_popcountll(v);
+        return n;
+    }
+
+    /** Invoke @p fn with each set ticket id, ascending. */
+    template <typename Fn>
+    void
+    forEachSet(Fn &&fn) const
+    {
+        for (std::size_t i = 0; i < w_.size(); ++i) {
+            std::uint64_t v = w_[i];
+            while (v) {
+                fn(static_cast<int>(i * 64 +
+                                    std::size_t(__builtin_ctzll(v))));
+                v &= v - 1;
+            }
+        }
+    }
+
     void
     reset()
     {

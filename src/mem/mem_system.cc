@@ -157,17 +157,29 @@ MemSystem::fetchAccess(Addr pc, Cycle now)
     Addr block = blockAlign(pc);
     MemAccessResult res;
 
+    if (block == last_ifetch_block_) {
+        res.dataReady =
+            std::max(last_ifetch_ready_, now + l1i_.hitLatency());
+        res.level = last_ifetch_ready_ > now ? HitLevel::Inflight
+                                             : HitLevel::L1;
+        res.earlyWakeup = res.dataReady;
+        return res;
+    }
+
     Cycle line_ready;
     if (l1i_.lookup(block, now, &line_ready)) {
         res.dataReady = std::max(line_ready, now + l1i_.hitLatency());
         res.level = line_ready > now ? HitLevel::Inflight : HitLevel::L1;
+        last_ifetch_ready_ = line_ready;
     } else {
         HitLevel level;
         Cycle ready = lookupBelowL1(block, now, &level);
         l1i_.fill(block, now, ready, false); // I-side lines: never dirty
         res.dataReady = ready;
         res.level = level;
+        last_ifetch_ready_ = ready;
     }
+    last_ifetch_block_ = block;
     res.earlyWakeup = res.dataReady;
     return res;
 }
@@ -214,6 +226,7 @@ MemSystem::warmAccess(Addr pc, Addr addr, bool is_write, Cycle now)
 void
 MemSystem::settle()
 {
+    last_ifetch_block_ = ~Addr(0); // line-ready cycles are re-zeroed
     l1i_.settle();
     l1d_.settle();
     l2_.settle();

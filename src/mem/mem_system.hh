@@ -133,6 +133,15 @@ class MemSystem
 
     MemConfig cfg_;
     Cache l1i_;
+    /**
+     * Straight-line fetch memo: the last I-block looked up and its
+     * line-ready cycle.  Only fetchAccess touches the I-cache, so a
+     * repeat of the same block must hit with the same line state —
+     * the set walk and LRU restamp (the line is already MRU) can be
+     * skipped.  Fills of a different block and settle() reset it.
+     */
+    Addr last_ifetch_block_ = ~Addr(0);
+    Cycle last_ifetch_ready_ = 0;
     Cache l1d_;
     Cache l2_;
     Cache l3_;

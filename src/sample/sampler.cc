@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <stdexcept>
 
 #include "common/logging.hh"
@@ -171,6 +172,13 @@ Sampler::run(const PhaseFn &phase)
         s.ci95Half = studentT95(int(s.sampleIpcs.size()) - 1) *
                      s.ipcStdDev /
                      std::sqrt(double(s.sampleIpcs.size()));
+    } else {
+        // One observation: no dispersion estimate exists.  NaN (not
+        // 0.0) so a --samples=1 run reports "CI unavailable" instead
+        // of a zero-width interval, and so any aggregate or gate that
+        // touches it is forced to notice (SamplingStats::hasCi).
+        s.ipcStdDev = std::numeric_limits<double>::quiet_NaN();
+        s.ci95Half = std::numeric_limits<double>::quiet_NaN();
     }
     return agg;
 }

@@ -1,7 +1,10 @@
 #include "serve/client.hh"
 
+#include <algorithm>
+#include <chrono>
 #include <future>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "sim/report.hh"
@@ -31,10 +34,37 @@ jsonU64(std::uint64_t n)
 
 } // namespace
 
-ServeBackend::ServeBackend(const std::string &host, int port)
-    : conn_(std::make_unique<LineConn>(connectTcp(host, port)))
+ServeBackend::ServeBackend(const std::string &host, int port,
+                           const ServeClientOptions &opts)
+    : opts_(opts), host_(host), port_(port)
 {
+    // Bounded connect: each attempt is individually timed out, and a
+    // daemon that stays unreachable fails the construction with its
+    // address — never an indefinite block inside connect(2).
+    int attempts = std::max(1, opts_.connectAttempts);
+    std::string last_err;
+    for (int i = 0; i < attempts && !conn_; ++i) {
+        if (i > 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                opts_.connectRetryDelayMs));
+        try {
+            conn_ = std::make_unique<LineConn>(
+                connectTcp(host, port, opts_.connectTimeoutMs));
+        } catch (const std::exception &e) {
+            last_err = e.what();
+        }
+    }
+    if (!conn_)
+        throw std::runtime_error(
+            last_err + " [after " + std::to_string(attempts) +
+            " attempt(s) to " + address() + "]");
     reader_ = std::thread([this]() { readerLoop(); });
+}
+
+std::string
+ServeBackend::address() const
+{
+    return host_ + ":" + std::to_string(port_);
 }
 
 ServeBackend::~ServeBackend()
@@ -49,6 +79,7 @@ ServeBackend::readerLoop()
 {
     std::string line;
     while (conn_->readLine(line)) {
+        framesSeen_.fetch_add(1, std::memory_order_relaxed);
         JsonValue frame;
         try {
             frame = parseJson(line);
@@ -111,7 +142,46 @@ ServeBackend::call(JsonValue frame)
     if (!conn_->writeFrame(frame)) {
         std::lock_guard<std::mutex> lock(mutex_);
         pending_.erase(id);
-        throw std::runtime_error("serve connection lost mid-request");
+        throw std::runtime_error("serve connection to " + address() +
+                                 " lost mid-request");
+    }
+
+    // Wait with a liveness deadline: any frame from the server (a
+    // result for another worker, streamed progress) proves it is
+    // alive and resets the clock; `replyTimeoutMs` of total silence
+    // means a hung daemon, and the request fails instead of wedging
+    // the sweep.
+    using Clock = std::chrono::steady_clock;
+    auto deadline =
+        Clock::now() + std::chrono::milliseconds(opts_.replyTimeoutMs);
+    std::uint64_t seen = framesSeen_.load(std::memory_order_relaxed);
+    for (;;) {
+        if (future.wait_for(std::chrono::milliseconds(50)) ==
+            std::future_status::ready)
+            break;
+        std::uint64_t now_seen =
+            framesSeen_.load(std::memory_order_relaxed);
+        if (now_seen != seen) {
+            seen = now_seen;
+            deadline = Clock::now() +
+                       std::chrono::milliseconds(opts_.replyTimeoutMs);
+        } else if (Clock::now() >= deadline) {
+            bool still_pending = false;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                still_pending = pending_.erase(id) > 0;
+            }
+            // Lost the race: the reader fulfilled the promise while
+            // we were deciding to give up — take the reply after all.
+            if (!still_pending &&
+                future.wait_for(std::chrono::milliseconds(0)) ==
+                    std::future_status::ready)
+                break;
+            throw std::runtime_error(
+                "no response from serve daemon at " + address() +
+                " after " + std::to_string(opts_.replyTimeoutMs) +
+                " ms of silence (hung daemon?)");
+        }
     }
 
     JsonValue reply = future.get();

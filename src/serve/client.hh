@@ -16,6 +16,7 @@
 #ifndef LTP_SERVE_CLIENT_HH
 #define LTP_SERVE_CLIENT_HH
 
+#include <atomic>
 #include <cstdint>
 #include <future>
 #include <map>
@@ -29,13 +30,36 @@
 
 namespace ltp {
 
+/**
+ * Transport robustness knobs.  Every limit exists so a hung or
+ * unreachable daemon fails the sweep with an error naming the server,
+ * instead of blocking a pool worker forever:
+ *
+ *  - connect: each attempt is bounded, and attempts are bounded;
+ *  - replies: a request times out after `replyTimeoutMs` with no
+ *    traffic AT ALL from the server.  Any received frame — another
+ *    caller's result, a streamed progress line — resets the clock, so
+ *    a busy daemon grinding through a deep queue is never mistaken
+ *    for a dead one, while an accept-and-go-silent daemon is caught
+ *    within one timeout.
+ */
+struct ServeClientOptions
+{
+    int connectTimeoutMs = 5000; ///< per connect attempt
+    int connectAttempts = 3;     ///< bounded retry, then fail
+    int connectRetryDelayMs = 200;
+    int replyTimeoutMs = 300000; ///< max server silence per request
+};
+
 /** ExecBackend running every cell on an `ltp serve` daemon. */
 class ServeBackend : public ExecBackend
 {
   public:
-    /** Connects and starts the reader thread.
-     *  @throws std::runtime_error when the daemon is unreachable. */
-    ServeBackend(const std::string &host, int port);
+    /** Connects (bounded attempts) and starts the reader thread.
+     *  @throws std::runtime_error naming @p host:@p port when the
+     *  daemon stays unreachable. */
+    ServeBackend(const std::string &host, int port,
+                 const ServeClientOptions &opts = {});
 
     /** Closes the connection; pending requests fail. */
     ~ServeBackend() override;
@@ -62,7 +86,11 @@ class ServeBackend : public ExecBackend
   private:
     void readerLoop();
     JsonValue call(JsonValue frame);
+    std::string address() const;
 
+    ServeClientOptions opts_;
+    std::string host_;
+    int port_;
     std::unique_ptr<LineConn> conn_;
     std::thread reader_;
 
@@ -72,6 +100,9 @@ class ServeBackend : public ExecBackend
     bool dead_ = false;
     std::string deadReason_;
     std::uint64_t progressFrames_ = 0;
+    /** Lines received, ever: the liveness signal behind the per-
+     *  request reply timeout. */
+    std::atomic<std::uint64_t> framesSeen_{0};
 };
 
 /** Parse --server=host:port ("" / ":7461" / "host" forms allowed). */

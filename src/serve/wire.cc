@@ -5,9 +5,11 @@
 #include <stdexcept>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -35,8 +37,54 @@ setNoDelay(int fd)
 
 } // namespace
 
+namespace {
+
+/**
+ * connect() bounded by @p timeoutMs: flip the socket non-blocking,
+ * start the connect, poll for writability, then read SO_ERROR for the
+ * real outcome.  @return true on success; on failure @p err is set
+ * (blocking mode is restored for the caller either way).
+ */
+bool
+connectWithTimeout(int fd, const struct sockaddr *addr, socklen_t len,
+                   int timeoutMs, std::string &err)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+        err = std::strerror(errno);
+        return false;
+    }
+    bool ok = false;
+    if (::connect(fd, addr, len) == 0) {
+        ok = true;
+    } else if (errno == EINPROGRESS) {
+        struct pollfd pfd = {fd, POLLOUT, 0};
+        int rc = ::poll(&pfd, 1, timeoutMs);
+        if (rc == 0) {
+            err = "connect timed out after " +
+                  std::to_string(timeoutMs) + " ms";
+        } else if (rc < 0) {
+            err = std::strerror(errno);
+        } else {
+            int so_err = 0;
+            socklen_t so_len = sizeof(so_err);
+            ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_err, &so_len);
+            if (so_err == 0)
+                ok = true;
+            else
+                err = std::strerror(so_err);
+        }
+    } else {
+        err = std::strerror(errno);
+    }
+    ::fcntl(fd, F_SETFL, flags);
+    return ok;
+}
+
+} // namespace
+
 int
-connectTcp(const std::string &host, int port)
+connectTcp(const std::string &host, int port, int timeoutMs)
 {
     struct addrinfo hints = {};
     hints.ai_family = AF_UNSPEC;
@@ -56,9 +104,15 @@ connectTcp(const std::string &host, int port)
             err = std::strerror(errno);
             continue;
         }
-        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0)
+        bool connected =
+            timeoutMs > 0
+                ? connectWithTimeout(fd, ai->ai_addr, ai->ai_addrlen,
+                                     timeoutMs, err)
+                : ::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0;
+        if (connected)
             break;
-        err = std::strerror(errno);
+        if (timeoutMs <= 0)
+            err = std::strerror(errno);
         ::close(fd);
         fd = -1;
     }

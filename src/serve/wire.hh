@@ -33,9 +33,11 @@ namespace ltp {
 /** Default `ltp serve` port (an unassigned registry hole). */
 inline constexpr int kDefaultServePort = 7461;
 
-/** Connect to @p host:@p port.  @return the connected fd.
- *  @throws std::runtime_error naming host/port on failure. */
-int connectTcp(const std::string &host, int port);
+/** Connect to @p host:@p port.  @p timeoutMs > 0 bounds the connect
+ *  itself (non-blocking connect + poll); 0 keeps the OS default.
+ *  @return the connected fd.
+ *  @throws std::runtime_error naming host/port on failure/timeout. */
+int connectTcp(const std::string &host, int port, int timeoutMs = 0);
 
 /** Listening TCP socket (loopback-reachable; all interfaces). */
 class Listener

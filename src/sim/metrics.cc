@@ -1,6 +1,7 @@
 #include "sim/metrics.hh"
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -94,18 +95,29 @@ averageMetrics(const std::vector<Metrics> &runs, const std::string &label)
     for (const Metrics &m : runs)
         all_sampled = all_sampled && m.sampling.enabled();
     if (all_sampled) {
+        // The quadrature combination only exists when every member
+        // brings a real interval: a CI-less member (a --samples=1
+        // cell, whose half-width is NaN) contributes zero dispersion
+        // information, and folding it in as zero would silently
+        // *shrink* the group interval.  Such a group reports its CI
+        // (and dispersion) as unavailable instead.
+        bool all_ci = true;
         double ci_sq = 0.0;
+        double stddev = 0.0;
         for (const Metrics &m : runs) {
             avg.sampling.samples += m.sampling.samples;
             avg.sampling.meanIpc += m.sampling.meanIpc / n;
-            avg.sampling.ipcStdDev += m.sampling.ipcStdDev / n;
             avg.sampling.ffKips += m.sampling.ffKips / n;
+            all_ci = all_ci && m.sampling.hasCi();
+            stddev += m.sampling.ipcStdDev / n;
             ci_sq += m.sampling.ci95Half * m.sampling.ci95Half;
         }
         avg.sampling.fastForward = runs.front().sampling.fastForward;
         avg.sampling.warmup = runs.front().sampling.warmup;
         avg.sampling.detail = runs.front().sampling.detail;
-        avg.sampling.ci95Half = std::sqrt(ci_sq) / n;
+        double nan = std::numeric_limits<double>::quiet_NaN();
+        avg.sampling.ipcStdDev = all_ci ? stddev : nan;
+        avg.sampling.ci95Half = all_ci ? std::sqrt(ci_sq) / n : nan;
     }
     return avg;
 }
@@ -120,8 +132,12 @@ studentT95(int df)
         2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,
         2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
         2.060,  2.056, 2.052, 2.048, 2.045, 2.042};
+    // No degrees of freedom means no dispersion estimate at all: the
+    // honest answer is "no critical value", not 0.0 (which once turned
+    // a single-observation run into a zero-width, perfectly-confident
+    // interval downstream).
     if (df < 1)
-        return 0.0;
+        return std::numeric_limits<double>::quiet_NaN();
     if (df <= 30)
         return kTable[df - 1];
     return 1.960;

@@ -7,6 +7,7 @@
 #ifndef LTP_SIM_METRICS_HH
 #define LTP_SIM_METRICS_HH
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -60,12 +61,25 @@ struct SamplingStats
     std::uint64_t warmup = 0;       ///< plan: discarded detail ops
     std::uint64_t detail = 0;       ///< plan: measured ops / sample
     double meanIpc = 0.0;           ///< mean of per-sample IPCs
-    double ipcStdDev = 0.0;         ///< sample std-dev (n-1)
-    double ci95Half = 0.0;          ///< t(n-1) * s / sqrt(n)
+    double ipcStdDev = 0.0;         ///< sample std-dev (n-1); NaN n<2
+    double ci95Half = 0.0;          ///< t(n-1) * s / sqrt(n); NaN n<2
     double ffKips = 0.0;            ///< fast-forward rate, kinsts/sec
     std::vector<double> sampleIpcs; ///< per-sample IPCs, period order
 
     bool enabled() const { return samples > 0; }
+
+    /**
+     * True when the run carries a real confidence interval.  One
+     * observation has no dispersion estimate, so a `--samples=1` run
+     * (and any group average containing one) reports the CI as
+     * unavailable — NaN here, omitted in JSON/CSV — never as a
+     * perfectly-confident zero width.
+     */
+    bool
+    hasCi() const
+    {
+        return samples > 1 && std::isfinite(ci95Half);
+    }
 };
 
 /** Results of one (config, workload) run over the detailed region. */
@@ -163,7 +177,8 @@ Metrics averageMetrics(const std::vector<Metrics> &runs,
 /**
  * Two-sided 95% Student-t critical value for @p df degrees of freedom
  * (exact table through df=30, asymptotic 1.96 beyond) — the multiplier
- * behind every reported sampling confidence interval.
+ * behind every reported sampling confidence interval.  df < 1 (fewer
+ * than two observations) has no critical value and returns NaN.
  */
 double studentT95(int df);
 

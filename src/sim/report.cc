@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -92,8 +93,12 @@ metricsObject(const Metrics &m, int indent)
         so.u64("warmup", s.warmup);
         so.u64("detail", s.detail);
         so.num("meanIpc", s.meanIpc);
-        so.num("ipcStdDev", s.ipcStdDev);
-        so.num("ci95Half", s.ci95Half);
+        // A CI-less run (--samples=1) omits the dispersion keys
+        // entirely: "unavailable" must not round-trip as a number.
+        if (s.hasCi()) {
+            so.num("ipcStdDev", s.ipcStdDev);
+            so.num("ci95Half", s.ci95Half);
+        }
         so.num("ffKips", s.ffKips);
         std::string ipcs = "[";
         for (std::size_t i = 0; i < s.sampleIpcs.size(); ++i) {
@@ -213,8 +218,15 @@ metricsFromJson(const std::string &json)
         s.warmup = u64At(sampling->second, "warmup");
         s.detail = u64At(sampling->second, "detail");
         s.meanIpc = numAt(sampling->second, "meanIpc");
-        s.ipcStdDev = numAt(sampling->second, "ipcStdDev");
-        s.ci95Half = numAt(sampling->second, "ci95Half");
+        // Absent dispersion keys mean "CI unavailable" (a n=1 run),
+        // which reads back as NaN — not as a zero-width interval.
+        double nan = std::numeric_limits<double>::quiet_NaN();
+        s.ipcStdDev = sampling->second.object.count("ipcStdDev")
+                          ? numAt(sampling->second, "ipcStdDev")
+                          : nan;
+        s.ci95Half = sampling->second.object.count("ci95Half")
+                         ? numAt(sampling->second, "ci95Half")
+                         : nan;
         s.ffKips = numAt(sampling->second, "ffKips");
         auto ipcs = sampling->second.object.find("sampleIpcs");
         if (ipcs != sampling->second.object.end() &&
@@ -347,8 +359,12 @@ reportToCsv(const SweepResult &result)
                                    return v.str();
                                })
                 << ',' << m.weightedSpeedup << ','
-                << m.sampling.samples << ',' << m.sampling.ci95Half
-                << '\n';
+                << m.sampling.samples << ',';
+            // Empty CI field = unavailable (non-sampled row, or a
+            // sampled run with too few samples for an interval).
+            if (m.sampling.hasCi())
+                out << m.sampling.ci95Half;
+            out << '\n';
         }
     }
     return out.str();

@@ -1,5 +1,6 @@
 #include "sim/simspeed.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <sstream>
@@ -59,6 +60,17 @@ cellJson(const SimSpeedCell &c,
         if (ref->second > 0.0)
             o.num("speedup_vs_reference", c.kips / ref->second);
     }
+    if (c.profiled()) {
+        JsonObjectBuilder p;
+        p.u64("ticks", c.profile.ticks);
+        p.u64("total_ns", c.profile.totalNs());
+        JsonObjectBuilder stages;
+        for (int s = 0; s < TickProfile::kNumStages; ++s)
+            stages.u64(TickProfile::stageName(s),
+                       c.profile.ns[std::size_t(s)]);
+        p.field("stage_ns", stages.render(8));
+        o.field("profile", p.render(6));
+    }
     return o.render(4);
 }
 
@@ -72,6 +84,7 @@ SimSpeedReport::toJson() const
     out << "  \"name\": \"simspeed\",\n";
     out << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
     out << "  \"seed\": " << seed << ",\n";
+    out << "  \"reps\": " << reps << ",\n";
     out << "  \"threads\": 1,\n";
     auto emitCells = [&](const char *key,
                          const std::vector<SimSpeedCell> &cells) {
@@ -98,6 +111,10 @@ runSimSpeedBench(const SimSpeedOptions &opts)
     SimSpeedReport report;
     report.quick = opts.quick;
     report.seed = opts.seed;
+    // Profiled runs keep reps=1: stage times accumulate across runs
+    // and would not match a best-of-N wall time.
+    int reps = opts.profile ? 1 : std::max(1, opts.reps);
+    report.reps = reps;
 
     std::uint64_t per_sim =
         opts.lengths.pipeWarm + opts.lengths.detail;
@@ -108,13 +125,23 @@ runSimSpeedBench(const SimSpeedOptions &opts)
         for (const SimConfig &base : configs) {
             SimConfig cfg = base;
             cfg.seed = opts.seed;
-            auto start = std::chrono::steady_clock::now();
-            Simulator::runOnce(cfg, kernel, opts.lengths);
             SimSpeedCell cell;
             cell.label = kernel;
             cell.config = cfg.name;
             cell.detailedInsts = per_sim;
-            cell.wallMs = msSince(start);
+            for (int r = 0; r < reps; ++r) {
+                auto start = std::chrono::steady_clock::now();
+                if (opts.profile) {
+                    Simulator sim(cfg, kernel, opts.lengths);
+                    sim.core().setProfiler(&cell.profile);
+                    sim.run();
+                } else {
+                    Simulator::runOnce(cfg, kernel, opts.lengths);
+                }
+                double ms = msSince(start);
+                if (r == 0 || ms < cell.wallMs)
+                    cell.wallMs = ms;
+            }
             cell.kips = kips(cell.detailedInsts, cell.wallMs);
             report.kernelCells.push_back(cell);
         }
@@ -123,19 +150,23 @@ runSimSpeedBench(const SimSpeedOptions &opts)
     // A multiprogrammed (smt:) cell commits its quota *per thread*;
     // crediting one quota keeps the number a conservative per-cell
     // throughput, consistent with the single-threaded cells.
-    auto timeScenario = [](const std::string &path) {
+    auto timeScenario = [reps](const std::string &path) {
         Scenario scenario = loadScenarioFile(path);
         SweepSpec spec = scenario.compile(/*threads=*/1);
         std::uint64_t per_cell =
             scenario.lengths.pipeWarm + scenario.lengths.detail;
-        auto start = std::chrono::steady_clock::now();
-        Runner(/*threads=*/1).run(spec);
         SimSpeedCell cell;
+        for (int r = 0; r < reps; ++r) {
+            auto start = std::chrono::steady_clock::now();
+            Runner(/*threads=*/1).run(spec);
+            double ms = msSince(start);
+            if (r == 0 || ms < cell.wallMs)
+                cell.wallMs = ms;
+        }
         cell.label = spec.name;
         cell.config = "scenario";
         cell.simulations = spec.simulationCount();
         cell.detailedInsts = per_cell * cell.simulations;
-        cell.wallMs = msSince(start);
         cell.kips = kips(cell.detailedInsts, cell.wallMs);
         return cell;
     };

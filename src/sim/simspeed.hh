@@ -32,6 +32,25 @@ namespace ltp {
 struct SimSpeedOptions
 {
     bool quick = false;      ///< fewer kernels, shorter staging
+    /**
+     * Attach a per-stage tick profiler to every kernel cell (the
+     * `ltp bench --profile` mode): each cell's wall time is
+     * attributed to pipeline stages (ticket events, wakeup, rename,
+     * ...) so a throughput regression names its stage from the CI
+     * artifact alone.  The clock reads perturb the measured kIPS a
+     * few percent, so profiled runs are for diagnosis, not gating.
+     */
+    bool profile = false;
+    /**
+     * Best-of-N repetitions per cell: every cell is simulated @c reps
+     * times and the fastest wall time is kept.  kIPS measures the
+     * simulator, not the host scheduler, and min-of-N is the standard
+     * way to strip scheduler/frequency noise from ~25 ms cells (the
+     * committed BENCH_simspeed.json is produced with --reps=3).
+     * Forced to 1 when @c profile is set: stage attribution
+     * accumulates across runs and would mismatch a min wall time.
+     */
+    int reps = 1;
     std::uint64_t seed = 1;
     RunLengths lengths = RunLengths::bench(); ///< per-kernel cells
     /** Scenario files swept serially (their own staging plans). */
@@ -53,6 +72,12 @@ struct SimSpeedCell
     std::uint64_t detailedInsts = 0; ///< pipeWarm + detail, summed
     double wallMs = 0.0;
     double kips = 0.0; ///< detailedInsts / wall seconds / 1000
+    /** Per-stage attribution, filled by SimSpeedOptions::profile on
+     *  kernel cells (scenario cells run through the Runner and are
+     *  not instrumented). */
+    TickProfile profile;
+
+    bool profiled() const { return profile.ticks > 0; }
 };
 
 /** Full benchmark result. */
@@ -60,6 +85,7 @@ struct SimSpeedReport
 {
     bool quick = false;
     std::uint64_t seed = 1;
+    int reps = 1; ///< best-of-N wall times (SimSpeedOptions::reps)
     std::vector<SimSpeedCell> kernelCells;
     std::vector<SimSpeedCell> scenarioCells;
     /** Measured but ungated (not part of totalKips). */

@@ -346,14 +346,12 @@ TEST(FuPool, WidthPerGroup)
     FuConfig cfg;
     cfg.alu = 2;
     FuPool fu(cfg);
-    fu.beginCycle();
     EXPECT_TRUE(fu.canIssue(OpClass::IntAlu, 0));
     fu.issue(OpClass::IntAlu, 0);
     fu.issue(OpClass::IntAlu, 0);
     EXPECT_FALSE(fu.canIssue(OpClass::IntAlu, 0));
     // Other groups unaffected.
     EXPECT_TRUE(fu.canIssue(OpClass::Load, 0));
-    fu.beginCycle();
     EXPECT_TRUE(fu.canIssue(OpClass::IntAlu, 1));
 }
 
@@ -362,10 +360,8 @@ TEST(FuPool, UnpipelinedDivOccupiesUnit)
     FuConfig cfg;
     cfg.mul = 1;
     FuPool fu(cfg);
-    fu.beginCycle();
     int lat = fu.issue(OpClass::IntDiv, 10);
     EXPECT_EQ(lat, opInfo(OpClass::IntDiv).latency);
-    fu.beginCycle();
     EXPECT_FALSE(fu.canIssue(OpClass::IntMul, 11)); // unit busy
     EXPECT_TRUE(fu.canIssue(OpClass::IntMul, 10 + lat));
 }
@@ -375,9 +371,7 @@ TEST(FuPool, PipelinedMulBackToBack)
     FuConfig cfg;
     cfg.mul = 1;
     FuPool fu(cfg);
-    fu.beginCycle();
     fu.issue(OpClass::IntMul, 0);
-    fu.beginCycle();
     EXPECT_TRUE(fu.canIssue(OpClass::IntMul, 1)); // pipelined
 }
 
@@ -386,7 +380,6 @@ TEST(FuPool, BranchUsesAluGroup)
     FuConfig cfg;
     cfg.alu = 1;
     FuPool fu(cfg);
-    fu.beginCycle();
     fu.issue(OpClass::Branch, 0);
     EXPECT_FALSE(fu.canIssue(OpClass::IntAlu, 0));
 }

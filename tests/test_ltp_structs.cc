@@ -339,14 +339,27 @@ TEST(Monitor, DisabledTimerAlwaysOn)
 
 TEST(Monitor, EnabledFractionIntegrates)
 {
+    // Event-driven bookkeeping: a single miss arms the timer and the
+    // expiry edge is settled lazily at the read.
     LtpMonitor mon(true, 100);
-    for (Cycle t = 0; t <= 400; ++t) {
-        if (t == 100)
-            mon.onDramDemandMiss(t);
-        mon.tick(t);
-    }
-    // On during [100,200) of [0,400]: about a quarter.
-    EXPECT_NEAR(mon.enabledFraction(400), 0.25, 0.05);
+    mon.onDramDemandMiss(100);
+    // On during [100,200) of [0,400]: exactly a quarter.
+    EXPECT_NEAR(mon.enabledFraction(400), 0.25, 0.001);
+}
+
+TEST(Monitor, EnabledFractionRearmAndReset)
+{
+    LtpMonitor mon(true, 100);
+    mon.onDramDemandMiss(50);  // on [50,150)
+    mon.onDramDemandMiss(120); // extended to [50,220)
+    EXPECT_NEAR(mon.enabledFraction(400), 170.0 / 400.0, 0.001);
+    // Reset mid-off-period: a later window starts disabled.
+    mon.resetStats(400);
+    EXPECT_NEAR(mon.enabledFraction(500), 0.0, 0.001);
+    // Reset mid-on-period: the level carries across the reset.
+    mon.onDramDemandMiss(500); // on [500,600)
+    mon.resetStats(550);
+    EXPECT_NEAR(mon.enabledFraction(650), 50.0 / 100.0, 0.001);
 }
 
 } // namespace

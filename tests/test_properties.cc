@@ -22,6 +22,12 @@
  *      duplicate-free, and survives mid-run squashes.  (Waking an
  *      entry twice trips the IQ's ready-bitmask sim_assert, which is
  *      active in every build.)
+ *  P9  LTP wakeup invariants: the ticket-expiry wheel + batched-unpark
+ *      ready lists (urgent and non-urgent) equal a brute-force
+ *      per-cycle scan of every parked instruction's ticket mask
+ *      against the pending bitmask — same membership, same seq order —
+ *      and each parked pendingTickets counter equals a fresh recount,
+ *      every cycle, including across mid-run squashes.
  */
 
 #include <gtest/gtest.h>
@@ -216,6 +222,7 @@ checkSchedulerInvariants(Core &core, Cycle cycle)
         }
         prev = inst->seq;
         ready_list.push_back(inst);
+        return true;
     });
     ASSERT_EQ(ready_list, brute) << "at cycle " << cycle;
 }
@@ -265,6 +272,116 @@ INSTANTIATE_TEST_SUITE_P(
           case LtpMode::NR: mode = "NR"; break;
           case LtpMode::NRNU: mode = "NRNU"; break;
         }
+        return std::get<0>(info.param) + "_" + mode + "_s" +
+               std::to_string(std::get<2>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// P9: LTP wakeup invariants — ticket wheel + batched unpark vs a
+// brute-force per-cycle ticket scan.
+
+class LtpWakeupInvariantProp : public ::testing::TestWithParam<SchedCase>
+{
+};
+
+/**
+ * Assert the LTP queue's ready lists are exactly what the pre-wheel
+ * per-cycle scan would compute: a parked instruction is wakeup-ready
+ * iff no ticket in its mask is still pending, the urgent/non-urgent
+ * ready lists partition exactly that set by the urgent bit in seq
+ * order, and every parked pendingTickets counter matches a fresh
+ * recount against the pending bitmask (the wheel's subscription
+ * bookkeeping may never drift from the mask it summarises).
+ */
+void
+checkLtpWakeupInvariants(Core &core, Cycle cycle)
+{
+    LtpQueue &q = core.ltpQueue();
+    const TicketMask &pending = core.tickets().pending();
+
+    std::vector<const DynInst *> brute_urgent, brute_nonurgent;
+    SeqNum prev_parked = 0;
+    int parked = 0;
+    q.forEach([&](DynInst *inst) {
+        parked += 1;
+        if (parked > 1) {
+            EXPECT_LT(prev_parked, inst->seq)
+                << "parked list out of order at cycle " << cycle;
+        }
+        prev_parked = inst->seq;
+
+        int live = 0;
+        inst->tickets.forEachSet([&](int t) {
+            if (pending.test(t))
+                live += 1;
+        });
+        ASSERT_EQ(inst->pendingTickets, live)
+            << "pendingTickets drifted from mask recount, seq "
+            << inst->seq << " at cycle " << cycle;
+        if (live == 0)
+            (inst->urgent ? brute_urgent : brute_nonurgent)
+                .push_back(inst);
+    });
+    ASSERT_EQ(parked, q.size());
+
+    auto collect = [&](const DynInst *head) {
+        std::vector<const DynInst *> list;
+        SeqNum prev = 0;
+        for (const DynInst *i = head; i; i = LtpQueue::readyNext(i)) {
+            if (!list.empty()) {
+                EXPECT_LT(prev, i->seq)
+                    << "ready list out of order at cycle " << cycle;
+            }
+            prev = i->seq;
+            list.push_back(i);
+        }
+        return list;
+    };
+    ASSERT_EQ(collect(q.urgentReadyFront()), brute_urgent)
+        << "urgent ready list at cycle " << cycle;
+    ASSERT_EQ(collect(q.nonUrgentReadyFront()), brute_nonurgent)
+        << "non-urgent ready list at cycle " << cycle;
+}
+
+TEST_P(LtpWakeupInvariantProp, ReadySetEqualsBruteForceTicketScan)
+{
+    const auto &[kernel, mode, seed] = GetParam();
+    SimConfig cfg = SimConfig::ltpProposal(mode);
+    cfg.seed = seed;
+    RunLengths lengths = tiny();
+    Simulator sim(cfg, kernel, lengths);
+    Core &core = sim.core();
+
+    for (int cycle = 1; cycle <= 3000; ++cycle) {
+        core.tick();
+        checkLtpWakeupInvariants(core, core.cycle());
+        if (::testing::Test::HasFatalFailure())
+            return;
+        // Mid-run squashes must tear ticket subscriptions down
+        // consistently (stale cohort entries are generation-filtered,
+        // squashed owners bump the ticket epoch so in-flight wheel
+        // events go stale).
+        if (cycle == 1000 || cycle == 2000) {
+            DynInst *head = core.rob().head();
+            if (head) {
+                core.squashAfter(head->seq + 4);
+                checkLtpWakeupInvariants(core, core.cycle());
+                if (::testing::Test::HasFatalFailure())
+                    return;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LtpWakeupInvariantProp,
+    ::testing::Combine(::testing::Values("graph_walk", "sparse_gather",
+                                         "linked_list", "btree_lookup"),
+                       ::testing::Values(LtpMode::NU, LtpMode::NRNU),
+                       ::testing::Values(1, 7)),
+    [](const ::testing::TestParamInfo<SchedCase> &info) {
+        std::string mode =
+            std::get<1>(info.param) == LtpMode::NU ? "NU" : "NRNU";
         return std::get<0>(info.param) + "_" + mode + "_s" +
                std::to_string(std::get<2>(info.param));
     });

@@ -416,6 +416,74 @@ TEST(SamplingMetricsTest, StudentTTable)
     EXPECT_NEAR(studentT95(30), 2.042, 1e-9);
     EXPECT_NEAR(studentT95(31), 1.960, 1e-9);
     EXPECT_NEAR(studentT95(1000), 1.960, 1e-9);
+    // No degrees of freedom → no critical value, not "zero": 0.0 once
+    // gave --samples=1 runs a perfectly-confident zero-width CI.
+    EXPECT_TRUE(std::isnan(studentT95(0)));
+    EXPECT_TRUE(std::isnan(studentT95(-3)));
+}
+
+TEST(SamplingMetricsTest, SingleSampleReportsCiUnavailable)
+{
+    SimConfig cfg = SimConfig::baseline();
+    SamplePlan plan = smallPlan();
+    plan.samples = 1;
+    Metrics m = Sampler::runOnce(cfg, "graph_walk", plan);
+
+    ASSERT_TRUE(m.sampling.enabled());
+    EXPECT_EQ(m.sampling.samples, 1);
+    EXPECT_FALSE(m.sampling.hasCi());
+    EXPECT_TRUE(std::isnan(m.sampling.ci95Half));
+    EXPECT_TRUE(std::isnan(m.sampling.ipcStdDev));
+    EXPECT_GT(m.sampling.meanIpc, 0.0);
+
+    // JSON omits the dispersion keys (NaN is not valid JSON), and the
+    // round trip restores "unavailable", never a numeric zero.
+    std::string json = metricsToJson(m);
+    EXPECT_NE(json.find("\"sampling\""), std::string::npos);
+    EXPECT_EQ(json.find("ci95Half"), std::string::npos);
+    EXPECT_EQ(json.find("ipcStdDev"), std::string::npos);
+    Metrics round = metricsFromJson(json);
+    EXPECT_FALSE(round.sampling.hasCi());
+    EXPECT_TRUE(std::isnan(round.sampling.ci95Half));
+
+    // CSV leaves the ipcCi95 field empty rather than printing 0/nan.
+    SweepResult result;
+    result.name = "one-sample";
+    result.grid.put("k", "c", m);
+    std::string csv = reportToCsv(result);
+    std::string last = csv.substr(csv.rfind(',') + 1);
+    EXPECT_EQ(last, "\n");
+}
+
+TEST(SamplingMetricsTest, GroupAverageWithCiLessMemberDropsCi)
+{
+    SimConfig cfg = SimConfig::baseline();
+    SamplePlan plan = smallPlan();
+    Metrics a = Sampler::runOnce(cfg, "graph_walk", plan);
+    SamplePlan one = plan;
+    one.samples = 1;
+    Metrics b = Sampler::runOnce(cfg, "paper_loop", one);
+
+    ASSERT_TRUE(a.sampling.hasCi());
+    ASSERT_FALSE(b.sampling.hasCi());
+
+    // One CI-less member must invalidate the group interval — folding
+    // its NaN (or a fake 0) into the quadrature sum would poison or
+    // silently shrink it.  The mean and sample count stay usable.
+    Metrics avg = averageMetrics({a, b}, "mixed-ci");
+    ASSERT_TRUE(avg.sampling.enabled());
+    EXPECT_FALSE(avg.sampling.hasCi());
+    EXPECT_TRUE(std::isnan(avg.sampling.ci95Half));
+    EXPECT_TRUE(std::isnan(avg.sampling.ipcStdDev));
+    EXPECT_EQ(avg.sampling.samples,
+              a.sampling.samples + b.sampling.samples);
+    EXPECT_NEAR(avg.sampling.meanIpc,
+                (a.sampling.meanIpc + b.sampling.meanIpc) / 2.0, 1e-12);
+
+    // All-CI groups keep the quadrature combination bit-for-bit.
+    Metrics c = Sampler::runOnce(cfg, "paper_loop", plan);
+    Metrics good = averageMetrics({a, c}, "all-ci");
+    EXPECT_TRUE(good.sampling.hasCi());
 }
 
 TEST(SamplingMetricsTest, AverageMetricsCombinesSamplingStats)

@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include "serve/client.hh"
@@ -213,6 +214,97 @@ TEST_F(ServeTest, UnknownWorkloadComesBackAsError)
         std::runtime_error);
     // The connection survives a failed cell.
     EXPECT_NO_THROW(client->rpc("ping"));
+}
+
+// ---------------------------------------------------------------------------
+// Transport robustness: a daemon that is absent or hung must fail the
+// request with an error naming the server, never block forever.
+// ---------------------------------------------------------------------------
+
+TEST(ServeClientRobustnessTest, HungDaemonTimesOutNamingTheServer)
+{
+    // A "daemon" that accepts the connection and then never says
+    // another byte — the pathology that used to wedge a whole sweep
+    // inside a blocking recv().
+    Listener listener(0);
+    std::thread acceptor([&listener]() {
+        int fd = listener.accept();
+        // Hold the connection open, silently, until the test is done.
+        if (fd >= 0) {
+            char c;
+            while (::recv(fd, &c, 1, 0) > 0) {
+            }
+            ::close(fd);
+        }
+    });
+
+    {
+        ServeClientOptions opts;
+        opts.replyTimeoutMs = 300;
+        ServeBackend client("127.0.0.1", listener.port(), opts);
+        try {
+            client.rpc("ping");
+            FAIL() << "rpc against a silent daemon must not return";
+        } catch (const std::runtime_error &e) {
+            std::string msg = e.what();
+            EXPECT_NE(msg.find("127.0.0.1:" +
+                               std::to_string(listener.port())),
+                      std::string::npos)
+                << msg;
+            EXPECT_NE(msg.find("silence"), std::string::npos) << msg;
+        }
+        // Destroying the client closes its socket, which is what ends
+        // the acceptor's recv() loop — join only after that.
+    }
+    listener.close();
+    acceptor.join();
+}
+
+TEST(ServeClientRobustnessTest, UnreachableDaemonFailsAfterBoundedRetry)
+{
+    // Grab an ephemeral port and close it again: connecting there is
+    // refused, so every bounded attempt fails fast.
+    int dead_port;
+    {
+        Listener probe(0);
+        dead_port = probe.port();
+    }
+
+    ServeClientOptions opts;
+    opts.connectTimeoutMs = 200;
+    opts.connectAttempts = 2;
+    opts.connectRetryDelayMs = 10;
+    try {
+        ServeBackend client("127.0.0.1", dead_port, opts);
+        FAIL() << "connect to a closed port must throw";
+    } catch (const std::runtime_error &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("2 attempt(s)"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("127.0.0.1:" + std::to_string(dead_port)),
+                  std::string::npos)
+            << msg;
+    }
+}
+
+TEST_F(ServeTest, ProgressTrafficKeepsASlowRequestAlive)
+{
+    // The timeout measures *silence*, not latency: a cell that takes
+    // longer than replyTimeoutMs must still succeed as long as the
+    // server streams anything (progress, other results) meanwhile.
+    auto client = connect();
+    ServeClientOptions opts;
+    opts.replyTimeoutMs = 150;
+    ServeBackend slow("127.0.0.1", server_->port(), opts);
+
+    // Pinging through `slow` while the server answers keeps traffic
+    // flowing; the real run below finishes well within one silence
+    // window per frame on this workload, proving normal operation is
+    // unaffected by a tight timeout.
+    SimConfig cfg = SimConfig::baseline();
+    cfg.seed = 11;
+    CellResult r = slow.runCell(CellKey{}, cfg, "paper_loop", tiny(),
+                                SamplePlan{});
+    EXPECT_GT(r.metrics.ipc, 0.0);
 }
 
 TEST_F(ServeTest, StatsCountsRequestsAndShutdownStopsTheServer)

@@ -20,8 +20,10 @@
  */
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -32,7 +34,11 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "common/cli.hh"
 #include "common/json.hh"
@@ -101,7 +107,9 @@ usage(int status)
         "                      ~/.cache/ltp)\n"
         "  --backend=local|serve   where cells run (default local)\n"
         "  --server=host:port  serve daemon address (implies\n"
-        "                      --backend=serve; default 127.0.0.1:%d)\n",
+        "                      --backend=serve; default 127.0.0.1:%d)\n"
+        "  --server-timeout=<ms>  max server silence per request\n"
+        "                      before the sweep fails (default 300000)\n",
         kDefaultServePort);
     return status;
 }
@@ -167,7 +175,10 @@ makeBackend(const Cli &cli)
         int port = kDefaultServePort;
         try {
             parseHostPort(cli.str("server", ""), &host, &port);
-            return std::make_shared<ServeBackend>(host, port);
+            ServeClientOptions topts;
+            topts.replyTimeoutMs = int(cli.integer(
+                "server-timeout", topts.replyTimeoutMs));
+            return std::make_shared<ServeBackend>(host, port, topts);
         } catch (const std::exception &e) {
             fatal("%s", e.what());
         }
@@ -389,11 +400,53 @@ cmdSweep(const std::string &path, const Cli &cli)
     return 0;
 }
 
+/**
+ * `--perf-record=<out.data>`: attach `perf record -g` to this process
+ * for the duration of the bench, so the call-graph profile and the
+ * per-stage attribution come from the same run.  Returns the perf pid
+ * (-1 when not requested); stopPerf() reaps it.
+ */
+pid_t
+startPerf(const std::string &out)
+{
+    pid_t pid = ::fork();
+    if (pid < 0)
+        fatal("--perf-record: fork failed: %s", std::strerror(errno));
+    if (pid == 0) {
+        std::string target = std::to_string(::getppid());
+        ::execlp("perf", "perf", "record", "-g", "-o", out.c_str(),
+                 "-p", target.c_str(), (char *)nullptr);
+        _exit(127); // perf not installed
+    }
+    // Give perf a beat to attach so the bench's first cells are in
+    // the profile too.
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    return pid;
+}
+
+void
+stopPerf(pid_t pid, const std::string &out)
+{
+    ::kill(pid, SIGINT);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    if (WIFEXITED(status) && WEXITSTATUS(status) == 127)
+        std::fprintf(stderr,
+                     "--perf-record: `perf` is not installed; no "
+                     "profile written\n");
+    else
+        std::printf("perf profile written to %s (inspect with "
+                    "`perf report -i %s`)\n",
+                    out.c_str(), out.c_str());
+}
+
 int
 cmdBench(const Cli &cli)
 {
     SimSpeedOptions opts;
     opts.quick = cli.flag("quick");
+    opts.profile = cli.flag("profile");
+    opts.reps = int(cli.integer("reps", 1));
     opts.seed = cli.integer("seed", 1);
     opts.lengths = stagingLengths(
         cli, opts.quick ? RunLengths::quick() : RunLengths::bench());
@@ -410,11 +463,12 @@ cmdBench(const Cli &cli)
                   path.c_str());
         opts.scenarios.push_back(path);
     }
-    // The SMT pairs sweep rides along report-only (tracked in
-    // BENCH_simspeed.json, excluded from the gated total until its
-    // trajectory stabilises).  Like the fig6 default above, it is
-    // required when the default cell list is in play — a missing file
-    // must not silently punch a hole in the perf trajectory.
+    // The SMT pairs sweep is a gated cell: its trajectory stabilised
+    // over PRs 5-7, so it now counts toward the total the perf-smoke
+    // gate compares (promoted from report_only_scenarios when the
+    // LTP hot path was rebuilt event-driven).  Like the fig6 default
+    // above, it is required when the default cell list is in play — a
+    // missing file must not silently punch a hole in the trajectory.
     if (cli.list("scenario").empty()) {
         const char *smt = "scenarios/smt_pairs.json";
         if (!std::filesystem::exists(smt))
@@ -422,8 +476,11 @@ cmdBench(const Cli &cli)
                   "root, or pass --scenario=<path> to choose the "
                   "cells explicitly)",
                   smt);
-        opts.reportOnlyScenarios.push_back(smt);
+        opts.scenarios.push_back(smt);
     }
+
+    std::string perf_out = cli.str("perf-record", "");
+    pid_t perf_pid = perf_out.empty() ? -1 : startPerf(perf_out);
 
     std::string baseline = cli.str("baseline", "");
     SimSpeedReport report;
@@ -432,8 +489,12 @@ cmdBench(const Cli &cli)
         if (!baseline.empty())
             report.referenceKips = loadReferenceKips(baseline);
     } catch (const std::runtime_error &e) {
+        if (perf_pid > 0)
+            ::kill(perf_pid, SIGKILL);
         fatal("%s", e.what());
     }
+    if (perf_pid > 0)
+        stopPerf(perf_pid, perf_out);
 
     Table t({"cell", "config", "sims", "insts", "wall ms", "kIPS"});
     auto addRows = [&](const std::vector<SimSpeedCell> &cells) {
@@ -457,6 +518,46 @@ cmdBench(const Cli &cli)
             std::printf("%s: %.1f kIPS vs %.1f reference = %.2fx\n",
                         c.label.c_str(), c.kips, ref->second,
                         c.kips / ref->second);
+    }
+
+    // --profile: per-stage wall-time attribution, aggregated over the
+    // kernel cells of each config, so "which stage regressed, and
+    // only under LTP?" is answerable from the bench output alone.
+    if (opts.profile) {
+        std::vector<std::string> cfgs;
+        std::map<std::string, TickProfile> byCfg;
+        for (const SimSpeedCell &c : report.kernelCells) {
+            if (!c.profiled())
+                continue;
+            if (!byCfg.count(c.config))
+                cfgs.push_back(c.config);
+            TickProfile &agg = byCfg[c.config];
+            for (int s = 0; s < TickProfile::kNumStages; ++s)
+                agg.ns[std::size_t(s)] += c.profile.ns[std::size_t(s)];
+            agg.ticks += c.profile.ticks;
+        }
+        std::vector<std::string> head = {"stage"};
+        for (const std::string &cfg : cfgs) {
+            head.push_back(cfg + " ms");
+            head.push_back("%");
+        }
+        Table pt(head);
+        for (int s = 0; s < TickProfile::kNumStages; ++s) {
+            std::vector<std::string> row = {TickProfile::stageName(s)};
+            for (const std::string &cfg : cfgs) {
+                const TickProfile &p = byCfg[cfg];
+                double ms = double(p.ns[std::size_t(s)]) / 1e6;
+                double pct = p.totalNs()
+                                 ? 100.0 * double(p.ns[std::size_t(s)]) /
+                                       double(p.totalNs())
+                                 : 0.0;
+                row.push_back(Table::num(ms, 1));
+                row.push_back(Table::num(pct, 1));
+            }
+            pt.addRow(row);
+        }
+        pt.print("per-stage tick attribution (kernel cells, "
+                 "aggregated per config)");
     }
 
     std::string json = cli.str("json", "");
@@ -871,6 +972,16 @@ cmdSampleCompare(const Cli &cli)
             fatal("cell '%s' in %s has no counterpart in %s",
                   key.c_str(), sampled_path.c_str(), full_path.c_str());
         const Metrics &fm = it->second;
+        // Gating a sampled cell is a statistical statement; a cell
+        // with no interval (--samples=1) cannot make one, so refuse
+        // outright rather than trivially passing on the rtol floor.
+        if (sm.sampling.enabled() && !sm.sampling.hasCi())
+            fatal("cell '%s' in %s has no confidence interval "
+                  "(%d sample%s) — rerun with --samples>=2 to gate "
+                  "a sampled result",
+                  key.c_str(), sampled_path.c_str(),
+                  sm.sampling.samples,
+                  sm.sampling.samples == 1 ? "" : "s");
         double sampled_ipc =
             sm.sampling.enabled() ? sm.sampling.meanIpc : sm.ipc;
         // The statistical tolerance is the sample CI; the rtol floor
@@ -980,10 +1091,11 @@ cmdSample(const std::string &positional, const Cli &cli)
              "ff kIPS"});
     for (const std::string &k : kernels) {
         const Metrics &m = result.grid.at(k, cfg.name);
+        bool ci = m.sampling.hasCi();
         t.addRow({k, std::to_string(m.sampling.samples),
                   Table::num(m.sampling.meanIpc, 4),
-                  Table::num(m.sampling.ci95Half, 4),
-                  Table::num(m.sampling.ipcStdDev, 4),
+                  ci ? Table::num(m.sampling.ci95Half, 4) : "n/a",
+                  ci ? Table::num(m.sampling.ipcStdDev, 4) : "n/a",
                   Table::num(m.sampling.ffKips, 0)});
     }
     t.print(strprintf("sampled %s (plan %s, seed %llu, %.0f ms)",
@@ -1139,7 +1251,10 @@ cmdServe(const std::string &action, const Cli &cli)
         int port = int(cli.integer("port", kDefaultServePort));
         try {
             parseHostPort(cli.str("server", ""), &host, &port);
-            ServeBackend client(host, port);
+            ServeClientOptions topts;
+            topts.replyTimeoutMs = int(cli.integer(
+                "server-timeout", topts.replyTimeoutMs));
+            ServeBackend client(host, port, topts);
             JsonValue reply =
                 client.rpc(action == "stop" ? "shutdown" : action);
             reply.object.erase("id");
@@ -1237,7 +1352,7 @@ main(int argc, char **argv)
     const std::set<std::string> global = {
         "warm",     "pipewarm",  "detail", "seed",    "threads",
         "set",      "json",      "csv",    "no-cache", "cache-dir",
-        "backend",  "server"};
+        "backend",  "server",    "server-timeout"};
     auto flags = [&](std::set<std::string> extra) {
         extra.insert(global.begin(), global.end());
         return extra;
@@ -1264,11 +1379,19 @@ main(int argc, char **argv)
     }
     if (cmd == "bench") {
         Cli cli(nargs, args.data(),
-                flags({"quick", "scenario", "baseline", "check"}),
+                flags({"quick", "scenario", "baseline", "check",
+                       "profile", "perf-record", "reps"}),
                 "ltp bench — measure simulator throughput (kIPS) and "
                 "write BENCH_simspeed.json; --baseline + --check fails "
                 "on >25% regression (always runs in-process and "
-                "uncached: it times the simulator, not the cache)");
+                "uncached: it times the simulator, not the cache).\n"
+                "--reps=N keeps the best-of-N wall time per cell "
+                "(strips host scheduler noise from ~25 ms cells; the "
+                "committed artifact uses --reps=3).\n"
+                "--profile attributes each kernel cell's wall time to "
+                "pipeline stages (table + JSON `profile` blocks); "
+                "--perf-record=<out.data> additionally wraps the bench "
+                "in `perf record -g` when perf is installed");
         rejectPositional(cmd, positional);
         return cmdBench(cli);
     }

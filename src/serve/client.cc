@@ -93,8 +93,25 @@ ServeBackend::readerLoop()
         if (idIt == frame.object.end()) {
             // Unaddressed frames are server-push events; today that
             // is only the progress stream.
-            std::lock_guard<std::mutex> lock(mutex_);
-            progressFrames_ += 1;
+            std::function<void(std::uint64_t, std::uint64_t,
+                               std::uint64_t)>
+                handler;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                progressFrames_ += 1;
+                handler = progressHandler_;
+            }
+            if (handler) {
+                auto u64 = [&frame](const char *key) -> std::uint64_t {
+                    auto it = frame.object.find(key);
+                    std::uint64_t out = 0;
+                    if (it != frame.object.end() &&
+                        it->second.isNumber())
+                        u64FromLexeme(it->second.str, &out);
+                    return out;
+                };
+                handler(u64("done"), u64("total"), u64("hits"));
+            }
             continue;
         }
         std::uint64_t id = 0;
@@ -249,6 +266,87 @@ ServeBackend::runCell(const CellKey &key, const SimConfig &cfg,
     return out;
 }
 
+bool
+ServeBackend::lookup(const CellKey &key, Metrics *out)
+{
+    JsonValue frame;
+    frame.kind = JsonValue::Kind::Object;
+    frame.object["type"] = jsonStr("lookup");
+    frame.object["key"] = jsonStr(key.hex);
+
+    JsonValue reply = call(std::move(frame));
+    auto foundIt = reply.object.find("found");
+    if (foundIt == reply.object.end() || !foundIt->second.isBool())
+        throw std::runtime_error("serve lookup reply missing 'found'");
+    if (!foundIt->second.boolean)
+        return false;
+    auto metricsIt = reply.object.find("metrics");
+    if (metricsIt == reply.object.end() ||
+        !metricsIt->second.isObject())
+        throw std::runtime_error("serve lookup hit missing metrics");
+    *out = metricsFromJson(writeJsonCompact(metricsIt->second));
+    return true;
+}
+
+SweepResult
+ServeBackend::submitScenario(const JsonValue &scenario)
+{
+    JsonValue frame;
+    frame.kind = JsonValue::Kind::Object;
+    frame.object["type"] = jsonStr("scenario");
+    frame.object["scenario"] = scenario;
+
+    JsonValue reply = call(std::move(frame));
+
+    auto field = [&reply](const char *key) -> const JsonValue & {
+        auto it = reply.object.find(key);
+        if (it == reply.object.end())
+            throw std::runtime_error(
+                std::string("serve sweep reply missing '") + key + "'");
+        return it->second;
+    };
+    auto u64 = [&field](const char *key) {
+        const JsonValue &v = field(key);
+        std::uint64_t out = 0;
+        if (!v.isNumber() || !u64FromLexeme(v.str, &out))
+            throw std::runtime_error(
+                std::string("serve sweep reply field '") + key +
+                "' is not a u64");
+        return out;
+    };
+
+    SweepResult out;
+    out.name = field("name").str;
+    out.backend = "serve";
+    out.threads = int(u64("threads"));
+    out.simulations = std::size_t(u64("simulations"));
+    out.cacheHits = std::size_t(u64("cacheHits"));
+    const JsonValue &wall = field("wall_ms");
+    if (wall.isNumber())
+        out.wallMs = wall.num;
+
+    const JsonValue &results = field("results");
+    if (!results.isArray())
+        throw std::runtime_error(
+            "serve sweep reply 'results' is not an array");
+    for (const JsonValue &cell : results.array) {
+        if (!cell.isObject())
+            throw std::runtime_error(
+                "serve sweep reply has a non-object result cell");
+        auto at = [&cell](const char *key) -> const JsonValue & {
+            auto it = cell.object.find(key);
+            if (it == cell.object.end())
+                throw std::runtime_error(
+                    std::string("serve sweep result cell missing '") +
+                    key + "'");
+            return it->second;
+        };
+        out.grid.put(at("row").str, at("series").str,
+                     metricsFromJson(writeJsonCompact(at("metrics"))));
+    }
+    return out;
+}
+
 JsonValue
 ServeBackend::rpc(const std::string &type)
 {
@@ -263,6 +361,14 @@ ServeBackend::progressFrames() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return progressFrames_;
+}
+
+void
+ServeBackend::setProgressHandler(
+    std::function<void(std::uint64_t, std::uint64_t, std::uint64_t)> fn)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    progressHandler_ = std::move(fn);
 }
 
 void

@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -27,6 +28,7 @@
 
 #include "serve/wire.hh"
 #include "sim/exec_backend.hh"
+#include "sim/runner.hh"
 
 namespace ltp {
 
@@ -75,6 +77,21 @@ class ServeBackend : public ExecBackend
                        const RunLengths &lengths,
                        const SamplePlan &sampling) override;
 
+    /** Probe the daemon's result cache for @p key without computing
+     *  anything (the cache peer-lookup frame).  @return true and fill
+     *  @p out on a hit. */
+    bool lookup(const CellKey &key, Metrics *out);
+
+    /**
+     * Whole-scenario submission: send the scenario JSON in ONE
+     * `scenario` frame; the daemon compiles and runs it server-side
+     * (trace paths resolve against its --trace-dir) and replies with
+     * the complete grid.  Server-streamed progress frames keep the
+     * silence timeout fed during long runs — see setProgressHandler.
+     * @throws on transport failure or an `error` reply.
+     */
+    SweepResult submitScenario(const JsonValue &scenario);
+
     /** Send a bare `{"type":<type>}` request and return the reply
      *  frame (ping/stats/shutdown).  @throws on transport failure or
      *  an `error` reply. */
@@ -82,6 +99,12 @@ class ServeBackend : public ExecBackend
 
     /** Progress frames received from the server (observability). */
     std::uint64_t progressFrames() const;
+
+    /** Install a callback invoked (from the reader thread) for every
+     *  server-streamed progress frame: (done, total, hits). */
+    void setProgressHandler(
+        std::function<void(std::uint64_t, std::uint64_t, std::uint64_t)>
+            fn);
 
   private:
     void readerLoop();
@@ -100,6 +123,8 @@ class ServeBackend : public ExecBackend
     bool dead_ = false;
     std::string deadReason_;
     std::uint64_t progressFrames_ = 0;
+    std::function<void(std::uint64_t, std::uint64_t, std::uint64_t)>
+        progressHandler_;
     /** Lines received, ever: the liveness signal behind the per-
      *  request reply timeout. */
     std::atomic<std::uint64_t> framesSeen_{0};

@@ -12,10 +12,26 @@
  *      (the optional "sampling" object selects interval sampling)
  *   ← {"id":N,"type":"result","hit":B,"deduped":B,"metrics":{...}}
  *   ← {"type":"progress","done":D,"total":T,"hits":H}   (per connection)
+ *   → {"id":N,"type":"scenario","scenario":{...}}       (whole scenario)
+ *   ← {"id":N,"type":"sweep","name":S,"threads":T,"simulations":N,
+ *      "cacheHits":H,"wall_ms":W,"results":[{"row":R,"series":S,
+ *      "metrics":{...}},...]}
+ *   → {"id":N,"type":"lookup","key":"<64-hex>"}         (cache probe)
+ *   ← {"id":N,"type":"lookup","found":B,"metrics":{...}} (if found)
  *   → {"id":N,"type":"ping"}       ← {"id":N,"type":"pong","version":V}
  *   → {"id":N,"type":"stats"}      ← {"id":N,"type":"stats",...}
- *   → {"id":N,"type":"shutdown"}   ← {"id":N,"type":"ok"}  (then exits)
+ *   → {"id":N,"type":"shutdown"}   ← {"id":N,"type":"ok","drained":D}
+ *                                     (after draining, then exits)
  *   ← {"id":N,"type":"error","message":"..."}            (any failure)
+ *
+ * Distributed mode: started with --worker=host:port (repeatable) the
+ * daemon becomes a frontend that schedules cells onto remote worker
+ * daemons through a WorkerPool (serve/worker_pool.hh) — LPT dispatch,
+ * re-dispatch on worker failure, cache peer lookup via the `lookup`
+ * frame, and in-process fallback when every worker is down.  The
+ * `scenario` frame compiles and runs a whole scenario server-side
+ * (trace paths resolved against --trace-dir), so a client sends one
+ * frame per study instead of one per cell.
  *
  * Requests are pipelined: each connection has one reader thread that
  * parses frames and submits `run` cells to the shared pool, so
@@ -48,9 +64,12 @@ class ThreadPool;
 struct ServerImpl;
 
 /** Bump when the frame schema changes incompatibly.  v2 added the
- *  optional `sampling` object to `run` frames (interval sampling);
- *  frames without it behave exactly as v1. */
-inline constexpr int kServeProtocolVersion = 2;
+ *  optional `sampling` object to `run` frames (interval sampling).
+ *  v3 added `scenario` (whole-scenario submission) and `lookup`
+ *  (cache peer probe) requests, the `drained` field on the shutdown
+ *  reply, and the `workers` array in stats; v1/v2 clients are
+ *  unaffected — every v2 frame behaves exactly as before. */
+inline constexpr int kServeProtocolVersion = 3;
 
 /** `ltp serve` configuration. */
 struct ServeOptions
@@ -60,6 +79,14 @@ struct ServeOptions
     std::string cacheDir;    ///< "" = ResultCache::defaultDir()
     bool useCache = true;    ///< false = compute-only (still dedupes)
     bool quiet = false;      ///< suppress per-connection stderr notes
+    /** Remote worker daemons ("host:port"); non-empty turns this
+     *  daemon into a frontend that dispatches cells to them. */
+    std::vector<std::string> workers;
+    /** Base directory for resolving relative trace paths in submitted
+     *  scenarios ("" = the daemon's working directory). */
+    std::string traceDir;
+    /** Max wait for in-flight cells to finish on shutdown. */
+    int drainTimeoutMs = 10000;
 };
 
 /** The daemon: accept loop + per-connection readers + shared pool. */

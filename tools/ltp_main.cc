@@ -48,6 +48,7 @@
 #include "sample/sampler.hh"
 #include "serve/client.hh"
 #include "serve/server.hh"
+#include "serve/worker_pool.hh"
 #include "sim/config.hh"
 #include "sim/exec_backend.hh"
 #include "sim/experiment.hh"
@@ -75,7 +76,9 @@ usage(int status)
         "commands:\n"
         "  run            simulate one config over one or more kernels\n"
         "  sweep <file>   compile and run a JSON scenario file\n"
-        "                 (--progress prints a cells-done heartbeat)\n"
+        "                 (--progress prints a cells-done heartbeat;\n"
+        "                 --submit ships the whole scenario to an\n"
+        "                 `ltp serve` daemon in one request instead)\n"
         "  bench          measure simulator throughput (kIPS) over\n"
         "                 kernels and scenarios -> BENCH_simspeed.json;\n"
         "                 --baseline=<file> --check gates regressions\n"
@@ -95,7 +98,10 @@ usage(int status)
         "  classify       Section 4.1 MLP-sensitivity classification\n"
         "  print-config <preset>   print a preset's config as JSON\n"
         "  cache <ls|stat|gc|clear>   inspect / prune the result cache\n"
-        "  serve [ping|stats|stop]    run (or control) the cell daemon\n"
+        "  serve [ping|stats|stop]    run (or control) the cell daemon;\n"
+        "                 repeatable --worker=host:port (or a\n"
+        "                 --workers=<file> list) makes the daemon a\n"
+        "                 distributed frontend over remote workers\n"
         "\n"
         "every command accepts --help and the shared global flags:\n"
         "--warm/--pipewarm/--detail staging, --seed, --threads=N\n"
@@ -258,6 +264,7 @@ printGrid(const SweepResult &result)
 }
 
 SamplePlan samplePlanFromCli(const Cli &cli, SamplePlan base);
+std::string readFileText(const std::string &path);
 
 /** Commands without a positional must not silently swallow one. */
 void
@@ -325,9 +332,155 @@ cmdRun(const Cli &cli)
     return 0;
 }
 
+/**
+ * `ltp sweep --submit`: ship the scenario file to a serve daemon in
+ * ONE `scenario` frame instead of compiling it locally — the daemon
+ * compiles and runs it server-side (trace paths resolve against its
+ * --trace-dir) and replies with the complete grid.  The shared
+ * staging/seed/sampling flags edit the scenario JSON before it ships,
+ * so the daemon compiles exactly what a local sweep with the same
+ * flags would.
+ */
+int
+cmdSubmitSweep(const std::string &path, const Cli &cli)
+{
+    if (cli.has("set"))
+        fatal("--set is not supported with --submit; put the overrides "
+              "in the scenario file");
+
+    JsonValue root;
+    try {
+        root = parseJson(readFileText(path));
+    } catch (const std::runtime_error &e) {
+        fatal("%s: %s", path.c_str(), e.what());
+    }
+    if (!root.isObject())
+        fatal("%s: scenario root is not an object", path.c_str());
+
+    auto jnum = [](std::uint64_t n) {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        v.num = double(n);
+        v.str = std::to_string(n);
+        return v;
+    };
+    auto u64In = [](const JsonValue &obj, const char *key,
+                    std::uint64_t dflt) {
+        auto it = obj.object.find(key);
+        std::uint64_t out = dflt;
+        if (it != obj.object.end() && it->second.isNumber())
+            u64FromLexeme(it->second.str, &out);
+        return out;
+    };
+
+    if (cli.has("seed"))
+        root.object["seed"] = jnum(cli.integer("seed", 1));
+
+    if (cli.has("warm") || cli.has("pipewarm") || cli.has("detail")) {
+        // Re-derive the file's staging base the way scenarioFromJson
+        // does (preset name or partial object), layer the flags, and
+        // write the full object back.
+        RunLengths base;
+        auto it = root.object.find("lengths");
+        if (it != root.object.end()) {
+            const JsonValue &l = it->second;
+            if (l.isString() && l.str == "quick")
+                base = RunLengths::quick();
+            else if (l.isString() && l.str == "bench")
+                base = RunLengths::bench();
+            else if (l.isObject()) {
+                base.funcWarm = u64In(l, "funcWarm", base.funcWarm);
+                base.pipeWarm = u64In(l, "pipeWarm", base.pipeWarm);
+                base.detail = u64In(l, "detail", base.detail);
+            }
+        }
+        RunLengths lengths = stagingLengths(cli, base);
+        JsonValue l;
+        l.kind = JsonValue::Kind::Object;
+        l.object["funcWarm"] = jnum(lengths.funcWarm);
+        l.object["pipeWarm"] = jnum(lengths.pipeWarm);
+        l.object["detail"] = jnum(lengths.detail);
+        root.object["lengths"] = std::move(l);
+    }
+
+    if (cli.has("samples") || cli.has("sample-ff") ||
+        cli.has("sample-warmup") || cli.has("sample-detail")) {
+        SamplePlan base;
+        auto it = root.object.find("sampling");
+        if (it != root.object.end()) {
+            const JsonValue &sp = it->second;
+            if ((sp.isString() && sp.str == "default") ||
+                sp.isObject())
+                base = SamplePlan::defaults();
+            if (sp.isObject()) {
+                base.fastForward =
+                    u64In(sp, "fastForward", base.fastForward);
+                base.warmup = u64In(sp, "warmup", base.warmup);
+                base.detail = u64In(sp, "detail", base.detail);
+                base.samples = int(u64In(
+                    sp, "samples", std::uint64_t(base.samples)));
+            }
+        }
+        SamplePlan plan = samplePlanFromCli(cli, base);
+        JsonValue sp;
+        sp.kind = JsonValue::Kind::Object;
+        sp.object["fastForward"] = jnum(plan.fastForward);
+        sp.object["warmup"] = jnum(plan.warmup);
+        sp.object["detail"] = jnum(plan.detail);
+        sp.object["samples"] = jnum(std::uint64_t(plan.samples));
+        root.object["sampling"] = std::move(sp);
+    }
+
+    std::string host = "127.0.0.1";
+    int port = kDefaultServePort;
+    try {
+        parseHostPort(cli.str("server", ""), &host, &port);
+        ServeClientOptions topts;
+        topts.replyTimeoutMs =
+            int(cli.integer("server-timeout", topts.replyTimeoutMs));
+        ServeBackend client(host, port, topts);
+        if (cli.flag("progress")) {
+            // The daemon streams progress during the run; render it as
+            // the same heartbeat a local --progress sweep prints.
+            auto start = std::chrono::steady_clock::now();
+            client.setProgressHandler(
+                [start](std::uint64_t done, std::uint64_t total,
+                        std::uint64_t hits) {
+                    double secs =
+                        std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+                    std::fprintf(
+                        stderr,
+                        "\r%llu/%llu cells, %llu hits, %.1fs elapsed   ",
+                        static_cast<unsigned long long>(done),
+                        static_cast<unsigned long long>(total),
+                        static_cast<unsigned long long>(hits), secs);
+                    std::fflush(stderr);
+                });
+        }
+        SweepResult result = client.submitScenario(root);
+        if (cli.flag("progress"))
+            std::fprintf(stderr, "\n");
+        std::printf("scenario %s: ran on %s:%d (%zu simulations, %d "
+                    "daemon threads)\n",
+                    result.name.c_str(), host.c_str(), port,
+                    result.simulations, result.threads);
+        printGrid(result);
+        printBackendSummary(result);
+        maybeArchive(cli, result);
+    } catch (const std::exception &e) {
+        fatal("%s", e.what());
+    }
+    return 0;
+}
+
 int
 cmdSweep(const std::string &path, const Cli &cli)
 {
+    if (cli.flag("submit"))
+        return cmdSubmitSweep(path, cli);
+
     Scenario scenario;
     try {
         scenario = loadScenarioFile(path);
@@ -1258,7 +1411,43 @@ cmdServe(const std::string &action, const Cli &cli)
             JsonValue reply =
                 client.rpc(action == "stop" ? "shutdown" : action);
             reply.object.erase("id");
+            // The per-worker counters read better as a table; keep the
+            // machine-readable JSON to the scalar fields.
+            JsonValue workers;
+            auto wIt = reply.object.find("workers");
+            if (wIt != reply.object.end() && wIt->second.isArray()) {
+                workers = std::move(wIt->second);
+                reply.object.erase("workers");
+            }
             std::printf("%s\n", writeJson(reply).c_str());
+            if (workers.isArray()) {
+                Table t({"worker", "capacity", "up", "dispatched",
+                         "completed", "retried", "failed",
+                         "peer hits"});
+                for (const JsonValue &w : workers.array) {
+                    auto f = [&w](const char *key) -> std::string {
+                        auto it = w.object.find(key);
+                        if (it == w.object.end())
+                            return "-";
+                        if (it->second.isBool())
+                            return it->second.boolean ? "yes" : "NO";
+                        return it->second.str;
+                    };
+                    t.addRow({f("worker"), f("capacity"), f("up"),
+                              f("dispatched"), f("completed"),
+                              f("retried"), f("failed"),
+                              f("peerHits")});
+                }
+                t.print("remote workers");
+            }
+            if (action == "stop") {
+                auto dIt = reply.object.find("drained");
+                if (dIt != reply.object.end() &&
+                    dIt->second.isNumber() && dIt->second.num > 0)
+                    std::printf("drained %s in-flight cell(s) before "
+                                "shutdown\n",
+                                dIt->second.str.c_str());
+            }
         } catch (const std::exception &e) {
             fatal("%s", e.what());
         }
@@ -1271,6 +1460,19 @@ cmdServe(const std::string &action, const Cli &cli)
     opts.cacheDir = cli.str("cache-dir", "");
     opts.useCache = !cli.flag("no-cache");
     opts.quiet = cli.flag("quiet");
+    opts.workers = cli.list("worker");
+    std::string workers_file = cli.str("workers", "");
+    if (!workers_file.empty()) {
+        try {
+            for (const std::string &w : loadWorkerSpecs(workers_file))
+                opts.workers.push_back(w);
+        } catch (const std::exception &e) {
+            fatal("%s", e.what());
+        }
+    }
+    opts.traceDir = cli.str("trace-dir", "");
+    opts.drainTimeoutMs =
+        int(cli.integer("drain-timeout", opts.drainTimeoutMs));
     try {
         Server server(opts);
         server.start();
@@ -1317,7 +1519,7 @@ main(int argc, char **argv)
     // (e.g. `ltp replay --verify traces/`) stays the positional.
     const std::set<std::string> boolean_flags = {
         "--verify", "--paths", "--progress", "--quick", "--check",
-        "--no-cache", "--quiet"};
+        "--no-cache", "--quiet", "--submit"};
     std::string positional;
     std::vector<char *> args;
     std::string prog = std::string(argv[0]) + " " + cmd;
@@ -1368,10 +1570,12 @@ main(int argc, char **argv)
     if (cmd == "sweep") {
         Cli cli(nargs, args.data(),
                 flags({"progress", "samples", "sample-ff",
-                       "sample-warmup", "sample-detail"}),
+                       "sample-warmup", "sample-detail", "submit"}),
                 "ltp sweep <scenario.json> — compile and run a "
                 "scenario file; --samples/--sample-* override the "
-                "scenario's sampling plan");
+                "scenario's sampling plan; --submit ships the whole "
+                "scenario to an `ltp serve` daemon (--server=host:port) "
+                "in one request");
         if (positional.empty())
             fatal("sweep needs a scenario file: ltp sweep "
                   "<scenario.json>");
@@ -1460,11 +1664,18 @@ main(int argc, char **argv)
         return cmdCache(positional, cli);
     }
     if (cmd == "serve") {
-        Cli cli(nargs, args.data(), flags({"port", "quiet"}),
+        Cli cli(nargs, args.data(),
+                flags({"port", "quiet", "worker", "workers",
+                       "trace-dir", "drain-timeout"}),
                 "ltp serve [ping|stats|stop] — run the shared "
                 "simulation daemon (no action), or control a running "
                 "one; --port/--server address it, --threads sizes the "
-                "pool, --no-cache disables the shared result cache");
+                "pool, --no-cache disables the shared result cache.\n"
+                "Distributed mode: repeatable --worker=host:port (or "
+                "--workers=<file>, one host:port per line) fans cells "
+                "out to remote worker daemons; --trace-dir resolves "
+                "submitted scenarios' trace paths; --drain-timeout=<ms> "
+                "bounds the graceful shutdown drain (default 10000)");
         return cmdServe(positional, cli);
     }
 
